@@ -1,0 +1,8 @@
+//! `cargo bench` entry: Figs. 10/11 at reduced scale.
+use bdm_bench::{fig10, BenchScale};
+
+fn main() {
+    let r = fig10::run(&BenchScale::smoke());
+    println!("{}", r.render_runtimes());
+    println!("{}", r.render_speedups());
+}

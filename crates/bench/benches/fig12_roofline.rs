@@ -1,0 +1,7 @@
+//! `cargo bench` entry: Fig. 12 roofline at reduced scale.
+use bdm_bench::{fig12, BenchScale};
+
+fn main() {
+    let r = fig12::run(&BenchScale::smoke());
+    println!("{}", r.render());
+}

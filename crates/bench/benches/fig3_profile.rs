@@ -1,0 +1,11 @@
+//! `cargo bench` entry: Fig. 3 profile at reduced scale.
+use bdm_bench::{fig3, BenchScale};
+
+fn main() {
+    let r = fig3::run(&BenchScale::smoke());
+    println!("{}", r.rendered);
+    println!(
+        "[fig3] mech share {:.0}% (paper: 87%)",
+        r.mech_share * 100.0
+    );
+}

@@ -1,0 +1,7 @@
+//! `cargo bench` entry: Figs. 8/9 at reduced scale.
+use bdm_bench::{fig8, BenchScale};
+
+fn main() {
+    let r = fig8::run(&BenchScale::smoke());
+    println!("{}", r.render());
+}

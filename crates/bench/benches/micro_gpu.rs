@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the GPU simulator itself: how fast the
+//! trace-driven engine executes kernels (simulation throughput), and the
+//! relative cost of tracing vs. functional-only execution.
+
+use bdm_gpu::engine::{GpuDevice, Kernel, LaunchConfig, ThreadCtx, ThreadId};
+use bdm_gpu::frontend::ApiFrontend;
+use bdm_gpu::mem::{DeviceAllocator, DeviceBuffer};
+use bdm_gpu::pipeline::{KernelVersion, MechanicalPipeline, SceneRef};
+use bdm_device::specs::SYSTEM_A;
+use bdm_math::interaction::MechParams;
+use bdm_math::{Aabb, SplitMix64, Vec3};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+struct Saxpy {
+    n: usize,
+    x: DeviceBuffer<f32>,
+    y: DeviceBuffer<f32>,
+}
+
+impl Kernel for Saxpy {
+    fn thread(&self, _p: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let i = tid.global() as usize;
+        if i >= self.n {
+            return;
+        }
+        let x = ctx.ld(&self.x, i);
+        let y = ctx.ld(&self.y, i);
+        ctx.flops::<f32>(2);
+        ctx.st(&self.y, i, 2.0 * x + y);
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut alloc = DeviceAllocator::new();
+    let k = Saxpy {
+        n,
+        x: alloc.alloc::<f32>(n),
+        y: alloc.alloc::<f32>(n),
+    };
+    let mut g = c.benchmark_group("engine_saxpy_64k");
+    for sample in [1u64, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("trace_every", sample),
+            &sample,
+            |b, &sample| {
+                let dev = GpuDevice::with_trace_sampling(SYSTEM_A.gpu, sample);
+                b.iter(|| {
+                    dev.reset_l2();
+                    black_box(dev.launch(&k, LaunchConfig::for_items(n, 256)))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pipeline_step(c: &mut Criterion) {
+    let n = 10_000;
+    let mut rng = SplitMix64::new(5);
+    let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 60.0)).collect();
+    let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 60.0)).collect();
+    let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 60.0)).collect();
+    let diam = vec![4.0; n];
+    let adh = vec![0.01; n];
+    let scene = SceneRef {
+        xs: &xs,
+        ys: &ys,
+        zs: &zs,
+        diameters: &diam,
+        adherences: &adh,
+        space: Aabb::new(Vec3::zero(), Vec3::splat(60.0)),
+        box_len: 4.0,
+    };
+    let params = MechParams::default_params();
+    let mut g = c.benchmark_group("pipeline_step_10k");
+    g.sample_size(10);
+    for version in [KernelVersion::V0, KernelVersion::V2Sorted] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{version:?}")),
+            &version,
+            |b, &version| {
+                let p = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, version, 8);
+                b.iter(|| black_box(p.step(&scene, &params)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_pipeline_step);
+criterion_main!(benches);

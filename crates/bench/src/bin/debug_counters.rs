@@ -1,0 +1,23 @@
+//! Diagnostic: raw work counters of one benchmark-A step per environment.
+use bdm_sim::workload::benchmark_a;
+use bdm_sim::EnvironmentKind;
+
+fn main() {
+    for env in [EnvironmentKind::KdTree, EnvironmentKind::UniformGridParallel] {
+        let mut sim = benchmark_a(24, 0xA);
+        sim.set_environment(env);
+        sim.simulate(1);
+        let w = sim.last_mech_work().unwrap();
+        let n = sim.rm().len() as f64;
+        println!(
+            "{:?}: n={} candidates/agent={:.1} neighbors/agent={:.1} contacts/agent={:.1}",
+            env, n, w.candidates as f64 / n, w.neighbors as f64 / n, w.contacts as f64 / n
+        );
+        for (k, p) in w.phases.iter().enumerate() {
+            println!(
+                "  phase {} {:<20} flops/agent={:>8.1} bytes/agent={:>8.1} random/agent={:>6.2} parallel={}",
+                k, p.name, p.flops / n, p.bytes / n, p.random_accesses / n, p.parallel
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Diagnostic: per-step GPU kernel time for versions I and II.
+use bdm_bench::{trace_sample_for, BenchScale};
+use bdm_gpu::frontend::ApiFrontend;
+use bdm_gpu::pipeline::KernelVersion;
+use bdm_sim::environment::GpuSystem;
+use bdm_sim::workload::benchmark_a;
+use bdm_sim::EnvironmentKind;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    for version in [KernelVersion::V1Fp32, KernelVersion::V2Sorted] {
+        let mut sim = benchmark_a(scale.a_cells_per_dim, 0x8);
+        sim.set_environment(EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version,
+            trace_sample: trace_sample_for(scale.a_cells(), scale.trace_budget),
+        });
+        sim.simulate(scale.a_steps);
+        print!("{:<26}", version.label());
+        for step in sim.profiler().steps() {
+            if let Some(g) = step.records.iter().find_map(|r| r.gpu.as_ref()) {
+                print!(" {:6.2}", g.kernel_s() * 1e3);
+            }
+        }
+        println!();
+    }
+}

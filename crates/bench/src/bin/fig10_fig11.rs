@@ -1,0 +1,16 @@
+//! Regenerate Figs. 10 + 11: benchmark B runtime and speedup vs
+//! neighborhood density (System B: Xeon Gold 6130 vs Tesla V100).
+use bdm_bench::{fig10, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!(
+        "Figs. 10+11: benchmark B ({} agents, {} steps per density; paper scale: 2M)\n",
+        scale.b_agents, scale.b_steps
+    );
+    let r = fig10::run(&scale);
+    println!("Fig. 10 — per-step runtime:\n{}", r.render_runtimes());
+    println!("Fig. 11 — GPU speedup over the multithreaded baseline:\n{}", r.render_speedups());
+    println!("paper bands: 160–232x vs 4 threads, 71–113x vs 64 threads,");
+    println!("with the speedup stagnating as density rises (serial neighbor loop)");
+}

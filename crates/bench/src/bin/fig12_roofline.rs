@@ -1,0 +1,16 @@
+//! Regenerate Fig. 12: roofline analysis of the best GPU kernel at three
+//! densities on System B, with ERT-measured ceilings.
+use bdm_bench::{fig12, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!(
+        "Fig. 12: roofline on the simulated Tesla V100 ({} agents)\n",
+        scale.roofline_agents
+    );
+    let r = fig12::run(&scale);
+    println!("{}", r.render());
+    println!("CSV:\n{}", r.roofline.to_csv());
+    println!("paper: points near the HBM roof, an order of magnitude under the fp32 peak;");
+    println!("L2 read share 39.4% (n=6), 40.6% (n=27), 41.3% (n=47)");
+}

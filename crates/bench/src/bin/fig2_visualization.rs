@@ -1,0 +1,29 @@
+//! Regenerate Fig. 2: a cross-sectional view of the cell-division model,
+//! cells colored by diameter, written as a PPM image.
+use bdm_bench::BenchScale;
+use bdm_sim::render::render_simulation;
+use bdm_sim::workload::benchmark_a;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/fig2_cell_division.ppm".into());
+    // Fig. 2 runs the module "with fewer cells and a longer runtime"
+    // than benchmark A, so the diameter spread is visible.
+    let mut sim = benchmark_a(scale.a_cells_per_dim.min(20), 0x2);
+    sim.simulate(15);
+    let img = render_simulation(&sim, 800);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let f = std::fs::File::create(&out).expect("create ppm");
+    img.write_ppm(std::io::BufWriter::new(f)).expect("write ppm");
+    println!(
+        "Fig. 2: rendered {} cells ({}x{} px, colored by diameter) to {}",
+        sim.rm().len(),
+        img.width(),
+        img.height(),
+        out
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerate Fig. 3: runtime profile of the cell-division benchmark
+//! (kd-tree baseline, modeled on System A's Xeon at 20 threads).
+use bdm_bench::{fig3, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!(
+        "Fig. 3: cell-division benchmark profile ({}^3 = {} cells, {} steps)\n",
+        scale.a_cells_per_dim,
+        scale.a_cells(),
+        scale.a_steps
+    );
+    let r = fig3::run(&scale);
+    println!("{}", r.rendered);
+    println!(
+        "mechanical interactions share: {:.0}% (forces {:.0}%, neighborhood {:.0}%)",
+        r.mech_share * 100.0,
+        r.forces_share * 100.0,
+        r.neighborhood_share * 100.0
+    );
+    println!(
+        "paper reports: forces 51%, neighborhood update 36% (sum 87%)"
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figs. 8 + 9: benchmark A runtimes and speedups across all
+//! implementations of the mechanical interaction operation (System A).
+use bdm_bench::{fig8, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!(
+        "Figs. 8+9: benchmark A ({}^3 = {} cells, {} steps; paper scale: 64^3)\n",
+        scale.a_cells_per_dim,
+        scale.a_cells(),
+        scale.a_steps
+    );
+    let r = fig8::run(&scale);
+    println!("{}", r.render());
+    println!("final population: {} cells", r.final_population);
+    println!("\nexpected shape (paper §VI): serial UG ≈ 2x serial kd; 20T UG ≈ 4.3x 20T kd;");
+    println!("GPU v0 ≈ 7.9x 20T kd; I ≈ 2x v0; II ≈ 2.6x I; III ≈ 1.28x slower than II");
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table I from the encoded machine specs.
+fn main() {
+    println!("Table I: Specifications of the systems used for benchmarking\n");
+    println!("{}", bdm_bench::table1::render());
+}

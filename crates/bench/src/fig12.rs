@@ -1,0 +1,140 @@
+//! Fig. 12 regenerator: roofline analysis of the best GPU kernel at
+//! three neighborhood densities on System B.
+//!
+//! Reproduces both halves of the paper's analysis:
+//!
+//! * the machine ceilings, measured empirically by running ERT
+//!   microkernels through the simulator (and cross-checked against the
+//!   spec ceilings);
+//! * one point per density (n ≈ 6, 27, 47): arithmetic intensity and
+//!   achieved GFLOP/s of the version II mechanical kernel, plus the L2
+//!   read share the paper quotes from nvprof (39.4 / 40.6 / 41.3 %).
+
+use crate::scale::BenchScale;
+use crate::{gpu_totals, trace_sample_for};
+use bdm_device::specs::SYSTEM_B;
+use bdm_gpu::frontend::ApiFrontend;
+use bdm_gpu::pipeline::KernelVersion;
+use bdm_roofline::{ErtSweep, RooflineModel, RooflinePoint, RooflineReport};
+use bdm_sim::environment::GpuSystem;
+use bdm_sim::workload::benchmark_b;
+use bdm_sim::EnvironmentKind;
+
+const SEED: u64 = 0xC;
+
+/// Densities plotted in Fig. 12.
+pub const FIG12_DENSITIES: [f64; 3] = [6.0, 27.0, 47.0];
+
+/// The regenerated Fig. 12 data.
+#[derive(Debug, Clone)]
+pub struct Fig12Report {
+    /// Roofline (spec ceilings + kernel points).
+    pub roofline: RooflineReport,
+    /// ERT-measured ceilings (bandwidth, FP32 FLOP/s).
+    pub ert_bandwidth: f64,
+    /// ERT compute ceiling.
+    pub ert_flops: f64,
+}
+
+impl Fig12Report {
+    /// Render ceilings + points + ERT cross-check.
+    pub fn render(&self) -> String {
+        let mut out = self.roofline.render();
+        out.push_str(&format!(
+            "ERT empirical ceilings: {:.0} GB/s (spec {:.0}), {:.2} TFLOP/s fp32 (spec {:.2})\n",
+            self.ert_bandwidth / 1e9,
+            SYSTEM_B.gpu.dram_bandwidth / 1e9,
+            self.ert_flops / 1e12,
+            SYSTEM_B.gpu.fp32_flops / 1e12,
+        ));
+        out
+    }
+}
+
+/// Measure one density point's kernel counters.
+pub fn kernel_point(scale: &BenchScale, density: f64) -> RooflinePoint {
+    let mut sim = benchmark_b(scale.roofline_agents, density, SEED);
+    sim.set_environment(EnvironmentKind::Gpu {
+        system: GpuSystem::B,
+        frontend: ApiFrontend::Cuda,
+        version: KernelVersion::V2Sorted,
+        trace_sample: trace_sample_for(scale.roofline_agents, scale.trace_budget),
+    });
+    sim.simulate(1);
+    let (_, counters, mech_s) = gpu_totals(sim.profiler());
+    let counters = counters.expect("GPU run must produce counters");
+    RooflinePoint::from_counters(format!("n = {density:.0}"), &counters, mech_s)
+}
+
+/// Run the full Fig. 12 analysis.
+pub fn run(scale: &BenchScale) -> Fig12Report {
+    let ert = ErtSweep::run::<f32>(SYSTEM_B.gpu, scale.ert_elems);
+    let points = FIG12_DENSITIES
+        .iter()
+        .map(|&n| kernel_point(scale, n))
+        .collect();
+    Fig12Report {
+        roofline: RooflineReport {
+            model: RooflineModel::from_spec(&SYSTEM_B.gpu),
+            points,
+        },
+        ert_bandwidth: ert.empirical_bandwidth,
+        ert_flops: ert.empirical_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test scale: few agents, but trace-sampled so the set-sampled L2 is
+    /// smaller than the working set — the DRAM-bound regime of the
+    /// paper's Fig. 12 without a two-million-agent run.
+    fn fig12_scale() -> BenchScale {
+        BenchScale {
+            roofline_agents: 60_000,
+            trace_budget: 256,
+            ..BenchScale::smoke()
+        }
+    }
+
+    #[test]
+    fn kernel_sits_near_the_memory_roof() {
+        let model = RooflineModel::from_spec(&SYSTEM_B.gpu);
+        let p = kernel_point(&fig12_scale(), 27.0);
+        let frac = p.roof_fraction(&model, false);
+        // The paper: "the data points are however close to the roof that
+        // represents the upper bound of the device memory bandwidth".
+        assert!(frac <= 1.0 + 1e-9, "above the roof: {frac}");
+        assert!(frac > 0.2, "too far under the memory roof: {frac}");
+        // And "an order of magnitude away from the maximum attainable
+        // single-precision floating-point performance".
+        assert!(p.gflops * 1e9 < SYSTEM_B.gpu.fp32_flops / 5.0);
+    }
+
+    #[test]
+    fn l2_share_is_plausible() {
+        // The paper quotes 39.4–41.3 % from nvprof. Our idealized LRU
+        // model lands lower under set sampling; assert the plausible
+        // band rather than the 2-percentage-point slope (EXPERIMENTS.md
+        // records the deviation).
+        for density in [6.0, 47.0] {
+            let p = kernel_point(&fig12_scale(), density);
+            assert!(
+                (0.01..0.95).contains(&p.l2_read_share),
+                "share {} at n = {density}",
+                p.l2_read_share
+            );
+        }
+    }
+
+    #[test]
+    fn higher_density_achieves_more_gflops() {
+        // Fig. 12: "the kernel is able to attain higher performance with
+        // a higher neighborhood density".
+        let scale = fig12_scale();
+        let lo = kernel_point(&scale, 6.0);
+        let hi = kernel_point(&scale, 47.0);
+        assert!(hi.gflops > lo.gflops, "{} vs {}", lo.gflops, hi.gflops);
+    }
+}

@@ -1,0 +1,94 @@
+//! Benchmark scale control.
+
+/// Workload sizes for the figure regenerators.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Benchmark A lattice edge (the paper uses 64 → 262,144 cells).
+    pub a_cells_per_dim: usize,
+    /// Benchmark A iterations (the paper uses 10).
+    pub a_steps: u64,
+    /// Benchmark B agent count (the paper uses 2,000,000).
+    pub b_agents: usize,
+    /// Benchmark B measured steps per density point.
+    pub b_steps: u64,
+    /// Benchmark-B agent count for the Fig. 12 roofline points (larger
+    /// than `b_agents` so the working set exceeds the V100's 6 MB L2).
+    pub roofline_agents: usize,
+    /// ERT working-set elements.
+    pub ert_elems: usize,
+    /// Warp budget for detailed GPU tracing.
+    pub trace_budget: u64,
+}
+
+impl BenchScale {
+    /// Default scale: finishes in minutes on one core.
+    pub fn default_scale() -> Self {
+        Self {
+            a_cells_per_dim: 48,
+            a_steps: 10,
+            b_agents: 200_000,
+            b_steps: 2,
+            roofline_agents: 600_000,
+            ert_elems: 1 << 22,
+            trace_budget: 1024,
+        }
+    }
+
+    /// The paper's full configuration.
+    pub fn paper_scale() -> Self {
+        Self {
+            a_cells_per_dim: 64,
+            a_steps: 10,
+            b_agents: 2_000_000,
+            b_steps: 2,
+            roofline_agents: 2_000_000,
+            ert_elems: 1 << 24,
+            trace_budget: 4096,
+        }
+    }
+
+    /// Tiny scale for `cargo bench` smoke runs and tests.
+    pub fn smoke() -> Self {
+        Self {
+            a_cells_per_dim: 8,
+            a_steps: 3,
+            b_agents: 5_000,
+            b_steps: 1,
+            roofline_agents: 60_000,
+            ert_elems: 1 << 16,
+            trace_budget: 1024,
+        }
+    }
+
+    /// `BDM_PAPER_SCALE=1` selects the paper scale, otherwise default.
+    pub fn from_env() -> Self {
+        match std::env::var("BDM_PAPER_SCALE").as_deref() {
+            Ok("1") | Ok("true") => Self::paper_scale(),
+            _ => Self::default_scale(),
+        }
+    }
+
+    /// Benchmark A population.
+    pub fn a_cells(&self) -> usize {
+        self.a_cells_per_dim.pow(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let p = BenchScale::paper_scale();
+        assert_eq!(p.a_cells(), 262_144);
+        assert_eq!(p.b_agents, 2_000_000);
+        assert_eq!(p.a_steps, 10);
+    }
+
+    #[test]
+    fn default_is_smaller() {
+        let d = BenchScale::default_scale();
+        assert!(d.a_cells() < BenchScale::paper_scale().a_cells());
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal aligned-text table rendering for the figure binaries.
+
+/// Render `rows` under `headers` with right-aligned numeric columns.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format seconds as milliseconds with sensible precision.
+pub fn ms(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{:.0} ms", seconds * 1e3)
+    } else if seconds >= 1e-3 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} ms", seconds * 1e3)
+    }
+}
+
+/// Format a speedup factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let text = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(1.5), "1500 ms");
+        assert_eq!(ms(0.0123), "12.3 ms");
+        assert_eq!(ms(0.000123), "0.123 ms");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the machine models.
+
+use bdm_device::cpu::{CpuModel, Phase};
+use bdm_device::specs::{SYSTEM_A, SYSTEM_B};
+use bdm_device::{AccessOutcome, CacheSim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any access stream: hits + misses = accesses, and re-running
+    /// the identical stream on a warmed cache can only improve hits.
+    #[test]
+    fn cache_conservation_and_warmup(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..500),
+        ways in 1u32..8,
+    ) {
+        let mut c = CacheSim::new(16 * 1024, ways, 128);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let first = c.stats();
+        prop_assert_eq!(first.accesses(), addrs.len() as u64);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let second = c.stats();
+        // Second pass hits at least as much per access as the first
+        // (the warmed cache contains a suffix of the stream).
+        prop_assert!(second.hits - first.hits >= first.hits || addrs.len() < 2 ||
+            (second.hits - first.hits) as f64 / addrs.len() as f64
+                >= first.hit_rate() - 1e-9);
+    }
+
+    /// The number of misses is at least the number of distinct lines
+    /// (compulsory misses) for any stream on a cold cache.
+    #[test]
+    fn compulsory_miss_lower_bound(
+        addrs in proptest::collection::vec(0u64..100_000, 1..400),
+    ) {
+        let mut c = CacheSim::new(1 << 20, 16, 128);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let distinct: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / 128).collect();
+        prop_assert!(c.stats().misses >= distinct.len() as u64);
+    }
+
+    /// A cache large enough for the whole working set has *exactly*
+    /// the compulsory misses.
+    #[test]
+    fn big_cache_only_compulsory_misses(
+        lines in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        // 64 possible lines, 8 KiB cache = 64 lines: everything fits.
+        let mut c = CacheSim::new(8 * 1024, 8, 128);
+        for &l in &lines {
+            c.access(l * 128);
+        }
+        let distinct: std::collections::HashSet<u64> = lines.iter().copied().collect();
+        prop_assert_eq!(c.stats().misses, distinct.len() as u64);
+    }
+
+    /// Repeating one address always hits after the first access,
+    /// regardless of interleaved accesses to one other line.
+    #[test]
+    fn pinned_line_survives_one_competitor(reps in 1usize..50) {
+        let mut c = CacheSim::new(4096, 2, 128); // ≥ 2 ways: both lines fit a set
+        c.access(0);
+        for _ in 0..reps {
+            c.access(128 * 1024); // a different set or a second way
+            prop_assert_eq!(c.access(0), AccessOutcome::Hit);
+        }
+    }
+
+    /// CPU model: time never increases with more threads, and the
+    /// serial flag pins a phase's time.
+    #[test]
+    fn cpu_time_monotone_in_threads(
+        flops in 1e6f64..1e12,
+        bytes in 0f64..1e10,
+        random in 0f64..1e8,
+    ) {
+        let m = CpuModel::new(SYSTEM_B.cpu);
+        let p = Phase::parallel_fp64("p", flops, bytes, random);
+        let mut last = f64::INFINITY;
+        for t in [1u32, 2, 4, 8, 16, 32, 64] {
+            let now = m.phase_time(&p, t).seconds;
+            prop_assert!(now <= last * 1.001, "slower with more threads at {t}");
+            last = now;
+        }
+        let s = Phase::serial_fp64("s", flops, bytes, random);
+        prop_assert_eq!(
+            m.phase_time(&s, 1).seconds,
+            m.phase_time(&s, 64).seconds
+        );
+    }
+
+    /// CPU model: time is (weakly) monotone in every work component.
+    #[test]
+    fn cpu_time_monotone_in_work(
+        flops in 1e6f64..1e11,
+        bytes in 1e3f64..1e9,
+        random in 0f64..1e7,
+        threads in 1u32..64,
+    ) {
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        let base = m
+            .phase_time(&Phase::parallel_fp64("b", flops, bytes, random), threads)
+            .seconds;
+        for grown in [
+            Phase::parallel_fp64("f", flops * 2.0, bytes, random),
+            Phase::parallel_fp64("y", flops, bytes * 2.0, random),
+            Phase::parallel_fp64("r", flops, bytes, random * 2.0 + 1.0),
+        ] {
+            prop_assert!(m.phase_time(&grown, threads).seconds >= base - 1e-15);
+        }
+    }
+
+    /// FP32 phases are never slower than FP64 phases of the same shape.
+    #[test]
+    fn fp32_never_slower(
+        flops in 1e6f64..1e11,
+        bytes in 0f64..1e9,
+        threads in 1u32..64,
+    ) {
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        let p64 = Phase::parallel_fp64("a", flops, bytes, 0.0);
+        let p32 = Phase { fp64: false, ..p64 };
+        prop_assert!(
+            m.phase_time(&p32, threads).seconds <= m.phase_time(&p64, threads).seconds + 1e-15
+        );
+    }
+}

@@ -1,0 +1,972 @@
+//! The SIMT execution engine.
+//!
+//! A launch executes `grid_dim` blocks of `block_dim` threads. Threads run
+//! in warps of 32 lanes; within a warp the timing model is lockstep: the
+//! warp's compute cost is the *slowest lane's* cost (that max **is** the
+//! SIMT divergence model — when one lane's neighbor loop runs long, its 31
+//! siblings wait, which is exactly the serial-neighbor-loop bottleneck the
+//! paper observes at high densities, Fig. 11).
+//!
+//! Memory modeling happens at warp granularity on a sampled subset of
+//! warps (deterministic stride sampling; the default full-trace is used by
+//! tests, benchmarks sample to bound simulation time):
+//!
+//! * Lane accesses are aligned by *slot* (the i-th access of each lane —
+//!   the SIMT analogue of "the same static instruction").
+//! * Per slot, the distinct 128-byte segments touched by the warp become
+//!   **coalesced transactions**; each transaction probes the simulated L2
+//!   (`bdm_device::ShardedCache`), misses become DRAM traffic.
+//! * Atomic operations to the same address within a slot serialize and
+//!   are charged extra warp cycles.
+//!
+//! Execution is sequential and fully deterministic: identical inputs give
+//! identical counters, which the tests rely on.
+
+use crate::counters::KernelCounters;
+use crate::mem::{DeviceBuffer, DeviceWord};
+use crate::timing::KernelTiming;
+use bdm_device::cache::ShardedCache;
+use bdm_device::specs::GpuSpec;
+use bdm_math::Scalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Extra warp cycles when two atomics in the same slot hit one address.
+const ATOMIC_SERIAL_CYCLES: f64 = 32.0;
+/// Base issue cost of a shared-memory access (cycles, per lane).
+const SHARED_ACCESS_CYCLES: f64 = 1.0;
+/// Base issue cost of a shared-memory atomic (cycles, per lane).
+const SHARED_ATOMIC_CYCLES: f64 = 10.0;
+/// Per-lane issue cost of a global access (cycles); the transaction-level
+/// cost is added at the warp level by the coalescer.
+const GLOBAL_ACCESS_LANE_CYCLES: f64 = 0.25;
+/// Issue-cycle multiplier for `sqrt`/division (SFU/iterative ops).
+const SPECIAL_OP_CYCLES: f64 = 8.0;
+
+/// Launch geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Number of blocks (CUDA grid dimension / OpenCL work-group count).
+    pub grid_dim: u32,
+    /// Threads per block (CUDA block dimension / OpenCL work-group size).
+    pub block_dim: u32,
+    /// Shared-memory words (8 bytes each) per block.
+    pub shared_words: usize,
+}
+
+impl LaunchConfig {
+    /// One thread per work item, 256-thread blocks (the launch shape the
+    /// paper's one-thread-per-cell kernels use).
+    pub fn for_items(items: usize, block_dim: u32) -> Self {
+        let items = items.max(1) as u64;
+        let grid_dim = items.div_ceil(block_dim as u64) as u32;
+        Self {
+            grid_dim,
+            block_dim,
+            shared_words: 0,
+        }
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+}
+
+/// Identity of the executing thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadId {
+    /// Block index within the grid.
+    pub block: u32,
+    /// Thread index within the block.
+    pub thread: u32,
+    /// Block size (for global-id computation).
+    pub block_dim: u32,
+    /// Grid size in blocks.
+    pub grid_dim: u32,
+}
+
+impl ThreadId {
+    /// Flat global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline(always)]
+    pub fn global(&self) -> u64 {
+        self.block as u64 * self.block_dim as u64 + self.thread as u64
+    }
+}
+
+/// A device kernel. Block-wide barriers are expressed as *phases*: the
+/// engine runs every thread of a block through phase 0, then phase 1, …
+/// — semantically `__syncthreads()` between consecutive phases.
+pub trait Kernel {
+    /// Number of barrier-separated phases (default 1 = no barrier).
+    fn phases(&self) -> usize {
+        1
+    }
+    /// Execute one thread's work for one phase.
+    fn thread(&self, phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>);
+}
+
+/// Per-block shared memory: 8-byte words, atomically accessed.
+pub struct BlockShared {
+    words: Vec<AtomicU64>,
+}
+
+impl BlockShared {
+    fn new(words: usize) -> Self {
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline(always)]
+    fn load(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn store(&self, i: usize, v: u64) {
+        self.words[i].store(v, Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn fetch_add_u32(&self, i: usize, v: u32) -> u32 {
+        self.words[i].fetch_add(v as u64, Ordering::AcqRel) as u32
+    }
+}
+
+/// One global-memory access in a lane's trace, tagged with its *slot
+/// key*: (loop iteration << 8) | intra-iteration index. Lanes of a warp
+/// executing the same static load in the same loop iteration share a
+/// slot key — the coalescer merges exactly those accesses, like real
+/// SIMT hardware merges the lanes of one memory instruction.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    key: u32,
+    addr: u64,
+    atomic: bool,
+}
+
+/// Per-lane execution record, reused across lanes.
+#[derive(Debug, Default)]
+struct LaneRecord {
+    active: bool,
+    cycles: f64,
+    flops32: f64,
+    flops64: f64,
+    accesses: Vec<Access>,
+    shared_accesses: u64,
+    shared_atomics: Vec<u64>,
+}
+
+impl LaneRecord {
+    fn reset(&mut self) {
+        self.active = false;
+        self.cycles = 0.0;
+        self.flops32 = 0.0;
+        self.flops64 = 0.0;
+        self.accesses.clear();
+        self.shared_accesses = 0;
+        self.shared_atomics.clear();
+    }
+}
+
+/// The per-thread execution context handed to kernels. All device-visible
+/// work must go through it so the performance model sees it.
+pub struct ThreadCtx<'a> {
+    shared: &'a BlockShared,
+    lane: &'a mut LaneRecord,
+    traced: bool,
+    fp64_cost: f64,
+    /// Current slot (loop iteration) of this lane.
+    slot: u32,
+    /// Access index within the current slot.
+    sub: u32,
+    /// Child launches requested via dynamic parallelism in this thread.
+    pub(crate) child_launches: u64,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Count `n` fused-multiply-add-class FLOPs at precision `R`
+    /// (1 FLOP = half an issue cycle at FP32; FP64 pays the device ratio).
+    #[inline(always)]
+    pub fn flops<R: Scalar>(&mut self, n: u32) {
+        let n = n as f64;
+        if R::IS_F64 {
+            self.lane.flops64 += n;
+            self.lane.cycles += 0.5 * n * self.fp64_cost;
+        } else {
+            self.lane.flops32 += n;
+            self.lane.cycles += 0.5 * n;
+        }
+    }
+
+    /// Count `n` special-function ops (`sqrt`, division): 1 FLOP each for
+    /// roofline purposes, several issue cycles each for timing.
+    #[inline(always)]
+    pub fn special<R: Scalar>(&mut self, n: u32) {
+        let n = n as f64;
+        if R::IS_F64 {
+            self.lane.flops64 += n;
+            self.lane.cycles += SPECIAL_OP_CYCLES * n * self.fp64_cost;
+        } else {
+            self.lane.flops32 += n;
+            self.lane.cycles += SPECIAL_OP_CYCLES * n;
+        }
+    }
+
+    /// Count `n` integer/address ops (1 issue cycle per 2, like FP32; not
+    /// part of the FLOP totals).
+    #[inline(always)]
+    pub fn iops(&mut self, n: u32) {
+        self.lane.cycles += 0.5 * n as f64;
+    }
+
+    /// Global load.
+    #[inline(always)]
+    pub fn ld<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        self.log_access(buf.addr(i), false);
+        buf.read(i)
+    }
+
+    /// Global store.
+    #[inline(always)]
+    pub fn st<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
+        self.log_access(buf.addr(i), false);
+        buf.write(i, v);
+    }
+
+    /// Global atomic exchange.
+    #[inline(always)]
+    pub fn atomic_exchange<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.log_access(buf.addr(i), true);
+        buf.atomic_exchange(i, v)
+    }
+
+    /// Global atomic add.
+    #[inline(always)]
+    pub fn atomic_add<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.log_access(buf.addr(i), true);
+        buf.atomic_add(i, v)
+    }
+
+    /// Mark the start of a data-dependent loop iteration. Calling this at
+    /// the top of a per-candidate loop keeps lanes' accesses *slot
+    /// aligned* even when lanes skip work (e.g. the self-exclusion test):
+    /// real warps re-converge at the loop head the same way.
+    #[inline(always)]
+    pub fn begin_slot(&mut self) {
+        self.slot += 1;
+        self.sub = 0;
+    }
+
+    #[inline(always)]
+    fn log_access(&mut self, addr: u64, atomic: bool) {
+        self.lane.cycles += GLOBAL_ACCESS_LANE_CYCLES;
+        if self.traced {
+            let key = (self.slot << 8) | self.sub.min(255);
+            self.sub += 1;
+            self.lane.accesses.push(Access { key, addr, atomic });
+        }
+    }
+
+    /// Shared-memory load of word `i` reinterpreted as `T`.
+    #[inline(always)]
+    pub fn sh_ld<T: FromWord>(&mut self, i: usize) -> T {
+        self.lane.cycles += SHARED_ACCESS_CYCLES;
+        self.lane.shared_accesses += 1;
+        T::from_word(self.shared.load(i))
+    }
+
+    /// Shared-memory store of word `i`.
+    #[inline(always)]
+    pub fn sh_st<T: FromWord>(&mut self, i: usize, v: T) {
+        self.lane.cycles += SHARED_ACCESS_CYCLES;
+        self.lane.shared_accesses += 1;
+        self.shared.store(i, T::to_word(v));
+    }
+
+    /// Shared-memory atomic add on a `u32` counter word (the tile-append
+    /// cursor of the paper's shared-memory kernel). Returns the old value.
+    #[inline(always)]
+    pub fn sh_atomic_add_u32(&mut self, i: usize, v: u32) -> u32 {
+        self.lane.cycles += SHARED_ATOMIC_CYCLES;
+        self.lane.shared_accesses += 1;
+        if self.traced {
+            self.lane.shared_atomics.push(i as u64);
+        }
+        self.shared.fetch_add_u32(i, v)
+    }
+
+    /// Dynamic parallelism: record a child launch (the engine charges its
+    /// overhead; the caller runs the child work inline).
+    #[inline(always)]
+    pub fn launch_child(&mut self) {
+        self.child_launches += 1;
+    }
+}
+
+/// Conversion between shared-memory 8-byte words and device scalars.
+pub trait FromWord: DeviceWord {
+    /// Reinterpret a word as `Self`.
+    fn from_word(w: u64) -> Self;
+    /// Reinterpret `Self` as a word.
+    fn to_word(v: Self) -> u64;
+}
+
+impl FromWord for u32 {
+    fn from_word(w: u64) -> u32 {
+        w as u32
+    }
+    fn to_word(v: u32) -> u64 {
+        v as u64
+    }
+}
+
+impl FromWord for f32 {
+    fn from_word(w: u64) -> f32 {
+        f32::from_bits(w as u32)
+    }
+    fn to_word(v: f32) -> u64 {
+        v.to_bits() as u64
+    }
+}
+
+impl FromWord for f64 {
+    fn from_word(w: u64) -> f64 {
+        f64::from_bits(w)
+    }
+    fn to_word(v: f64) -> u64 {
+        v.to_bits()
+    }
+}
+
+/// Result of a kernel launch: counters plus modeled timing.
+#[derive(Debug, Clone)]
+pub struct LaunchResult {
+    /// Performance counters (the `nvprof` stand-in).
+    pub counters: KernelCounters,
+    /// Modeled execution time on the device.
+    pub timing: KernelTiming,
+}
+
+/// The simulated device: a spec, a live L2 model, and trace configuration.
+pub struct GpuDevice {
+    spec: GpuSpec,
+    l2: ShardedCache,
+    /// Trace every `trace_sample`-th warp (1 = all warps).
+    trace_sample: u64,
+}
+
+impl GpuDevice {
+    /// Device with full warp tracing (tests, small launches).
+    pub fn new(spec: GpuSpec) -> Self {
+        Self::with_trace_sampling(spec, 1)
+    }
+
+    /// Device tracing every `sample`-th warp (large benchmark launches;
+    /// the traced subset is scaled up, see [`KernelCounters`]).
+    ///
+    /// Cache **set sampling**: tracing 1/k of the warps sends 1/k of the
+    /// traffic through the L2 model, which would compress reuse
+    /// distances k-fold and inflate hit rates. Scaling the simulated
+    /// capacity by 1/k restores the capacity-to-traffic ratio — the
+    /// standard set-sampling argument from trace-driven cache
+    /// simulation.
+    pub fn with_trace_sampling(spec: GpuSpec, sample: u64) -> Self {
+        let sample = sample.max(1);
+        let capacity = (spec.l2_bytes / sample)
+            .max(spec.l2_line_bytes as u64 * spec.l2_ways as u64 * 16);
+        let l2 = ShardedCache::new(capacity, spec.l2_ways, spec.l2_line_bytes, 16);
+        Self {
+            spec,
+            l2,
+            trace_sample: sample,
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Current warp trace stride.
+    pub fn trace_sample(&self) -> u64 {
+        self.trace_sample
+    }
+
+    /// Invalidate the simulated L2 (e.g. between independent experiments).
+    pub fn reset_l2(&self) {
+        self.l2.reset();
+    }
+
+    /// Execute a kernel launch and return counters + modeled timing.
+    pub fn launch<K: Kernel>(&self, kernel: &K, cfg: LaunchConfig) -> LaunchResult {
+        assert!(cfg.block_dim > 0 && cfg.grid_dim > 0, "empty launch");
+        assert!(
+            cfg.shared_words * 8 <= self.spec.shared_mem_per_sm as usize,
+            "shared memory request exceeds the device's {} bytes per SM",
+            self.spec.shared_mem_per_sm
+        );
+        let mut counters = KernelCounters::default();
+        let phases = kernel.phases();
+        let warps_per_block = cfg.block_dim.div_ceil(self.spec.warp_size) as u64;
+        let fp64_cost = self.spec.fp64_ratio();
+
+        // Occupancy: how many blocks fit one SM, limited by the thread
+        // budget and by shared memory. Drives both the latency-hiding
+        // penalty (timing) and the width of the L2 interleaving batch.
+        let resident_blocks = {
+            let by_threads = (self.spec.max_threads_per_sm / cfg.block_dim).max(1);
+            let by_shared = if cfg.shared_words > 0 {
+                (self.spec.shared_mem_per_sm as usize / (cfg.shared_words * 8)).max(1) as u32
+            } else {
+                u32::MAX
+            };
+            by_threads.min(by_shared).min(32)
+        };
+        counters.occupancy_warps_per_sm = (resident_blocks as u64 * warps_per_block) as f64;
+
+        // The device runs `sm_count × resident_blocks × warps_per_block`
+        // warps concurrently; their memory streams interleave at the L2.
+        // A sequential warp-by-warp simulation would see artificially
+        // perfect temporal locality, so traced warps are buffered and
+        // their transactions drained round-robin per slot across a batch
+        // of this width (scaled down by the trace sampling stride).
+        let resident_warps =
+            self.spec.sm_count as u64 * resident_blocks as u64 * warps_per_block;
+        let batch_width = (resident_warps / self.trace_sample).max(1) as usize;
+        let mut batch: Vec<Vec<(u32, Vec<u64>)>> = Vec::new();
+
+        let mut lanes: Vec<LaneRecord> = (0..self.spec.warp_size).map(|_| LaneRecord::default()).collect();
+
+        for block in 0..cfg.grid_dim {
+            let shared = BlockShared::new(cfg.shared_words);
+            for phase in 0..phases {
+                if phase > 0 {
+                    counters.barriers += 1;
+                }
+                for warp in 0..warps_per_block {
+                    let warp_id = block as u64 * warps_per_block + warp;
+                    let traced = warp_id.is_multiple_of(self.trace_sample);
+                    let warp_base = warp as u32 * self.spec.warp_size;
+
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        lane.reset();
+                        let thread = warp_base + l as u32;
+                        if thread >= cfg.block_dim {
+                            continue;
+                        }
+                        lane.active = true;
+                        let tid = ThreadId {
+                            block,
+                            thread,
+                            block_dim: cfg.block_dim,
+                            grid_dim: cfg.grid_dim,
+                        };
+                        let mut ctx = ThreadCtx {
+                            shared: &shared,
+                            lane,
+                            traced,
+                            fp64_cost,
+                            slot: 0,
+                            sub: 0,
+                            child_launches: 0,
+                        };
+                        kernel.thread(phase, tid, &mut ctx);
+                        counters.child_launches += ctx.child_launches;
+                    }
+
+                    self.retire_warp(&lanes, traced, phase == 0, &mut counters, &mut batch);
+                    if batch.len() >= batch_width {
+                        self.drain_batch(&mut batch, &mut counters);
+                    }
+                }
+            }
+        }
+        self.drain_batch(&mut batch, &mut counters);
+
+        counters.finalize_scaling();
+        let timing = KernelTiming::model(&counters, &self.spec);
+        LaunchResult { counters, timing }
+    }
+
+    /// Aggregate a warp's lane records into the launch counters and, for
+    /// traced warps, stage the coalesced transactions into the batch.
+    fn retire_warp(
+        &self,
+        lanes: &[LaneRecord],
+        traced: bool,
+        count_threads: bool,
+        counters: &mut KernelCounters,
+        batch: &mut Vec<Vec<(u32, Vec<u64>)>>,
+    ) {
+        let mut max_cycles = 0.0f64;
+        let mut any_active = false;
+        for lane in lanes {
+            if !lane.active {
+                continue;
+            }
+            any_active = true;
+            if count_threads {
+                counters.threads_run += 1;
+            }
+            counters.flops_fp32 += lane.flops32;
+            counters.flops_fp64 += lane.flops64;
+            counters.shared_accesses += lane.shared_accesses as f64;
+            counters.lane_cycles_total += lane.cycles;
+            max_cycles = max_cycles.max(lane.cycles);
+        }
+        if !any_active {
+            return;
+        }
+        if count_threads {
+            counters.warps_run += 1;
+        }
+        counters.compute_warp_cycles += max_cycles;
+
+        if !traced {
+            return;
+        }
+        if count_threads {
+            counters.warps_traced += 1;
+        }
+
+        // Slot-keyed coalescing: lanes' accesses sharing a slot key merge
+        // into transactions (distinct 128-byte segments).
+        let line = self.spec.l2_line_bytes as u64;
+        let mut slots: std::collections::BTreeMap<u32, (Vec<u64>, Vec<u64>)> =
+            std::collections::BTreeMap::new();
+        for lane in lanes {
+            for a in &lane.accesses {
+                let entry = slots.entry(a.key).or_default();
+                let seg = a.addr / line;
+                if !entry.0.contains(&seg) {
+                    entry.0.push(seg);
+                }
+                if a.atomic {
+                    counters.atomic_ops += 1.0;
+                    entry.1.push(a.addr);
+                }
+            }
+        }
+        let mut warp_txns: Vec<(u32, Vec<u64>)> = Vec::with_capacity(slots.len());
+        for (key, (segs, mut atomic_addrs)) in slots {
+            // Atomics to one address within a slot serialize.
+            if atomic_addrs.len() > 1 {
+                atomic_addrs.sort_unstable();
+                counters.atomic_serial_cycles +=
+                    conflict_cycles(&atomic_addrs) * ATOMIC_SERIAL_CYCLES;
+            }
+            warp_txns.push((key, segs));
+        }
+        batch.push(warp_txns);
+
+        // Shared-memory atomic conflicts, slot-aligned by per-lane order.
+        let max_sh = lanes.iter().map(|l| l.shared_atomics.len()).max().unwrap_or(0);
+        let mut sh_addrs: Vec<u64> = Vec::with_capacity(32);
+        for slot in 0..max_sh {
+            sh_addrs.clear();
+            for lane in lanes {
+                if let Some(&w) = lane.shared_atomics.get(slot) {
+                    sh_addrs.push(w);
+                }
+            }
+            if sh_addrs.len() > 1 {
+                sh_addrs.sort_unstable();
+                counters.atomic_serial_cycles +=
+                    conflict_cycles(&sh_addrs) * ATOMIC_SERIAL_CYCLES;
+            }
+        }
+    }
+
+    /// Drain the traced-warp batch: interleave all warps' transactions
+    /// round-robin by slot key (modeling concurrent residency) and run
+    /// them through the L2 model.
+    fn drain_batch(
+        &self,
+        batch: &mut Vec<Vec<(u32, Vec<u64>)>>,
+        counters: &mut KernelCounters,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let line = self.spec.l2_line_bytes as u64;
+        // (key, warp index, slot index within warp) orders the merged
+        // stream: all warps' slot-0 transactions, then slot-1, …
+        let mut order: Vec<(u32, usize, usize)> = Vec::new();
+        for (w, warp) in batch.iter().enumerate() {
+            for (k, (key, _)) in warp.iter().enumerate() {
+                order.push((*key, w, k));
+            }
+        }
+        order.sort_unstable();
+        for (_, w, k) in order {
+            for &seg in &batch[w][k].1 {
+                counters.global_transactions += 1.0;
+                match self.l2.access(seg * line) {
+                    bdm_device::AccessOutcome::Hit => counters.l2_hits += 1.0,
+                    bdm_device::AccessOutcome::Miss => counters.l2_misses += 1.0,
+                }
+            }
+        }
+        batch.clear();
+    }
+}
+
+/// Serialization count of a sorted address list: Σ over duplicate runs of
+/// (run length − 1).
+fn conflict_cycles(sorted_addrs: &[u64]) -> f64 {
+    let mut extra = 0u64;
+    let mut run = 1u64;
+    for w in sorted_addrs.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            extra += run - 1;
+            run = 1;
+        }
+    }
+    extra += run - 1;
+    extra as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DeviceAllocator;
+    use bdm_device::specs::SYSTEM_A;
+
+    /// y[i] = a*x[i] + y[i] — the classic saxpy, exercising loads, stores
+    /// and FLOPs.
+    struct Saxpy {
+        n: usize,
+        a: f32,
+        x: DeviceBuffer<f32>,
+        y: DeviceBuffer<f32>,
+    }
+
+    impl Kernel for Saxpy {
+        fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+            let i = tid.global() as usize;
+            if i >= self.n {
+                return;
+            }
+            let x = ctx.ld(&self.x, i);
+            let y = ctx.ld(&self.y, i);
+            ctx.flops::<f32>(2);
+            ctx.st(&self.y, i, self.a * x + y);
+        }
+    }
+
+    fn saxpy_setup(n: usize) -> Saxpy {
+        let mut alloc = DeviceAllocator::new();
+        let x = alloc.alloc::<f32>(n);
+        let y = alloc.alloc::<f32>(n);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        x.upload(&xs);
+        y.upload(&ys);
+        Saxpy { n, a: 3.0, x, y }
+    }
+
+    #[test]
+    fn saxpy_functional_result() {
+        let k = saxpy_setup(1000);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        dev.launch(&k, LaunchConfig::for_items(1000, 256));
+        let mut out = vec![0.0f32; 1000];
+        k.y.download(&mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32 + 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn saxpy_counters() {
+        let n = 1024;
+        let k = saxpy_setup(n);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(&k, LaunchConfig::for_items(n, 256));
+        let c = &r.counters;
+        assert_eq!(c.threads_run, n as u64);
+        assert_eq!(c.warps_run, (n / 32) as u64);
+        assert_eq!(c.flops_fp32, 2.0 * n as f64);
+        assert_eq!(c.flops_fp64, 0.0);
+        // Perfectly coalesced: 32 consecutive f32 = 128 B = 1 transaction
+        // per access slot (3 slots: ld x, ld y, st y).
+        assert_eq!(c.global_transactions, 3.0 * (n / 32) as f64);
+        // Streaming data: virtually everything misses... except y is
+        // loaded then stored — the store hits the line the load filled.
+        assert_eq!(c.l2_misses, 2.0 * (n / 32) as f64);
+        assert_eq!(c.l2_hits, (n / 32) as f64);
+    }
+
+    #[test]
+    fn inactive_tail_threads_do_not_count() {
+        let k = saxpy_setup(100); // 100 of 128 threads active in the guard
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(&k, LaunchConfig::for_items(100, 128));
+        // All 128 execute (the guard returns early) but they all count as
+        // run threads; FLOPs only from the 100 that passed the guard.
+        assert_eq!(r.counters.threads_run, 128);
+        assert_eq!(r.counters.flops_fp32, 200.0);
+    }
+
+    /// Strided access: lane l reads element l*stride — breaks coalescing.
+    struct Strided {
+        n: usize,
+        stride: usize,
+        x: DeviceBuffer<f32>,
+    }
+
+    impl Kernel for Strided {
+        fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+            let i = tid.global() as usize * self.stride;
+            if i < self.n {
+                ctx.ld(&self.x, i);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_destroys_coalescing() {
+        let n = 32 * 64; // one warp with stride 64 spans 64 segments
+        let mut alloc = DeviceAllocator::new();
+        let x = alloc.alloc::<f32>(n);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let contiguous = dev.launch(
+            &Strided { n, stride: 1, x },
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 32,
+                shared_words: 0,
+            },
+        );
+        let mut alloc = DeviceAllocator::new();
+        let x = alloc.alloc::<f32>(n);
+        let strided = dev.launch(
+            &Strided { n, stride: 64, x },
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 32,
+                shared_words: 0,
+            },
+        );
+        assert_eq!(contiguous.counters.global_transactions, 1.0);
+        assert_eq!(strided.counters.global_transactions, 32.0);
+    }
+
+    /// All lanes atomically add to one counter: worst-case serialization.
+    struct AtomicHammer {
+        c: DeviceBuffer<u32>,
+    }
+
+    impl Kernel for AtomicHammer {
+        fn thread(&self, _phase: usize, _tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+            ctx.atomic_add(&self.c, 0, 1);
+        }
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize_and_count() {
+        let mut alloc = DeviceAllocator::new();
+        let c = alloc.alloc::<u32>(1);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(
+            &AtomicHammer { c },
+            LaunchConfig {
+                grid_dim: 2,
+                block_dim: 32,
+                shared_words: 0,
+            },
+        );
+        // Functional: 64 increments landed.
+        assert_eq!(r.counters.atomic_ops, 64.0);
+        // 31 conflicts per warp × 2 warps × 32 cycles.
+        assert_eq!(r.counters.atomic_serial_cycles, 2.0 * 31.0 * ATOMIC_SERIAL_CYCLES);
+    }
+
+    /// Two phases with shared memory: phase 0 stores, phase 1 reads after
+    /// the implicit barrier.
+    struct SharedRoundtrip {
+        out: DeviceBuffer<f32>,
+    }
+
+    impl Kernel for SharedRoundtrip {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn thread(&self, phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+            let t = tid.thread as usize;
+            if phase == 0 {
+                // Thread t writes word t.
+                ctx.sh_st::<f32>(t, t as f32 * 2.0);
+            } else {
+                // Thread t reads the word its *neighbor* wrote — only
+                // correct because of the barrier between phases.
+                let n = (t + 1) % tid.block_dim as usize;
+                let v = ctx.sh_ld::<f32>(n);
+                ctx.st(&self.out, t, v);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_barrier_makes_shared_writes_visible() {
+        let mut alloc = DeviceAllocator::new();
+        let k = SharedRoundtrip {
+            out: alloc.alloc::<f32>(64),
+        };
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(
+            &k,
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 64,
+                shared_words: 64,
+            },
+        );
+        assert_eq!(r.counters.barriers, 1);
+        assert_eq!(r.counters.shared_accesses, 128.0);
+        let mut host = vec![0.0f32; 64];
+        k.out.download(&mut host);
+        for (t, &v) in host.iter().enumerate() {
+            assert_eq!(v, ((t + 1) % 64) as f32 * 2.0);
+        }
+    }
+
+    #[test]
+    fn shared_atomic_conflicts_detected() {
+        struct TileAppend {
+            vals: DeviceBuffer<f32>,
+        }
+        impl Kernel for TileAppend {
+            fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+                // Every lane bumps the same shared cursor — full conflict.
+                let slot = ctx.sh_atomic_add_u32(0, 1);
+                let v = ctx.ld(&self.vals, tid.global() as usize);
+                ctx.sh_st::<f32>(1 + slot as usize, v);
+            }
+        }
+        let mut alloc = DeviceAllocator::new();
+        let vals = alloc.alloc::<f32>(32);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(
+            &TileAppend { vals },
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 32,
+                shared_words: 64,
+            },
+        );
+        assert_eq!(r.counters.atomic_serial_cycles, 31.0 * ATOMIC_SERIAL_CYCLES);
+    }
+
+    #[test]
+    fn trace_sampling_scales_counters() {
+        let n = 32 * 128;
+        let k = saxpy_setup(n);
+        let full_dev = GpuDevice::new(SYSTEM_A.gpu);
+        let full = full_dev.launch(&k, LaunchConfig::for_items(n, 32));
+        let k2 = saxpy_setup(n);
+        let sampled_dev = GpuDevice::with_trace_sampling(SYSTEM_A.gpu, 4);
+        let sampled = sampled_dev.launch(&k2, LaunchConfig::for_items(n, 32));
+        // Exact quantities match.
+        assert_eq!(full.counters.flops_fp32, sampled.counters.flops_fp32);
+        assert_eq!(full.counters.warps_run, sampled.counters.warps_run);
+        assert_eq!(sampled.counters.warps_traced, sampled.counters.warps_run / 4);
+        // Scaled transaction estimate lands on the exact value for this
+        // homogeneous workload.
+        assert!(
+            (sampled.counters.global_transactions - full.counters.global_transactions).abs()
+                / full.counters.global_transactions
+                < 0.01
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let n = 4096;
+        let k = saxpy_setup(n);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let a = dev.launch(&k, LaunchConfig::for_items(n, 256));
+        dev.reset_l2();
+        let b = dev.launch(&k, LaunchConfig::for_items(n, 256));
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn occupancy_reflects_shared_memory_pressure() {
+        struct Nop;
+        impl Kernel for Nop {
+            fn thread(&self, _: usize, _: ThreadId, _: &mut ThreadCtx<'_>) {}
+        }
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        // No shared memory, 256-thread blocks: thread-budget limited
+        // (2048 / 256 = 8 blocks × 8 warps = 64 warps/SM).
+        let free = dev.launch(
+            &Nop,
+            LaunchConfig {
+                grid_dim: 4,
+                block_dim: 256,
+                shared_words: 0,
+            },
+        );
+        assert_eq!(free.counters.occupancy_warps_per_sm, 64.0);
+        // Near-max shared request: one block resident.
+        let words = SYSTEM_A.gpu.shared_mem_per_sm as usize / 8 - 8;
+        let tight = dev.launch(
+            &Nop,
+            LaunchConfig {
+                grid_dim: 4,
+                block_dim: 256,
+                shared_words: words,
+            },
+        );
+        assert_eq!(tight.counters.occupancy_warps_per_sm, 8.0);
+    }
+
+    #[test]
+    fn low_occupancy_stretches_runtime() {
+        // Identical work, but the low-occupancy launch must be modeled
+        // slower (latency exposure).
+        let n = 1 << 14;
+        let k = saxpy_setup(n);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let high = dev.launch(&k, LaunchConfig::for_items(n, 256));
+        dev.reset_l2();
+        let k2 = saxpy_setup(n);
+        let words = SYSTEM_A.gpu.shared_mem_per_sm as usize / 8 - 8;
+        let low = dev.launch(
+            &k2,
+            LaunchConfig {
+                grid_dim: (n as u32).div_ceil(64),
+                block_dim: 64,
+                shared_words: words, // 1 resident block of 2 warps
+            },
+        );
+        assert!(
+            low.timing.total_s > high.timing.total_s,
+            "low occupancy {} should exceed high occupancy {}",
+            low.timing.total_s,
+            high.timing.total_s
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_shared_request_panics() {
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        struct Nop;
+        impl Kernel for Nop {
+            fn thread(&self, _: usize, _: ThreadId, _: &mut ThreadCtx<'_>) {}
+        }
+        dev.launch(
+            &Nop,
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 32,
+                shared_words: 1 << 20,
+            },
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic parallelism — the paper's future-work experiment (§VI).
+//!
+//! "The GPU kernel parallelizes the mechanical interaction computation for
+//! all agents, but the loop over all neighboring agents is serial.
+//! Consequently, this becomes the bottleneck for models with a high
+//! neighborhood density. … We hypothesize that parallelizing the serial
+//! loop over the neighborhood alleviates the bottleneck."
+//!
+//! The reproduction emulates CUDA dynamic parallelism with the standard
+//! work-redistribution pattern (identical performance semantics, simpler
+//! to reason about): a parent kernel handles low-degree cells inline and
+//! enqueues high-degree cells; a child launch then processes the queued
+//! cells at *one thread per (cell, neighbor-voxel)* — 27 balanced lanes
+//! per heavy cell instead of one long serial loop — writing partial
+//! forces to a scratch buffer; a finish kernel reduces the partials and
+//! converts forces to displacements.
+//! Each enqueued cell charges a child-launch overhead through
+//! [`ThreadCtx::launch_child`].
+
+use crate::engine::{Kernel, ThreadCtx, ThreadId};
+use crate::kernels::geom::GridGeom;
+use crate::kernels::mech::{accumulate_candidate, store_displacement, NULL_ID};
+use crate::mem::{DeviceBuffer, DeviceWord};
+use bdm_math::interaction::MechParams;
+use bdm_math::{Scalar, Vec3};
+
+/// Parent kernel: inline below the threshold, enqueue above it.
+pub struct ParentKernel<'a, R: Scalar + DeviceWord> {
+    /// Number of cells.
+    pub n: usize,
+    /// Grid geometry.
+    pub geom: GridGeom<R>,
+    /// Cell positions.
+    pub pos_x: &'a DeviceBuffer<R>,
+    /// Y coordinates.
+    pub pos_y: &'a DeviceBuffer<R>,
+    /// Z coordinates.
+    pub pos_z: &'a DeviceBuffer<R>,
+    /// Cell diameters.
+    pub diameter: &'a DeviceBuffer<R>,
+    /// Cell adherence thresholds.
+    pub adherence: &'a DeviceBuffer<R>,
+    /// Grid list heads.
+    pub box_start: &'a DeviceBuffer<u32>,
+    /// Grid voxel populations (for the cheap candidate count).
+    pub box_length: &'a DeviceBuffer<u32>,
+    /// Successor links.
+    pub successors: &'a DeviceBuffer<u32>,
+    /// Output displacements.
+    pub out_x: &'a DeviceBuffer<R>,
+    /// Output displacements (y).
+    pub out_y: &'a DeviceBuffer<R>,
+    /// Output displacements (z).
+    pub out_z: &'a DeviceBuffer<R>,
+    /// Queue of heavy-cell ids.
+    pub queue: &'a DeviceBuffer<u32>,
+    /// Queue cursor (single element, pre-zeroed).
+    pub queue_count: &'a DeviceBuffer<u32>,
+    /// Candidate-count threshold above which a cell defers to a child.
+    pub threshold: u32,
+    /// Interaction parameters.
+    pub params: MechParams<R>,
+}
+
+impl<R: Scalar + DeviceWord> Kernel for ParentKernel<'_, R> {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let i = tid.global() as usize;
+        if i >= self.n {
+            return;
+        }
+        let p1 = Vec3::new(
+            ctx.ld(self.pos_x, i),
+            ctx.ld(self.pos_y, i),
+            ctx.ld(self.pos_z, i),
+        );
+        ctx.iops(12);
+        let mut boxes = [0usize; 27];
+        let nb = self.geom.neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
+        // Cheap candidate count via voxel populations.
+        let mut count = 0u32;
+        for &b in boxes.iter().take(nb) {
+            count += ctx.ld(self.box_length, b);
+            ctx.iops(1);
+        }
+        if count > self.threshold {
+            ctx.launch_child();
+            let q = ctx.atomic_add(self.queue_count, 0, 1) as usize;
+            ctx.st(self.queue, q, i as u32);
+            return;
+        }
+        // Inline path — identical to MechKernel.
+        let r1 = ctx.ld(self.diameter, i) * R::HALF;
+        let adh = ctx.ld(self.adherence, i);
+        ctx.flops::<R>(1);
+        let mut force = Vec3::zero();
+        for &b in boxes.iter().take(nb) {
+            let mut cur = ctx.ld(self.box_start, b);
+            while cur != NULL_ID {
+                ctx.begin_slot();
+                let j = cur as usize;
+                if j != i {
+                    let p2 = Vec3::new(
+                        ctx.ld(self.pos_x, j),
+                        ctx.ld(self.pos_y, j),
+                        ctx.ld(self.pos_z, j),
+                    );
+                    let r2 = ctx.ld(self.diameter, j) * R::HALF;
+                    ctx.flops::<R>(1);
+                    accumulate_candidate(ctx, p1, r1, p2, r2, &self.params, &mut force);
+                }
+                cur = ctx.ld(self.successors, j);
+                ctx.iops(1);
+            }
+        }
+        store_displacement(
+            ctx,
+            self.out_x,
+            self.out_y,
+            self.out_z,
+            i,
+            force,
+            adh,
+            &self.params,
+        );
+    }
+}
+
+/// Child kernel: one thread per (queued cell, neighbor voxel).
+///
+/// Partial forces go to a per-work-item scratch buffer — a two-pass
+/// reduction, not atomics: 27 children of one cell would otherwise
+/// conflict on the same accumulator inside a single warp and serialize,
+/// which is exactly the pathology the shared-memory kernel (version III)
+/// suffers from.
+pub struct ChildKernel<'a, R: Scalar + DeviceWord> {
+    /// Number of queued cells.
+    pub queue_len: usize,
+    /// Grid geometry.
+    pub geom: GridGeom<R>,
+    /// Cell positions.
+    pub pos_x: &'a DeviceBuffer<R>,
+    /// Y coordinates.
+    pub pos_y: &'a DeviceBuffer<R>,
+    /// Z coordinates.
+    pub pos_z: &'a DeviceBuffer<R>,
+    /// Cell diameters.
+    pub diameter: &'a DeviceBuffer<R>,
+    /// Grid list heads.
+    pub box_start: &'a DeviceBuffer<u32>,
+    /// Successor links.
+    pub successors: &'a DeviceBuffer<u32>,
+    /// Queue of heavy-cell ids.
+    pub queue: &'a DeviceBuffer<u32>,
+    /// Per-(cell, voxel) partial forces: `partials[(w*3)..(w*3+3)]`
+    /// for work item `w` (pre-zeroed; size `queue_len * 27 * 3`).
+    pub partials: &'a DeviceBuffer<R>,
+    /// Interaction parameters.
+    pub params: MechParams<R>,
+}
+
+impl<R: Scalar + DeviceWord> Kernel for ChildKernel<'_, R> {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let w = tid.global() as usize;
+        if w >= self.queue_len * 27 {
+            return;
+        }
+        let cell = ctx.ld(self.queue, w / 27) as usize;
+        let box_rank = w % 27;
+        let p1 = Vec3::new(
+            ctx.ld(self.pos_x, cell),
+            ctx.ld(self.pos_y, cell),
+            ctx.ld(self.pos_z, cell),
+        );
+        let r1 = ctx.ld(self.diameter, cell) * R::HALF;
+        ctx.flops::<R>(1);
+        ctx.iops(14);
+        let mut boxes = [0usize; 27];
+        let nb = self.geom.neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
+        if box_rank >= nb {
+            return; // edge voxels have fewer than 27 neighbor boxes
+        }
+        let b = boxes[box_rank];
+        let mut force = Vec3::zero();
+        let mut cur = ctx.ld(self.box_start, b);
+        while cur != NULL_ID {
+            ctx.begin_slot();
+            let j = cur as usize;
+            if j != cell {
+                let p2 = Vec3::new(
+                    ctx.ld(self.pos_x, j),
+                    ctx.ld(self.pos_y, j),
+                    ctx.ld(self.pos_z, j),
+                );
+                let r2 = ctx.ld(self.diameter, j) * R::HALF;
+                ctx.flops::<R>(1);
+                accumulate_candidate(ctx, p1, r1, p2, r2, &self.params, &mut force);
+            }
+            cur = ctx.ld(self.successors, j);
+            ctx.iops(1);
+        }
+        // Coalesced scatter: work item w owns partials[3w..3w+3].
+        if force != Vec3::zero() {
+            ctx.st(self.partials, 3 * w, force.x);
+            ctx.st(self.partials, 3 * w + 1, force.y);
+            ctx.st(self.partials, 3 * w + 2, force.z);
+        }
+    }
+}
+
+/// Finish kernel: per queued cell, reduce the 27 partial forces and
+/// convert to a displacement.
+pub struct FinishKernel<'a, R: Scalar + DeviceWord> {
+    /// Number of queued cells.
+    pub queue_len: usize,
+    /// Queue of heavy-cell ids.
+    pub queue: &'a DeviceBuffer<u32>,
+    /// Per-(cell, voxel) partial forces from the child launch.
+    pub partials: &'a DeviceBuffer<R>,
+    /// Cell adherence thresholds.
+    pub adherence: &'a DeviceBuffer<R>,
+    /// Output displacements.
+    pub out_x: &'a DeviceBuffer<R>,
+    /// Output displacements (y).
+    pub out_y: &'a DeviceBuffer<R>,
+    /// Output displacements (z).
+    pub out_z: &'a DeviceBuffer<R>,
+    /// Interaction parameters.
+    pub params: MechParams<R>,
+}
+
+impl<R: Scalar + DeviceWord> Kernel for FinishKernel<'_, R> {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let k = tid.global() as usize;
+        if k >= self.queue_len {
+            return;
+        }
+        let cell = ctx.ld(self.queue, k) as usize;
+        let mut force = Vec3::zero();
+        for rank in 0..27 {
+            ctx.begin_slot();
+            let base = 3 * (k * 27 + rank);
+            force += Vec3::new(
+                ctx.ld(self.partials, base),
+                ctx.ld(self.partials, base + 1),
+                ctx.ld(self.partials, base + 2),
+            );
+            ctx.flops::<R>(3);
+        }
+        let adh = ctx.ld(self.adherence, cell);
+        store_displacement(
+            ctx,
+            self.out_x,
+            self.out_y,
+            self.out_z,
+            cell,
+            force,
+            adh,
+            &self.params,
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Device-side uniform-grid geometry.
+//!
+//! Kernels receive this by value (the GPU analogue of constant-memory
+//! parameters, which cost nothing per access). Its indexing math is kept
+//! bit-identical to `bdm_grid::UniformGrid` so a grid built on the host
+//! and one built on the device agree voxel-for-voxel.
+
+use bdm_math::{Scalar, Vec3};
+
+/// Grid geometry: dimensions, origin, and voxel edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridGeom<R> {
+    /// Voxels per axis.
+    pub dims: [u32; 3],
+    /// Lower corner of the covered space.
+    pub min: Vec3<R>,
+    /// Voxel edge length.
+    pub box_len: R,
+}
+
+impl<R: Scalar> GridGeom<R> {
+    /// Geometry matching a host-side grid.
+    pub fn from_grid(grid: &bdm_grid::UniformGrid<R>) -> Self {
+        Self {
+            dims: grid.dims(),
+            min: grid.space().min,
+            box_len: grid.box_length(),
+        }
+    }
+
+    /// Total voxel count.
+    pub fn num_boxes(&self) -> usize {
+        self.dims[0] as usize * self.dims[1] as usize * self.dims[2] as usize
+    }
+
+    /// Integer voxel coordinates of `p` (clamped into the grid), matching
+    /// `UniformGrid::box_coords`.
+    #[inline]
+    pub fn box_coords(&self, p: Vec3<R>) -> [u32; 3] {
+        let rel = p - self.min;
+        let coord = |v: R, d: u32| -> u32 {
+            let idx = (v / self.box_len).floor().to_f64();
+            if idx < 0.0 {
+                0
+            } else {
+                (idx as u64).min(d as u64 - 1) as u32
+            }
+        };
+        [
+            coord(rel.x, self.dims[0]),
+            coord(rel.y, self.dims[1]),
+            coord(rel.z, self.dims[2]),
+        ]
+    }
+
+    /// Flat voxel index (x-major, matching `UniformGrid::flat_index`).
+    #[inline]
+    pub fn flat_index(&self, c: [u32; 3]) -> usize {
+        (c[2] as usize * self.dims[1] as usize + c[1] as usize) * self.dims[0] as usize
+            + c[0] as usize
+    }
+
+    /// Flat voxel index of a position.
+    #[inline]
+    pub fn box_index(&self, p: Vec3<R>) -> usize {
+        self.flat_index(self.box_coords(p))
+    }
+
+    /// Decompose a flat index back into voxel coordinates.
+    #[inline]
+    pub fn coords_of(&self, flat: usize) -> [u32; 3] {
+        let x = (flat % self.dims[0] as usize) as u32;
+        let rest = flat / self.dims[0] as usize;
+        let y = (rest % self.dims[1] as usize) as u32;
+        let z = (rest / self.dims[1] as usize) as u32;
+        [x, y, z]
+    }
+
+    /// The ≤ 27 voxels around coordinates `c`, written into `out`;
+    /// returns the count. `out` is caller-provided so device threads do
+    /// not allocate.
+    #[inline]
+    pub fn neighbor_boxes_of(&self, c: [u32; 3], out: &mut [usize; 27]) -> usize {
+        let mut n = 0;
+        let range = |v: u32, d: u32| {
+            let lo = v.saturating_sub(1);
+            let hi = (v + 1).min(d - 1);
+            lo..=hi
+        };
+        for z in range(c[2], self.dims[2]) {
+            for y in range(c[1], self.dims[1]) {
+                for x in range(c[0], self.dims[0]) {
+                    out[n] = self.flat_index([x, y, z]);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_grid::UniformGrid;
+    use bdm_math::{Aabb, SplitMix64};
+
+    #[test]
+    fn matches_host_grid_indexing() {
+        let mut rng = SplitMix64::new(5);
+        let n = 300;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 17.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 17.0)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 17.0)).collect();
+        let space = Aabb::new(Vec3::zero(), Vec3::splat(17.0));
+        let grid = UniformGrid::build_serial(&xs, &ys, &zs, space, 2.3);
+        let geom = GridGeom::from_grid(&grid);
+        assert_eq!(geom.num_boxes(), grid.num_boxes());
+        for i in 0..n {
+            let p = Vec3::new(xs[i], ys[i], zs[i]);
+            assert_eq!(geom.box_index(p), grid.box_index(p));
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let geom = GridGeom::<f64> {
+            dims: [5, 7, 3],
+            min: Vec3::zero(),
+            box_len: 1.0,
+        };
+        for flat in 0..geom.num_boxes() {
+            let c = geom.coords_of(flat);
+            assert_eq!(geom.flat_index(c), flat);
+        }
+    }
+
+    #[test]
+    fn neighbor_count_matches_position() {
+        let geom = GridGeom::<f64> {
+            dims: [4, 4, 4],
+            min: Vec3::zero(),
+            box_len: 1.0,
+        };
+        let mut out = [0usize; 27];
+        assert_eq!(geom.neighbor_boxes_of([1, 1, 1], &mut out), 27);
+        assert_eq!(geom.neighbor_boxes_of([0, 0, 0], &mut out), 8);
+        assert_eq!(geom.neighbor_boxes_of([0, 1, 1], &mut out), 18);
+    }
+}

@@ -1,0 +1,25 @@
+//! Device kernels of the mechanical-interaction offload.
+//!
+//! The paper ports "the uniform grid algorithm as well as the mechanical
+//! force computation as a single GPU kernel" (§IV-B). We split the two
+//! concerns into a grid-construction kernel and a force kernel launched
+//! back-to-back (the timing model charges one launch overhead each, which
+//! matches the cost of a fused kernel with an internal grid pass on real
+//! hardware to well under the measurement noise).
+//!
+//! * [`geom::GridGeom`] — device-side uniform-grid geometry (mirrors
+//!   `bdm_grid::UniformGrid`'s indexing bit-for-bit).
+//! * [`grid_build::GridBuildKernel`] — atomic head-insertion build.
+//! * [`mech::MechKernel`] — one thread per cell, serial neighbor loop
+//!   (versions v0/I/II depending on precision and input ordering).
+//! * [`mech_shared::SharedMechKernel`] — block-per-voxel shared-memory
+//!   tile variant (version III; slower, as the paper found).
+//! * [`dynpar::{ParentKernel, ChildKernel, FinishKernel}`] — the §VI
+//!   future-work dynamic-parallelism experiment: oversubscribed cells
+//!   fan their neighbor loop out to child work-items.
+
+pub mod dynpar;
+pub mod geom;
+pub mod grid_build;
+pub mod mech;
+pub mod mech_shared;

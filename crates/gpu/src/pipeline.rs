@@ -1,0 +1,594 @@
+//! The complete GPU offload pipeline for the mechanical interaction
+//! operation — what `bdm-sim` plugs in as its GPU environment.
+//!
+//! One step = H2D transfer of the needed SoA columns → device grid build
+//! → mechanical kernel (version-dependent) → D2H transfer of the
+//! displacements. Only "a subset of the agents' state data" crosses the
+//! bus (paper §II): positions, diameters, adherence in; displacements out.
+//!
+//! The four paper versions plus the future-work experiment:
+//!
+//! | version | precision | input order | kernel |
+//! |---|---|---|---|
+//! | `V0`       | FP64 | insertion     | [`MechKernel`] |
+//! | `V1Fp32`   | FP32 | insertion     | [`MechKernel`] |
+//! | `V2Sorted` | FP32 | Morton-sorted | [`MechKernel`] |
+//! | `V3Shared` | FP32 | Morton-sorted | [`SharedMechKernel`] |
+//! | `DynPar`   | FP32 | Morton-sorted | [`ParentKernel`]+[`ChildKernel`]+[`FinishKernel`] |
+
+use crate::counters::KernelCounters;
+use crate::engine::FromWord;
+use crate::frontend::{ApiFrontend, Runtime};
+use crate::kernels::dynpar::{ChildKernel, FinishKernel, ParentKernel};
+use crate::kernels::geom::GridGeom;
+use crate::kernels::grid_build::{reset_grid_buffers, GridBuildKernel};
+use crate::kernels::mech::MechKernel;
+use crate::kernels::mech_shared::{shared_words_for, SharedMechKernel};
+use crate::mem::{DeviceAllocator, DeviceWord};
+use bdm_device::specs::SystemSpec;
+use bdm_device::transfer::PcieModel;
+use bdm_math::interaction::MechParams;
+use bdm_math::{Aabb, Scalar, Vec3};
+
+/// Which of the paper's kernel versions to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVersion {
+    /// Straight FP64 port (paper "GPU version 0").
+    V0,
+    /// FP32 precision reduction (Improvement I).
+    V1Fp32,
+    /// FP32 + Morton-sorted state (Improvement II).
+    V2Sorted,
+    /// FP32 + sorted + shared-memory tiles (Improvement III — a
+    /// regression, per the paper).
+    V3Shared,
+    /// FP32 + sorted + dynamic-parallelism neighbor-loop fan-out
+    /// (the paper's §VI future-work hypothesis).
+    DynPar,
+}
+
+impl KernelVersion {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelVersion::V0 => "GPU version 0",
+            KernelVersion::V1Fp32 => "GPU version I (fp32)",
+            KernelVersion::V2Sorted => "GPU version II (+zorder)",
+            KernelVersion::V3Shared => "GPU version III (+shared)",
+            KernelVersion::DynPar => "GPU dynpar (future work)",
+        }
+    }
+
+    /// All versions, in the order the paper introduces them.
+    pub const ALL: [KernelVersion; 5] = [
+        KernelVersion::V0,
+        KernelVersion::V1Fp32,
+        KernelVersion::V2Sorted,
+        KernelVersion::V3Shared,
+        KernelVersion::DynPar,
+    ];
+
+    /// Whether this version sorts agents along the Z-order curve.
+    pub fn sorts(&self) -> bool {
+        !matches!(self, KernelVersion::V0 | KernelVersion::V1Fp32)
+    }
+
+    /// Whether this version computes in single precision.
+    pub fn fp32(&self) -> bool {
+        !matches!(self, KernelVersion::V0)
+    }
+}
+
+/// Timing + counters of one offloaded step.
+#[derive(Debug, Clone)]
+pub struct GpuStepReport {
+    /// Host→device transfer seconds (modeled PCIe).
+    pub h2d_s: f64,
+    /// Device→host transfer seconds.
+    pub d2h_s: f64,
+    /// Grid-construction kernel seconds.
+    pub build_s: f64,
+    /// Mechanical kernel(s) seconds.
+    pub mech_s: f64,
+    /// Total modeled step time.
+    pub total_s: f64,
+    /// Merged counters across all launches of the step.
+    pub counters: KernelCounters,
+    /// Counters of the mechanical kernel alone (roofline input).
+    pub mech_counters: KernelCounters,
+}
+
+impl GpuStepReport {
+    /// Kernel-only seconds (the quantity Figs. 8–11 compare).
+    pub fn kernel_s(&self) -> f64 {
+        self.build_s + self.mech_s
+    }
+}
+
+/// Scene inputs of one step (host-side, always FP64 — BioDynaMo's storage
+/// precision; the pipeline narrows internally for FP32 versions).
+#[derive(Debug, Clone, Copy)]
+pub struct SceneRef<'a> {
+    /// Position columns.
+    pub xs: &'a [f64],
+    /// Y coordinates.
+    pub ys: &'a [f64],
+    /// Z coordinates.
+    pub zs: &'a [f64],
+    /// Diameters.
+    pub diameters: &'a [f64],
+    /// Adherence thresholds.
+    pub adherences: &'a [f64],
+    /// Simulation space.
+    pub space: Aabb<f64>,
+    /// Uniform-grid voxel edge (≥ the largest interaction radius).
+    pub box_len: f64,
+}
+
+/// The full offload pipeline.
+pub struct MechanicalPipeline {
+    system: SystemSpec,
+    runtime: Runtime,
+    version: KernelVersion,
+    pcie: PcieModel,
+    /// Candidate threshold for the dynamic-parallelism parent kernel.
+    pub dynpar_threshold: u32,
+    /// Space-filling curve used by the sorting versions (II, III,
+    /// dynpar). Z-order is the paper's choice; Hilbert is the ablation.
+    pub sort_curve: bdm_morton::Curve,
+}
+
+impl MechanicalPipeline {
+    /// Build a pipeline for a system/frontend/version combination.
+    /// `trace_sample` = trace every n-th warp (1 = all; larger values
+    /// bound simulation cost on big scenes).
+    pub fn new(
+        system: SystemSpec,
+        frontend: ApiFrontend,
+        version: KernelVersion,
+        trace_sample: u64,
+    ) -> Self {
+        Self {
+            system,
+            runtime: Runtime::new(frontend, system.gpu, trace_sample),
+            version,
+            pcie: PcieModel::new(system.pcie_bandwidth, system.pcie_latency_s),
+            dynpar_threshold: 96,
+            sort_curve: bdm_morton::Curve::ZOrder,
+        }
+    }
+
+    /// The configured kernel version.
+    pub fn version(&self) -> KernelVersion {
+        self.version
+    }
+
+    /// The system being simulated.
+    pub fn system(&self) -> &SystemSpec {
+        &self.system
+    }
+
+    /// Execute one mechanical-interaction step. Returns per-agent
+    /// displacements (in the caller's original agent order) and a report.
+    pub fn step(&self, scene: &SceneRef<'_>, params: &MechParams<f64>) -> (Vec<Vec3<f64>>, GpuStepReport) {
+        // Invalidate the L2 between steps: each step re-uploads fresh
+        // state, so cross-step line reuse would be an artifact.
+        self.runtime.device().reset_l2();
+        if self.version.fp32() {
+            self.run::<f32>(scene, params)
+        } else {
+            self.run::<f64>(scene, params)
+        }
+    }
+
+    fn run<R: Scalar + DeviceWord + FromWord>(
+        &self,
+        scene: &SceneRef<'_>,
+        params: &MechParams<f64>,
+    ) -> (Vec<Vec3<f64>>, GpuStepReport) {
+        let n = scene.xs.len();
+        assert!(n > 0, "empty scene");
+        let params_r: MechParams<R> = params.cast();
+        let narrow = |col: &[f64]| -> Vec<R> { col.iter().map(|&v| R::from_f64(v)).collect() };
+
+        let mut xs = narrow(scene.xs);
+        let mut ys = narrow(scene.ys);
+        let mut zs = narrow(scene.zs);
+        let mut diam = narrow(scene.diameters);
+        let mut adh = narrow(scene.adherences);
+        let space = Aabb::new(scene.space.min.cast::<R>(), scene.space.max.cast::<R>());
+        let box_len = R::from_f64(scene.box_len);
+
+        // Improvement II: host-side space-filling-curve sort of the SoA
+        // columns (Z-order by default; see `sort_curve`).
+        let perm = if self.version.sorts() {
+            let p = bdm_morton::sort_permutation_with(&xs, &ys, &zs, &space, box_len, self.sort_curve);
+            let mut scratch = Vec::new();
+            for col in [&mut xs, &mut ys, &mut zs, &mut diam, &mut adh] {
+                p.apply_in_place(col, &mut scratch);
+            }
+            Some(p)
+        } else {
+            None
+        };
+
+        // Grid geometry (host-side, matches bdm_grid layout).
+        let dims = {
+            let e = space.extents();
+            let dim = |len: R| -> u32 { ((len / box_len).ceil().to_f64() as u32).max(1) };
+            [dim(e.x), dim(e.y), dim(e.z)]
+        };
+        let geom = GridGeom {
+            dims,
+            min: space.min,
+            box_len,
+        };
+        let num_boxes = geom.num_boxes();
+
+        // Allocate + upload.
+        let mut alloc = DeviceAllocator::new();
+        let px = alloc.alloc::<R>(n);
+        let py = alloc.alloc::<R>(n);
+        let pz = alloc.alloc::<R>(n);
+        let dd = alloc.alloc::<R>(n);
+        let da = alloc.alloc::<R>(n);
+        px.upload(&xs);
+        py.upload(&ys);
+        pz.upload(&zs);
+        dd.upload(&diam);
+        da.upload(&adh);
+        let box_start = alloc.alloc::<u32>(num_boxes);
+        let box_length = alloc.alloc::<u32>(num_boxes);
+        let successors = alloc.alloc::<u32>(n);
+        reset_grid_buffers(&box_start, &box_length);
+        let ox = alloc.alloc::<R>(n);
+        let oy = alloc.alloc::<R>(n);
+        let oz = alloc.alloc::<R>(n);
+
+        let mut h2d_bytes = 5 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        let mut h2d_transfers = 5;
+        let mut d2h_bytes = 3 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        let mut d2h_transfers = 3;
+
+        // Device grid build.
+        let build = self.runtime.dispatch(
+            &GridBuildKernel {
+                n,
+                geom,
+                pos_x: &px,
+                pos_y: &py,
+                pos_z: &pz,
+                box_start: &box_start,
+                box_length: &box_length,
+                successors: &successors,
+            },
+            n,
+            128,
+            0,
+        );
+
+        // Mechanical kernel(s).
+        let mut mech_counters = KernelCounters::default();
+        let mut mech_s = 0.0;
+        match self.version {
+            KernelVersion::V0 | KernelVersion::V1Fp32 | KernelVersion::V2Sorted => {
+                let r = self.runtime.dispatch(
+                    &MechKernel {
+                        n,
+                        geom,
+                        pos_x: &px,
+                        pos_y: &py,
+                        pos_z: &pz,
+                        diameter: &dd,
+                        adherence: &da,
+                        box_start: &box_start,
+                        successors: &successors,
+                        out_x: &ox,
+                        out_y: &oy,
+                        out_z: &oz,
+                        params: params_r,
+                    },
+                    n,
+                    128,
+                    0,
+                );
+                mech_counters.merge(&r.counters);
+                mech_s += r.timing.total_s;
+            }
+            KernelVersion::V3Shared => {
+                // Host needs the voxel occupancy to enumerate non-empty
+                // voxels and size the blocks — a D2H readback the fused
+                // version avoids; charge it.
+                let mut lengths = vec![0u32; num_boxes];
+                box_length.download(&mut lengths);
+                d2h_bytes += 4 * num_boxes as u64;
+                d2h_transfers += 1;
+                let non_empty: Vec<u32> = (0..num_boxes as u32)
+                    .filter(|&b| lengths[b as usize] > 0)
+                    .collect();
+                let max_len = lengths.iter().copied().max().unwrap_or(0);
+                let block_dim = (max_len.max(28)).div_ceil(32) * 32;
+                let voxel_ids = alloc.alloc::<u32>(non_empty.len());
+                voxel_ids.upload(&non_empty);
+                h2d_bytes += 4 * non_empty.len() as u64;
+                h2d_transfers += 1;
+
+                let spec = self.system.gpu;
+                // The tile is allocated statically for the worst case —
+                // the paper's kernel cannot know per-voxel occupancy at
+                // compile time. The near-full shared-memory footprint
+                // limits residency to ~1 block/SM, which (together with
+                // the cursor atomics and boundary-check divergence) is
+                // why version III loses to version II.
+                let tile_cap =
+                    ((spec.shared_mem_per_sm as usize / 8).saturating_sub(2) / 5).min(2048);
+                let _ = max_len;
+                let k = SharedMechKernel {
+                    geom,
+                    voxel_ids: &voxel_ids,
+                    pos_x: &px,
+                    pos_y: &py,
+                    pos_z: &pz,
+                    diameter: &dd,
+                    adherence: &da,
+                    box_start: &box_start,
+                    box_length: &box_length,
+                    successors: &successors,
+                    out_x: &ox,
+                    out_y: &oy,
+                    out_z: &oz,
+                    tile_cap,
+                    params: params_r,
+                };
+                let items = non_empty.len() * block_dim as usize;
+                let r = self
+                    .runtime
+                    .dispatch(&k, items, block_dim, shared_words_for(tile_cap) * 8);
+                mech_counters.merge(&r.counters);
+                mech_s += r.timing.total_s;
+            }
+            KernelVersion::DynPar => {
+                let queue = alloc.alloc::<u32>(n);
+                let queue_count = alloc.alloc::<u32>(1);
+                let parent = self.runtime.dispatch(
+                    &ParentKernel {
+                        n,
+                        geom,
+                        pos_x: &px,
+                        pos_y: &py,
+                        pos_z: &pz,
+                        diameter: &dd,
+                        adherence: &da,
+                        box_start: &box_start,
+                        box_length: &box_length,
+                        successors: &successors,
+                        out_x: &ox,
+                        out_y: &oy,
+                        out_z: &oz,
+                        queue: &queue,
+                        queue_count: &queue_count,
+                        threshold: self.dynpar_threshold,
+                        params: params_r,
+                    },
+                    n,
+                    128,
+                    0,
+                );
+                mech_counters.merge(&parent.counters);
+                mech_s += parent.timing.total_s;
+
+                let queue_len = queue_count.read(0) as usize;
+                if queue_len > 0 {
+                    let partials = alloc.alloc::<R>(queue_len * 27 * 3);
+                    let child = self.runtime.dispatch(
+                        &ChildKernel {
+                            queue_len,
+                            geom,
+                            pos_x: &px,
+                            pos_y: &py,
+                            pos_z: &pz,
+                            diameter: &dd,
+                            box_start: &box_start,
+                            successors: &successors,
+                            queue: &queue,
+                            partials: &partials,
+                            params: params_r,
+                        },
+                        queue_len * 27,
+                        128,
+                        0,
+                    );
+                    mech_counters.merge(&child.counters);
+                    mech_s += child.timing.total_s;
+                    let finish = self.runtime.dispatch(
+                        &FinishKernel {
+                            queue_len,
+                            queue: &queue,
+                            partials: &partials,
+                            adherence: &da,
+                            out_x: &ox,
+                            out_y: &oy,
+                            out_z: &oz,
+                            params: params_r,
+                        },
+                        queue_len,
+                        128,
+                        0,
+                    );
+                    mech_counters.merge(&finish.counters);
+                    mech_s += finish.timing.total_s;
+                }
+            }
+        }
+
+        // Download and (if sorted) restore the caller's agent order.
+        let mut out_x = vec![R::ZERO; n];
+        let mut out_y = vec![R::ZERO; n];
+        let mut out_z = vec![R::ZERO; n];
+        ox.download(&mut out_x);
+        oy.download(&mut out_y);
+        oz.download(&mut out_z);
+        if let Some(p) = &perm {
+            let inv = p.inverse();
+            let mut scratch = Vec::new();
+            for col in [&mut out_x, &mut out_y, &mut out_z] {
+                inv.apply_in_place(col, &mut scratch);
+            }
+        }
+        let displacements: Vec<Vec3<f64>> = (0..n)
+            .map(|i| Vec3::new(out_x[i].to_f64(), out_y[i].to_f64(), out_z[i].to_f64()))
+            .collect();
+
+        let h2d_s = self.pcie.transfers_time(h2d_transfers, h2d_bytes);
+        let d2h_s = self.pcie.transfers_time(d2h_transfers, d2h_bytes);
+        let mut counters = build.counters.clone();
+        counters.merge(&mech_counters);
+        let report = GpuStepReport {
+            h2d_s,
+            d2h_s,
+            build_s: build.timing.total_s,
+            mech_s,
+            total_s: h2d_s + build.timing.total_s + mech_s + d2h_s,
+            counters,
+            mech_counters,
+        };
+        (displacements, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_device::specs::SYSTEM_A;
+    use bdm_math::SplitMix64;
+
+    type SceneCols = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+    fn scene(n: usize, extent: f64, seed: u64) -> SceneCols {
+        let mut rng = SplitMix64::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        (xs, ys, zs, vec![1.0; n], vec![0.01; n])
+    }
+
+    fn run_version(v: KernelVersion, frontend: ApiFrontend) -> (Vec<Vec3<f64>>, GpuStepReport) {
+        let n = 400;
+        let extent = 8.0;
+        let (xs, ys, zs, dm, ad) = scene(n, extent, 7);
+        let sr = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space: Aabb::new(Vec3::zero(), Vec3::splat(extent)),
+            box_len: 1.0,
+        };
+        let p = MechanicalPipeline::new(SYSTEM_A, frontend, v, 1);
+        p.step(&sr, &MechParams::default_params())
+    }
+
+    #[test]
+    fn all_versions_agree_functionally() {
+        let (base, _) = run_version(KernelVersion::V0, ApiFrontend::Cuda);
+        assert!(base.iter().any(|d| *d != Vec3::zero()), "static scene?");
+        for v in [
+            KernelVersion::V1Fp32,
+            KernelVersion::V2Sorted,
+            KernelVersion::V3Shared,
+            KernelVersion::DynPar,
+        ] {
+            let (got, _) = run_version(v, ApiFrontend::Cuda);
+            let mut max_err = 0.0f64;
+            for i in 0..base.len() {
+                max_err = max_err.max((base[i] - got[i]).norm());
+            }
+            // FP32 + reassociation tolerance.
+            assert!(max_err < 1e-3, "{:?} deviates: {max_err}", v);
+        }
+    }
+
+    #[test]
+    fn frontends_agree() {
+        let (cuda, _) = run_version(KernelVersion::V2Sorted, ApiFrontend::Cuda);
+        let (opencl, _) = run_version(KernelVersion::V2Sorted, ApiFrontend::OpenCl);
+        for i in 0..cuda.len() {
+            assert_eq!(cuda[i], opencl[i]);
+        }
+    }
+
+    #[test]
+    fn fp32_reduces_transfer_bytes() {
+        let (_, r64) = run_version(KernelVersion::V0, ApiFrontend::Cuda);
+        let (_, r32) = run_version(KernelVersion::V1Fp32, ApiFrontend::Cuda);
+        // Wire time scales with element width (same latency terms).
+        assert!(r64.h2d_s > r32.h2d_s);
+        assert!(r64.d2h_s > r32.d2h_s);
+    }
+
+    #[test]
+    fn fp32_is_faster_than_fp64() {
+        let (_, r64) = run_version(KernelVersion::V0, ApiFrontend::Cuda);
+        let (_, r32) = run_version(KernelVersion::V1Fp32, ApiFrontend::Cuda);
+        assert!(
+            r32.mech_s < r64.mech_s,
+            "fp32 {} should beat fp64 {}",
+            r32.mech_s,
+            r64.mech_s
+        );
+    }
+
+    #[test]
+    fn version_helpers() {
+        assert!(!KernelVersion::V0.fp32());
+        assert!(!KernelVersion::V0.sorts());
+        assert!(KernelVersion::V1Fp32.fp32());
+        assert!(!KernelVersion::V1Fp32.sorts());
+        for v in [KernelVersion::V2Sorted, KernelVersion::V3Shared, KernelVersion::DynPar] {
+            assert!(v.fp32() && v.sorts(), "{v:?}");
+        }
+        // Labels are unique (the benchmark tables key on them).
+        let labels: std::collections::HashSet<&str> =
+            KernelVersion::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), KernelVersion::ALL.len());
+    }
+
+    #[test]
+    fn hilbert_sorting_pipeline_matches_zorder() {
+        let n = 300;
+        let extent = 8.0;
+        let (xs, ys, zs, dm, ad) = scene(n, extent, 13);
+        let sr = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space: Aabb::new(Vec3::zero(), Vec3::splat(extent)),
+            box_len: 1.0,
+        };
+        let params = MechParams::default_params();
+        let z = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
+        let mut h = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
+        h.sort_curve = bdm_morton::Curve::Hilbert;
+        let (dz, _) = z.step(&sr, &params);
+        let (dh, _) = h.step(&sr, &params);
+        // The curve changes only iteration order: FP32 reassociation noise.
+        let mut max_err = 0.0f64;
+        for i in 0..n {
+            max_err = max_err.max((dz[i] - dh[i]).norm());
+        }
+        assert!(max_err < 1e-4, "curves disagree by {max_err}");
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (_, r) = run_version(KernelVersion::V2Sorted, ApiFrontend::Cuda);
+        assert!(
+            (r.total_s - (r.h2d_s + r.build_s + r.mech_s + r.d2h_s)).abs() < 1e-15
+        );
+        assert!(r.mech_counters.total_flops() > 0.0);
+        assert!(r.counters.total_flops() >= r.mech_counters.total_flops());
+    }
+}

@@ -1,0 +1,131 @@
+//! `nvprof`-style text reports of kernel counters and timings.
+//!
+//! The paper reads its performance evidence off `nvprof` (§V): FLOP
+//! throughput, DRAM/L2 traffic, and derived metrics. This module renders
+//! the simulator's equivalent so examples and benchmark binaries can
+//! print a profile a CUDA developer would recognize.
+
+use crate::counters::KernelCounters;
+use crate::timing::{KernelBound, KernelTiming};
+use bdm_device::specs::GpuSpec;
+
+/// A named kernel profile entry.
+#[derive(Debug, Clone)]
+pub struct ProfileEntry {
+    /// Kernel name.
+    pub name: String,
+    /// Its counters.
+    pub counters: KernelCounters,
+    /// Its modeled timing.
+    pub timing: KernelTiming,
+}
+
+impl ProfileEntry {
+    /// Build from a launch result.
+    pub fn new(name: impl Into<String>, counters: KernelCounters, timing: KernelTiming) -> Self {
+        Self {
+            name: name.into(),
+            counters,
+            timing,
+        }
+    }
+}
+
+/// Render a metric table for several kernels on a device.
+pub fn render_profile(spec: &GpuSpec, entries: &[ProfileEntry]) -> String {
+    let mut out = format!("== simulated profile: {} ==\n", spec.name);
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9}\n",
+        "kernel", "time", "GFLOP/s", "DRAM GB/s", "L2 hit", "warp eff", "AI", "occ", "bound"
+    ));
+    for e in entries {
+        let c = &e.counters;
+        let t = &e.timing;
+        let gflops = t.achieved_gflops(c);
+        let dram_bw = if t.total_s > 0.0 {
+            c.dram_bytes() / t.total_s / 1e9
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<28} {:>7.2}ms {:>10.1} {:>10.1} {:>8.1}% {:>8.1}% {:>8.2} {:>8.0} {:>9}\n",
+            e.name,
+            t.total_s * 1e3,
+            gflops,
+            dram_bw,
+            c.l2_read_share() * 100.0,
+            c.warp_efficiency() * 100.0,
+            c.arithmetic_intensity(),
+            c.occupancy_warps_per_sm,
+            match t.bound {
+                KernelBound::Compute => "compute",
+                KernelBound::Memory => "memory",
+            },
+        ));
+    }
+    out
+}
+
+/// One-line summary of a single kernel (log-style).
+pub fn summarize(name: &str, c: &KernelCounters, t: &KernelTiming) -> String {
+    format!(
+        "{name}: {:.3} ms | {:.1} GFLOP/s | {:.1} MB DRAM | L2 {:.0}% | eff {:.0}%",
+        t.total_s * 1e3,
+        t.achieved_gflops(c),
+        c.dram_bytes() / 1e6,
+        c.l2_read_share() * 100.0,
+        c.warp_efficiency() * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_device::specs::SYSTEM_B;
+
+    fn sample() -> (KernelCounters, KernelTiming) {
+        let c = KernelCounters {
+            warps_run: 100,
+            warps_traced: 100,
+            flops_fp32: 1e9,
+            compute_warp_cycles: 1e6,
+            lane_cycles_total: 2.4e7,
+            global_transactions: 1e6,
+            l2_hits: 4e5,
+            l2_misses: 6e5,
+            occupancy_warps_per_sm: 64.0,
+            ..Default::default()
+        };
+        let t = KernelTiming::model(&c, &SYSTEM_B.gpu);
+        (c, t)
+    }
+
+    #[test]
+    fn profile_renders_all_columns() {
+        let (c, t) = sample();
+        let text = render_profile(
+            &SYSTEM_B.gpu,
+            &[ProfileEntry::new("mech_v2", c, t)],
+        );
+        assert!(text.contains("mech_v2"));
+        assert!(text.contains("Tesla V100"));
+        assert!(text.contains("memory") || text.contains("compute"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn warp_efficiency_is_mean_over_max() {
+        let (c, _) = sample();
+        // 2.4e7 / (32 × 1e6) = 0.75.
+        assert!((c.warp_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_contains_key_metrics() {
+        let (c, t) = sample();
+        let line = summarize("k", &c, &t);
+        assert!(line.starts_with("k:"));
+        assert!(line.contains("GFLOP/s"));
+        assert!(line.contains("L2"));
+    }
+}

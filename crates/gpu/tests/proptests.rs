@@ -1,0 +1,165 @@
+//! Property-based tests of the SIMT engine's accounting invariants.
+
+use bdm_device::specs::SYSTEM_A;
+use bdm_gpu::engine::{GpuDevice, Kernel, LaunchConfig, ThreadCtx, ThreadId};
+use bdm_gpu::mem::{DeviceAllocator, DeviceBuffer};
+use proptest::prelude::*;
+
+/// A kernel that reads `reads_per_thread` elements starting at
+/// `thread_id * stride` and adds them up, writing the sum back.
+struct Gather {
+    n: usize,
+    stride: usize,
+    reads_per_thread: usize,
+    data: DeviceBuffer<f32>,
+    out: DeviceBuffer<f32>,
+}
+
+impl Kernel for Gather {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let t = tid.global() as usize;
+        if t >= self.out.len() {
+            return;
+        }
+        let mut acc = 0.0f32;
+        for k in 0..self.reads_per_thread {
+            ctx.begin_slot();
+            let idx = (t * self.stride + k) % self.n;
+            acc += ctx.ld(&self.data, idx);
+            ctx.flops::<f32>(1);
+        }
+        ctx.st(&self.out, t, acc);
+    }
+}
+
+fn launch_gather(threads: usize, stride: usize, reads: usize) -> bdm_gpu::KernelCounters {
+    let n = 4096;
+    let mut alloc = DeviceAllocator::new();
+    let data = alloc.alloc::<f32>(n);
+    for i in 0..n {
+        data.write(i, i as f32);
+    }
+    let out = alloc.alloc::<f32>(threads);
+    let k = Gather {
+        n,
+        stride,
+        reads_per_thread: reads,
+        data,
+        out,
+    };
+    let dev = GpuDevice::new(SYSTEM_A.gpu);
+    let r = dev.launch(&k, LaunchConfig::for_items(threads, 128));
+    // Functional check rides along: each output is the right gather sum.
+    for t in 0..threads {
+        let expect: f32 = (0..reads).map(|kk| ((t * stride + kk) % n) as f32).sum();
+        assert_eq!(k.out.read(t), expect, "thread {t}");
+    }
+    r.counters
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Counter sanity for arbitrary gather shapes.
+    #[test]
+    fn counters_are_internally_consistent(
+        threads in 1usize..512,
+        stride in 1usize..64,
+        reads in 1usize..16,
+    ) {
+        let c = launch_gather(threads, stride, reads);
+        // Every thread launched is accounted (tail threads included).
+        prop_assert_eq!(c.threads_run as usize, threads.div_ceil(128) * 128);
+        prop_assert_eq!(c.warps_run, c.threads_run / 32);
+        prop_assert_eq!(c.warps_traced, c.warps_run);
+        // FLOPs: exactly one per read per active thread.
+        prop_assert_eq!(c.flops_fp32 as usize, threads * reads);
+        // Hits + misses = transactions; all traffic went through the L2.
+        prop_assert!((c.l2_hits + c.l2_misses - c.global_transactions).abs() < 1e-9);
+        // Transactions per slot bounded by the warp width and never
+        // below 1 for an active slot: total ∈ [slots, slots × 32].
+        let total_accesses = (threads * reads + threads) as f64; // reads + stores
+        prop_assert!(c.global_transactions >= 1.0);
+        prop_assert!(
+            c.global_transactions <= total_accesses,
+            "coalescing can merge but never multiply transactions: {} > {}",
+            c.global_transactions,
+            total_accesses
+        );
+    }
+
+    /// Larger strides can only worsen (or keep equal) coalescing.
+    #[test]
+    fn stride_monotonicity(reads in 1usize..8) {
+        let unit = launch_gather(256, 1, reads);
+        let wide = launch_gather(256, 48, reads);
+        prop_assert!(
+            wide.global_transactions >= unit.global_transactions,
+            "stride 48 produced fewer transactions ({}) than stride 1 ({})",
+            wide.global_transactions,
+            unit.global_transactions
+        );
+    }
+
+    /// Determinism: identical launches give identical counters.
+    #[test]
+    fn launch_is_deterministic(
+        threads in 1usize..300,
+        stride in 1usize..32,
+    ) {
+        let a = launch_gather(threads, stride, 4);
+        let b = launch_gather(threads, stride, 4);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Atomic add from every thread: the canonical contention kernel.
+struct Contend {
+    total: usize,
+    cells: usize,
+    counters: DeviceBuffer<u32>,
+}
+
+impl Kernel for Contend {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let t = tid.global() as usize;
+        if t >= self.total {
+            return;
+        }
+        ctx.atomic_add(&self.counters, t % self.cells, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Atomics are exact regardless of how threads map onto addresses,
+    /// and the serialization penalty falls as contention spreads.
+    #[test]
+    fn atomic_accounting(threads_pow in 6u32..10, cells in 1usize..64) {
+        let threads = 1usize << threads_pow;
+        let mut alloc = DeviceAllocator::new();
+        let k = Contend {
+            total: threads,
+            cells,
+            counters: alloc.alloc::<u32>(cells),
+        };
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(&k, LaunchConfig::for_items(threads, 128));
+        // Functional: every increment landed, distributed round-robin.
+        let mut total = 0u64;
+        for i in 0..cells {
+            total += k.counters.read(i) as u64;
+        }
+        prop_assert_eq!(total, threads as u64);
+        prop_assert_eq!(r.counters.atomic_ops, threads as f64);
+        // With ≥ 32 distinct addresses, a warp never conflicts.
+        if cells >= 32 {
+            prop_assert_eq!(r.counters.atomic_serial_cycles, 0.0);
+        }
+        // With one address, every warp serializes its 31 extra lanes.
+        if cells == 1 {
+            prop_assert!(r.counters.atomic_serial_cycles > 0.0);
+        }
+    }
+}

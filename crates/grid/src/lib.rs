@@ -1,0 +1,629 @@
+//! Uniform-grid neighborhood environment (paper §IV-A, Figs. 4 and 5).
+//!
+//! "The uniform grid method imposes a regularly-spaced 3D grid within the
+//! simulation space. Each voxel of the grid contains only the agents that
+//! are confined within its subspace. Finding the neighboring agents of a
+//! particular agent can be done by only taking into account the voxels
+//! surrounding that particular agent" — 27 voxels in 3-D.
+//!
+//! The data structure mirrors the paper's UML (Fig. 5) exactly:
+//!
+//! * [`GridBox`] (the paper's `Box`) stores `start` — the last agent added
+//!   to the voxel — and `length`, the number of agents inside.
+//! * [`UniformGrid`] (the paper's `Grid`) owns `boxes_` plus `successors_`,
+//!   a per-agent linked list: `successors_[a]` is the agent added to `a`'s
+//!   voxel immediately before `a`. Walking `start → successors_[start] → …`
+//!   enumerates a voxel's agents.
+//!
+//! The grid is rebuilt every timestep "to take into account the addition,
+//! deletion, and movement of agents". Construction comes in two flavors:
+//! [`UniformGrid::build_serial`] (the apples-to-apples comparison against
+//! the serial kd-tree build) and [`UniformGrid::build_parallel`], a
+//! lock-free rayon build using atomic head-insertion — the parallelism the
+//! paper credits for the 4.3× multithreaded advantage over the kd-tree.
+
+use bdm_math::{Aabb, Scalar, Vec3};
+use bdm_soa::AgentId;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// One voxel of the grid — the paper's `Box` class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridBox {
+    /// Head of the voxel's agent linked list ([`AgentId::NULL`] when empty).
+    pub start: AgentId,
+    /// Number of agents in the voxel.
+    pub length: u32,
+}
+
+impl GridBox {
+    /// An empty voxel.
+    pub const EMPTY: GridBox = GridBox {
+        start: AgentId::NULL,
+        length: 0,
+    };
+}
+
+/// Work counters for a neighborhood query; consumed by the CPU/GPU timing
+/// models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Voxels scanned (≤ 27 per query).
+    pub boxes_scanned: u64,
+    /// Candidate agents distance-tested.
+    pub points_tested: u64,
+    /// Agents accepted as neighbors.
+    pub neighbors_found: u64,
+}
+
+impl QueryCounters {
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &Self) {
+        self.boxes_scanned += other.boxes_scanned;
+        self.points_tested += other.points_tested;
+        self.neighbors_found += other.neighbors_found;
+    }
+}
+
+/// The uniform grid — the paper's `Grid` class (Fig. 5).
+///
+/// ```
+/// use bdm_grid::UniformGrid;
+/// use bdm_math::{Aabb, Vec3};
+/// use bdm_soa::AgentId;
+///
+/// // Three agents on a line, voxel edge 1.0.
+/// let xs = [0.2, 0.8, 3.5];
+/// let ys = [0.5, 0.5, 0.5];
+/// let zs = [0.5, 0.5, 0.5];
+/// let space = Aabb::new(Vec3::zero(), Vec3::splat(4.0));
+/// let grid = UniformGrid::build_serial(&xs, &ys, &zs, space, 1.0);
+///
+/// let mut hits = Vec::new();
+/// grid.radius_search(&xs, &ys, &zs, Vec3::new(0.5, 0.5, 0.5), 1.0, None, &mut hits);
+/// let mut ids: Vec<u32> = hits.iter().map(|a| a.0).collect();
+/// ids.sort();
+/// assert_eq!(ids, vec![0, 1]); // agent 2 is out of range
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGrid<R> {
+    /// Edge length of a cubic voxel. Must be ≥ the largest interaction
+    /// radius for the 27-voxel query to be exhaustive.
+    box_length: R,
+    /// Number of voxels along each axis.
+    dims: [u32; 3],
+    /// The (inflated) space the grid covers.
+    space: Aabb<R>,
+    /// `boxes_` in the paper: one [`GridBox`] per voxel, x-major layout.
+    boxes: Vec<GridBox>,
+    /// `successors_` in the paper: per-agent link to the previous head.
+    successors: Vec<AgentId>,
+    /// Number of agents indexed.
+    num_agents: usize,
+}
+
+impl<R: Scalar> UniformGrid<R> {
+    /// Compute grid dimensions for `space` and voxel edge `box_length`.
+    fn layout(space: &Aabb<R>, box_length: R) -> [u32; 3] {
+        assert!(box_length > R::ZERO, "box length must be positive");
+        let e = space.extents();
+        let dim = |len: R| -> u32 { ((len / box_length).ceil().to_f64() as u32).max(1) };
+        [dim(e.x), dim(e.y), dim(e.z)]
+    }
+
+    /// Serial construction (one pass of head-insertions).
+    pub fn build_serial(
+        xs: &[R],
+        ys: &[R],
+        zs: &[R],
+        space: Aabb<R>,
+        box_length: R,
+    ) -> Self {
+        let dims = Self::layout(&space, box_length);
+        let num_boxes = dims[0] as usize * dims[1] as usize * dims[2] as usize;
+        let mut grid = Self {
+            box_length,
+            dims,
+            space,
+            boxes: vec![GridBox::EMPTY; num_boxes],
+            successors: vec![AgentId::NULL; xs.len()],
+            num_agents: xs.len(),
+        };
+        for i in 0..xs.len() {
+            let b = grid.box_index(Vec3::new(xs[i], ys[i], zs[i]));
+            let id = AgentId::from_index(i);
+            grid.successors[i] = grid.boxes[b].start;
+            grid.boxes[b].start = id;
+            grid.boxes[b].length += 1;
+        }
+        grid
+    }
+
+    /// Parallel construction: lock-free atomic head-insertion, then a
+    /// conversion pass back to plain boxes. This is the "parallel
+    /// construction of the uniform grid as opposed to the serial
+    /// construction of the kd-tree" (paper §VI).
+    ///
+    /// The resulting per-voxel list *order* depends on the interleaving of
+    /// insertions and is therefore nondeterministic across runs; the set of
+    /// agents per voxel is always exact. Force accumulation sums over the
+    /// set, so only floating-point summation order differs.
+    pub fn build_parallel(
+        xs: &[R],
+        ys: &[R],
+        zs: &[R],
+        space: Aabb<R>,
+        box_length: R,
+    ) -> Self {
+        let dims = Self::layout(&space, box_length);
+        let num_boxes = dims[0] as usize * dims[1] as usize * dims[2] as usize;
+        let n = xs.len();
+
+        let heads: Vec<AtomicU32> = (0..num_boxes).map(|_| AtomicU32::new(u32::MAX)).collect();
+        let counts: Vec<AtomicU32> = (0..num_boxes).map(|_| AtomicU32::new(0)).collect();
+        let successors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+        // Immutable probe grid for box_index computation.
+        let probe = Self {
+            box_length,
+            dims,
+            space,
+            boxes: Vec::new(),
+            successors: Vec::new(),
+            num_agents: 0,
+        };
+
+        (0..n).into_par_iter().for_each(|i| {
+            let b = probe.box_index(Vec3::new(xs[i], ys[i], zs[i]));
+            // Lock-free push-front: publish the old head as our successor,
+            // then swap ourselves in. Relaxed suffices for the counter;
+            // the head swap is AcqRel so readers of `start` see the
+            // successor write (the final conversion below is a barrier
+            // anyway, but keep the intent explicit).
+            let old = heads[b].swap(i as u32, Ordering::AcqRel);
+            successors[i].store(old, Ordering::Release);
+            counts[b].fetch_add(1, Ordering::Relaxed);
+        });
+
+        let boxes: Vec<GridBox> = heads
+            .iter()
+            .zip(counts.iter())
+            .map(|(h, c)| GridBox {
+                start: AgentId(h.load(Ordering::Acquire)),
+                length: c.load(Ordering::Acquire),
+            })
+            .collect();
+        let successors: Vec<AgentId> = successors
+            .into_iter()
+            .map(|a| AgentId(a.into_inner()))
+            .collect();
+
+        Self {
+            box_length,
+            dims,
+            space,
+            boxes,
+            successors,
+            num_agents: n,
+        }
+    }
+
+    /// Voxel edge length.
+    pub fn box_length(&self) -> R {
+        self.box_length
+    }
+
+    /// Voxels per axis.
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
+    }
+
+    /// Total number of voxels.
+    pub fn num_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Number of indexed agents.
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    /// The covered space.
+    pub fn space(&self) -> &Aabb<R> {
+        &self.space
+    }
+
+    /// All voxels (the GPU environment uploads these as flat buffers).
+    pub fn boxes(&self) -> &[GridBox] {
+        &self.boxes
+    }
+
+    /// The successor links (uploaded alongside [`Self::boxes`]).
+    pub fn successors(&self) -> &[AgentId] {
+        &self.successors
+    }
+
+    /// Integer voxel coordinates of a position (clamped into the grid).
+    #[inline]
+    pub fn box_coords(&self, p: Vec3<R>) -> [u32; 3] {
+        let rel = p - self.space.min;
+        let coord = |v: R, d: u32| -> u32 {
+            let idx = (v / self.box_length).floor().to_f64();
+            if idx < 0.0 {
+                0
+            } else {
+                (idx as u64).min(d as u64 - 1) as u32
+            }
+        };
+        [
+            coord(rel.x, self.dims[0]),
+            coord(rel.y, self.dims[1]),
+            coord(rel.z, self.dims[2]),
+        ]
+    }
+
+    /// Flat voxel index of a position (x-major).
+    #[inline]
+    pub fn box_index(&self, p: Vec3<R>) -> usize {
+        let [cx, cy, cz] = self.box_coords(p);
+        self.flat_index(cx, cy, cz)
+    }
+
+    /// Flat index of voxel coordinates.
+    #[inline]
+    pub fn flat_index(&self, cx: u32, cy: u32, cz: u32) -> usize {
+        (cz as usize * self.dims[1] as usize + cy as usize) * self.dims[0] as usize + cx as usize
+    }
+
+    /// Walk the agents of one voxel (via the successor list).
+    pub fn for_each_in_box<F: FnMut(AgentId)>(&self, flat: usize, mut visit: F) {
+        let mut cur = self.boxes[flat].start;
+        while !cur.is_null() {
+            visit(cur);
+            cur = self.successors[cur.index()];
+        }
+    }
+
+    /// Enumerate the flat indices of the ≤ 27 voxels around `p` (clamped
+    /// at the grid boundary, deduplicated).
+    pub fn neighbor_boxes(&self, p: Vec3<R>) -> NeighborBoxes {
+        let [cx, cy, cz] = self.box_coords(p);
+        NeighborBoxes::new(self, cx, cy, cz)
+    }
+
+    /// Visit every agent within `radius` of `q`, excluding `exclude`.
+    ///
+    /// Correctness requires `radius ≤ box_length` (asserted in debug
+    /// builds): the 27-voxel stencil only covers one voxel of margin.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_within<F: FnMut(AgentId)>(
+        &self,
+        xs: &[R],
+        ys: &[R],
+        zs: &[R],
+        q: Vec3<R>,
+        radius: R,
+        exclude: Option<AgentId>,
+        mut visit: F,
+    ) -> QueryCounters {
+        debug_assert!(
+            radius <= self.box_length,
+            "query radius exceeds the voxel edge; the 27-box stencil would miss neighbors"
+        );
+        let mut counters = QueryCounters::default();
+        let r2 = radius * radius;
+        for flat in self.neighbor_boxes(q) {
+            counters.boxes_scanned += 1;
+            let mut cur = self.boxes[flat].start;
+            while !cur.is_null() {
+                if Some(cur) != exclude {
+                    counters.points_tested += 1;
+                    let i = cur.index();
+                    let d = Vec3::new(xs[i], ys[i], zs[i]) - q;
+                    if d.norm_squared() <= r2 {
+                        counters.neighbors_found += 1;
+                        visit(cur);
+                    }
+                }
+                cur = self.successors[cur.index()];
+            }
+        }
+        counters
+    }
+
+    /// Collect neighbor ids into `out` (cleared first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn radius_search(
+        &self,
+        xs: &[R],
+        ys: &[R],
+        zs: &[R],
+        q: Vec3<R>,
+        radius: R,
+        exclude: Option<AgentId>,
+        out: &mut Vec<AgentId>,
+    ) -> QueryCounters {
+        out.clear();
+        self.for_each_within(xs, ys, zs, q, radius, exclude, |id| out.push(id))
+    }
+
+    /// Histogram of agents per voxel — used by tests and by the density
+    /// benchmark to report the realized neighborhood density.
+    pub fn occupancy_histogram(&self) -> Vec<(u32, usize)> {
+        let mut counts: std::collections::BTreeMap<u32, usize> = Default::default();
+        for b in &self.boxes {
+            *counts.entry(b.length).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Iterator over the flat indices of the ≤ 27 voxels surrounding a point.
+pub struct NeighborBoxes {
+    indices: [usize; 27],
+    len: usize,
+    next: usize,
+}
+
+impl NeighborBoxes {
+    fn new<R: Scalar>(grid: &UniformGrid<R>, cx: u32, cy: u32, cz: u32) -> Self {
+        let mut indices = [0usize; 27];
+        let mut len = 0;
+        let range = |c: u32, d: u32| {
+            let lo = c.saturating_sub(1);
+            let hi = (c + 1).min(d - 1);
+            lo..=hi
+        };
+        for z in range(cz, grid.dims[2]) {
+            for y in range(cy, grid.dims[1]) {
+                for x in range(cx, grid.dims[0]) {
+                    indices[len] = grid.flat_index(x, y, z);
+                    len += 1;
+                }
+            }
+        }
+        Self {
+            indices,
+            len,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for NeighborBoxes {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.next < self.len {
+            let v = self.indices[self.next];
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl ExactSizeIterator for NeighborBoxes {
+    fn len(&self) -> usize {
+        self.len - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_math::SplitMix64;
+
+    fn cloud(n: usize, seed: u64, extent: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let xs = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let ys = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let zs = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        (xs, ys, zs)
+    }
+
+    fn space(extent: f64) -> Aabb<f64> {
+        Aabb::new(Vec3::zero(), Vec3::splat(extent))
+    }
+
+    #[test]
+    fn layout_counts_voxels() {
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 2.0);
+        assert_eq!(g.dims(), [5, 5, 5]);
+        assert_eq!(g.num_boxes(), 125);
+        // Non-divisible extents round up.
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 3.0);
+        assert_eq!(g.dims(), [4, 4, 4]);
+    }
+
+    #[test]
+    fn box_membership_lengths_sum_to_n() {
+        let (xs, ys, zs) = cloud(500, 1, 20.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(20.0), 2.5);
+        let total: u32 = g.boxes().iter().map(|b| b.length).sum();
+        assert_eq!(total as usize, 500);
+    }
+
+    #[test]
+    fn linked_list_walk_matches_length() {
+        let (xs, ys, zs) = cloud(300, 2, 10.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(10.0), 2.0);
+        for flat in 0..g.num_boxes() {
+            let mut walked = 0;
+            g.for_each_in_box(flat, |_| walked += 1);
+            assert_eq!(walked, g.boxes()[flat].length);
+        }
+    }
+
+    #[test]
+    fn every_agent_is_in_its_own_box() {
+        let (xs, ys, zs) = cloud(200, 3, 10.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(10.0), 1.5);
+        for i in 0..200 {
+            let flat = g.box_index(Vec3::new(xs[i], ys[i], zs[i]));
+            let mut found = false;
+            g.for_each_in_box(flat, |id| found |= id.index() == i);
+            assert!(found, "agent {i} missing from its voxel");
+        }
+    }
+
+    #[test]
+    fn parallel_build_same_sets_as_serial() {
+        let (xs, ys, zs) = cloud(1000, 4, 25.0);
+        let s = UniformGrid::build_serial(&xs, &ys, &zs, space(25.0), 3.0);
+        let p = UniformGrid::build_parallel(&xs, &ys, &zs, space(25.0), 3.0);
+        assert_eq!(s.dims(), p.dims());
+        for flat in 0..s.num_boxes() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            s.for_each_in_box(flat, |id| a.push(id.0));
+            p.for_each_in_box(flat, |id| b.push(id.0));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "voxel {flat} differs");
+        }
+    }
+
+    #[test]
+    fn radius_search_matches_brute_force() {
+        let (xs, ys, zs) = cloud(600, 5, 15.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(15.0), 2.0);
+        let mut rng = SplitMix64::new(6);
+        for _ in 0..40 {
+            let q = Vec3::new(
+                rng.uniform(0.0, 15.0),
+                rng.uniform(0.0, 15.0),
+                rng.uniform(0.0, 15.0),
+            );
+            let r = rng.uniform(0.2, 2.0);
+            let mut got = Vec::new();
+            g.radius_search(&xs, &ys, &zs, q, r, None, &mut got);
+            let mut got: Vec<u32> = got.iter().map(|a| a.0).collect();
+            got.sort_unstable();
+            let r2 = r * r;
+            let expected: Vec<u32> = (0..600u32)
+                .filter(|&i| {
+                    let d = Vec3::new(xs[i as usize], ys[i as usize], zs[i as usize]) - q;
+                    d.norm_squared() <= r2
+                })
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn exclude_is_respected() {
+        let (xs, ys, zs) = cloud(100, 8, 5.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(5.0), 2.0);
+        let q = Vec3::new(xs[7], ys[7], zs[7]);
+        let mut got = Vec::new();
+        g.radius_search(&xs, &ys, &zs, q, 2.0, Some(AgentId(7)), &mut got);
+        assert!(!got.contains(&AgentId(7)));
+    }
+
+    #[test]
+    fn neighbor_boxes_interior_is_27() {
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 1.0);
+        let nb = g.neighbor_boxes(Vec3::splat(5.5));
+        assert_eq!(nb.count(), 27);
+    }
+
+    #[test]
+    fn neighbor_boxes_corner_is_8() {
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 1.0);
+        let nb = g.neighbor_boxes(Vec3::splat(0.1));
+        assert_eq!(nb.count(), 8);
+    }
+
+    #[test]
+    fn neighbor_boxes_face_is_18() {
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 1.0);
+        // Interior in x and y, on the low z face.
+        let nb = g.neighbor_boxes(Vec3::new(5.5, 5.5, 0.1));
+        assert_eq!(nb.count(), 18);
+    }
+
+    #[test]
+    fn single_voxel_grid_queries_work() {
+        let xs = vec![0.5, 0.6];
+        let ys = vec![0.5, 0.6];
+        let zs = vec![0.5, 0.6];
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(1.0), 2.0);
+        assert_eq!(g.num_boxes(), 1);
+        let mut got = Vec::new();
+        g.radius_search(&xs, &ys, &zs, Vec3::splat(0.5), 1.0, None, &mut got);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn counters_reflect_work() {
+        let (xs, ys, zs) = cloud(500, 10, 10.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(10.0), 2.0);
+        let mut out = Vec::new();
+        let c = g.radius_search(&xs, &ys, &zs, Vec3::splat(5.0), 2.0, None, &mut out);
+        assert_eq!(c.boxes_scanned, 27);
+        assert_eq!(c.neighbors_found as usize, out.len());
+        assert!(c.points_tested >= c.neighbors_found);
+        // Only a fraction of the cloud lives in the 27-voxel stencil.
+        assert!(c.points_tested < 500);
+    }
+
+    #[test]
+    fn agents_outside_space_are_clamped_into_grid() {
+        let xs = vec![-5.0, 15.0];
+        let ys = vec![0.5, 9.5];
+        let zs = vec![0.5, 9.5];
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(10.0), 2.0);
+        let total: u32 = g.boxes().iter().map(|b| b.length).sum();
+        assert_eq!(total, 2); // nothing lost
+    }
+
+    #[test]
+    fn neighbor_boxes_exact_size_iterator() {
+        let g = UniformGrid::build_serial(&[], &[], &[], space(10.0), 1.0);
+        let mut nb = g.neighbor_boxes(Vec3::splat(5.5));
+        assert_eq!(nb.len(), 27);
+        nb.next();
+        nb.next();
+        assert_eq!(nb.len(), 25);
+        assert_eq!(nb.count(), 25);
+    }
+
+    #[test]
+    fn degenerate_flat_cloud() {
+        // All agents in one plane: grid must still be correct when one
+        // dimension collapses to a single voxel.
+        let n = 200;
+        let mut rng = SplitMix64::new(31);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 20.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 20.0)).collect();
+        let zs = vec![3.0; n];
+        let flat_space = Aabb::new(Vec3::new(0.0, 0.0, 3.0), Vec3::new(20.0, 20.0, 3.0));
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, flat_space, 2.0);
+        assert_eq!(g.dims()[2], 1);
+        let q = Vec3::new(xs[0], ys[0], 3.0);
+        let mut got = Vec::new();
+        g.radius_search(&xs, &ys, &zs, q, 2.0, Some(AgentId(0)), &mut got);
+        let r2 = 4.0;
+        let expected: Vec<u32> = (1..n as u32)
+            .filter(|&i| {
+                let d = Vec3::new(xs[i as usize], ys[i as usize], zs[i as usize]) - q;
+                d.norm_squared() <= r2
+            })
+            .collect();
+        let mut ids: Vec<u32> = got.iter().map(|a| a.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn occupancy_histogram_sums() {
+        let (xs, ys, zs) = cloud(200, 12, 8.0);
+        let g = UniformGrid::build_serial(&xs, &ys, &zs, space(8.0), 2.0);
+        let hist = g.occupancy_histogram();
+        let boxes: usize = hist.iter().map(|&(_, c)| c).sum();
+        let agents: usize = hist.iter().map(|&(len, c)| len as usize * c).sum();
+        assert_eq!(boxes, g.num_boxes());
+        assert_eq!(agents, 200);
+    }
+}

@@ -1,0 +1,237 @@
+//! Sphere–sphere mechanical interaction — the paper's Eq. 1 (Fig. 1).
+//!
+//! ```text
+//! δ = r1 + r2 − ‖p1 − p2‖
+//! r = (r1 · r2) / (r1 + r2)
+//! F = (κ·δ − γ·√(r·δ)) · (p1 − p2) / ‖p1 − p2‖
+//! ```
+//!
+//! where κ is the repulsion coefficient and γ the attraction coefficient
+//! [Hauri 2013]. "After the collision force has been computed, we determine
+//! whether it is strong enough to break the adherence of the cell in
+//! question. If that is the case, then we integrate over the collision
+//! force to compute the final displacement. The length of the final
+//! displacement vector is generally limited by an upper bound" (§III).
+//!
+//! This module is the *single* implementation used by every execution
+//! path — serial CPU, rayon CPU, and all simulated-GPU kernel versions —
+//! so cross-backend equivalence tests compare like against like.
+
+use crate::scalar::Scalar;
+use crate::vec3::Vec3;
+
+/// Parameters of the mechanical interaction operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechParams<R> {
+    /// Repulsion coefficient κ.
+    pub repulsion: R,
+    /// Attraction coefficient γ.
+    pub attraction: R,
+    /// Integration timestep (displacement = force × timestep).
+    pub timestep: R,
+    /// Upper bound on the displacement vector length per step. Benchmark B
+    /// sets this to zero to freeze agents in place (constant density).
+    pub max_displacement: R,
+}
+
+impl<R: Scalar> MechParams<R> {
+    /// BioDynaMo-flavored defaults (repulsion 2, attraction 0.4, unit
+    /// timestep, displacement capped at 3 length units per step).
+    pub fn default_params() -> Self {
+        Self {
+            repulsion: R::TWO,
+            attraction: R::from_f64(0.4),
+            timestep: R::ONE,
+            max_displacement: R::from_f64(3.0),
+        }
+    }
+
+    /// Convert parameters to another precision.
+    pub fn cast<S: Scalar>(&self) -> MechParams<S> {
+        MechParams {
+            repulsion: S::from_f64(self.repulsion.to_f64()),
+            attraction: S::from_f64(self.attraction.to_f64()),
+            timestep: S::from_f64(self.timestep.to_f64()),
+            max_displacement: S::from_f64(self.max_displacement.to_f64()),
+        }
+    }
+}
+
+/// Collision force exerted *on the sphere at `p1`* by the sphere at `p2`
+/// (Eq. 1). Returns `None` when the spheres do not overlap (δ ≤ 0) or are
+/// exactly concentric (no defined direction).
+///
+/// ```
+/// use bdm_math::{collision_force, Vec3};
+/// // Two unit spheres overlapping by 1: sphere 1 is pushed in −x.
+/// let f = collision_force(Vec3::<f64>::zero(), 1.0, Vec3::new(1.0, 0.0, 0.0), 1.0, 2.0, 0.4)
+///     .unwrap();
+/// assert!(f.x < 0.0);
+/// // Separated spheres feel nothing.
+/// assert!(collision_force(Vec3::<f64>::zero(), 1.0, Vec3::new(3.0, 0.0, 0.0), 1.0, 2.0, 0.4)
+///     .is_none());
+/// ```
+#[inline]
+pub fn collision_force<R: Scalar>(
+    p1: Vec3<R>,
+    r1: R,
+    p2: Vec3<R>,
+    r2: R,
+    repulsion: R,
+    attraction: R,
+) -> Option<Vec3<R>> {
+    let delta_vec = p1 - p2;
+    let dist2 = delta_vec.norm_squared();
+    let sum_r = r1 + r2;
+    // Early-out on squared distance to avoid the sqrt for non-contacts —
+    // the same test the kernels use.
+    if dist2 >= sum_r * sum_r {
+        return None;
+    }
+    let dist = dist2.sqrt();
+    if dist <= R::EPSILON {
+        return None;
+    }
+    let delta = sum_r - dist;
+    let r_eff = (r1 * r2) / sum_r;
+    let magnitude = repulsion * delta - attraction * (r_eff * delta).sqrt();
+    Some(delta_vec * (magnitude / dist))
+}
+
+/// Number of FLOPs the force evaluation performs per *tested candidate*
+/// (distance test only) and per *contact* (full Eq. 1). Used by the CPU
+/// timing model so modeled FLOP counts match the executed arithmetic.
+pub const FLOPS_PER_DISTANCE_TEST: u64 = 9; // 3 subs, 3 muls, 2 adds, 1 cmp-add
+/// FLOPs for the full force evaluation of a contact (beyond the test).
+pub const FLOPS_PER_CONTACT: u64 = 16; // sqrt(≈1), div, muls/adds of Eq. 1
+
+/// Convert an accumulated collision force into the step displacement:
+/// zero unless the force magnitude exceeds the cell's adherence; then
+/// `F × timestep`, clamped to `max_displacement` in length.
+#[inline]
+pub fn displacement<R: Scalar>(force: Vec3<R>, adherence: R, params: &MechParams<R>) -> Vec3<R> {
+    let mag2 = force.norm_squared();
+    if mag2 <= adherence * adherence {
+        return Vec3::zero();
+    }
+    let disp = force * params.timestep;
+    let len2 = disp.norm_squared();
+    let max = params.max_displacement;
+    if max <= R::ZERO {
+        return Vec3::zero();
+    }
+    if len2 > max * max {
+        let len = len2.sqrt();
+        disp * (max / len)
+    } else {
+        disp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64, z: f64) -> Vec3<f64> {
+        Vec3::new(x, y, z)
+    }
+
+    const KAPPA: f64 = 2.0;
+    const GAMMA: f64 = 0.4;
+
+    #[test]
+    fn no_force_when_separated() {
+        // Radii 1+1, centers 3 apart: δ = -1.
+        assert!(collision_force(p(0.0, 0.0, 0.0), 1.0, p(3.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none());
+        // Exactly touching: δ = 0 → no force.
+        assert!(collision_force(p(0.0, 0.0, 0.0), 1.0, p(2.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none());
+    }
+
+    #[test]
+    fn overlapping_spheres_repel() {
+        let f = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        // Force on sphere 1 points away from sphere 2 (−x side pushes −x).
+        assert!(f.x < 0.0, "repulsion should push sphere 1 in −x, got {f:?}");
+        assert_eq!(f.y, 0.0);
+        assert_eq!(f.z, 0.0);
+    }
+
+    #[test]
+    fn matches_equation_by_hand() {
+        // r1 = r2 = 1, distance 1 ⇒ δ = 1, r_eff = 0.5.
+        // |F| = κ·1 − γ·√0.5, direction −x.
+        let f = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        let expected = -(KAPPA - GAMMA * 0.5f64.sqrt());
+        assert!((f.x - expected).abs() < 1e-12, "{} vs {}", f.x, expected);
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let (pa, ra) = (p(0.1, 0.2, 0.3), 1.2);
+        let (pb, rb) = (p(1.0, 0.5, 0.1), 0.9);
+        let fab = collision_force(pa, ra, pb, rb, KAPPA, GAMMA).unwrap();
+        let fba = collision_force(pb, rb, pa, ra, KAPPA, GAMMA).unwrap();
+        assert!((fab + fba).norm() < 1e-12);
+    }
+
+    #[test]
+    fn concentric_spheres_yield_no_force() {
+        assert!(collision_force(p(1.0, 1.0, 1.0), 1.0, p(1.0, 1.0, 1.0), 1.0, KAPPA, GAMMA).is_none());
+    }
+
+    #[test]
+    fn attraction_term_reduces_magnitude() {
+        let with = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        let without = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, 0.0).unwrap();
+        assert!(with.norm() < without.norm());
+    }
+
+    #[test]
+    fn displacement_requires_breaking_adherence() {
+        let params = MechParams::<f64>::default_params();
+        let weak = Vec3::new(0.1, 0.0, 0.0);
+        assert_eq!(displacement(weak, 1.0, &params), Vec3::zero());
+        let strong = Vec3::new(2.0, 0.0, 0.0);
+        assert_eq!(displacement(strong, 1.0, &params), strong * params.timestep);
+    }
+
+    #[test]
+    fn displacement_is_clamped() {
+        let params = MechParams::<f64> {
+            max_displacement: 1.0,
+            ..MechParams::default_params()
+        };
+        let huge = Vec3::new(100.0, 0.0, 0.0);
+        let d = displacement(huge, 0.0, &params);
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+        assert!(d.x > 0.0);
+    }
+
+    #[test]
+    fn zero_max_displacement_freezes_agents() {
+        // Benchmark B's trick: clamp = 0 keeps density constant.
+        let params = MechParams::<f64> {
+            max_displacement: 0.0,
+            ..MechParams::default_params()
+        };
+        let d = displacement(Vec3::new(50.0, 1.0, -3.0), 0.0, &params);
+        assert_eq!(d, Vec3::zero());
+    }
+
+    #[test]
+    fn fp32_force_close_to_fp64() {
+        let f64v = collision_force(p(0.0, 0.1, 0.2), 1.1, p(1.2, 0.4, 0.3), 0.8, KAPPA, GAMMA).unwrap();
+        let f32v = collision_force(
+            Vec3::<f32>::new(0.0, 0.1, 0.2),
+            1.1f32,
+            Vec3::<f32>::new(1.2, 0.4, 0.3),
+            0.8f32,
+            2.0f32,
+            0.4f32,
+        )
+        .unwrap();
+        for i in 0..3 {
+            assert!((f64v[i] - f32v[i] as f64).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Foundation math for the biodynamo workspace.
+//!
+//! This crate provides the small, dependency-light substrate everything else
+//! builds on:
+//!
+//! * [`Scalar`] — an abstraction over `f32`/`f64` so the whole simulation,
+//!   including the GPU kernels, can be instantiated at either precision.
+//!   This is the mechanism behind the paper's *Improvement I* (reduction in
+//!   floating-point precision): the same generic code is compiled at `f64`
+//!   (the BioDynaMo default) and `f32` (the GPU-friendly variant).
+//! * [`Vec3`] — a minimal 3-D vector with the operations the mechanical
+//!   force computation (paper Eq. 1) needs.
+//! * [`Aabb`] — axis-aligned bounding boxes used to size the simulation
+//!   space and the uniform grid.
+//! * [`stats`] — streaming statistics used by the benchmark harness.
+//! * [`rng`] — a tiny deterministic RNG (SplitMix64) so every experiment is
+//!   reproducible bit-for-bit across runs and thread counts.
+
+pub mod aabb;
+pub mod interaction;
+pub mod rng;
+pub mod scalar;
+pub mod stats;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use interaction::{collision_force, displacement, MechParams};
+pub use rng::SplitMix64;
+pub use scalar::Scalar;
+pub use stats::OnlineStats;
+pub use vec3::Vec3;

@@ -1,0 +1,171 @@
+//! Deterministic random number generation.
+//!
+//! Benchmark B spawns two million agents "on random positions in a
+//! variable-sized simulation space". For the reproduction to be
+//! deterministic across runs — and across the serial, rayon-parallel, and
+//! simulated-GPU execution paths — every stochastic choice flows from a
+//! seeded [`SplitMix64`]. SplitMix64 is a tiny, statistically solid
+//! generator (it seeds xoshiro in the reference implementations) with a
+//! trivially splittable state, which lets parallel workloads derive
+//! per-agent streams from `seed ^ agent_id` without coordination.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent stream for a work item (e.g. one agent).
+    /// The golden-ratio increment decorrelates consecutive ids.
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Self::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Burn one output so low-entropy (seed, stream) pairs diverge.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of entropy.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift reduction
+    /// (unbiased enough for workload generation; exact rejection is not
+    /// required here because `n` is always far below 2^32).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's
+    /// second member is discarded to keep the state machine simple).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = SplitMix64::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform(0.0, 10.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_values() {
+        let mut rng = SplitMix64::new(13);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SplitMix64::new(17);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s0 = SplitMix64::for_stream(100, 0);
+        let mut s1 = SplitMix64::for_stream(100, 1);
+        let equal = (0..64).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely to be identity
+    }
+}

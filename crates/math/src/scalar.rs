@@ -1,0 +1,220 @@
+//! The [`Scalar`] trait: a closed abstraction over `f32` and `f64`.
+//!
+//! BioDynaMo stores all floating-point agent state as `double`. The paper's
+//! *Improvement I* re-instantiates the GPU path at single precision, halving
+//! the bytes that must cross PCIe and the bytes fetched from device DRAM.
+//! To reproduce that as a type-level switch, every crate in this workspace
+//! is generic over `R: Scalar`, and the benchmark harness runs both
+//! `f64` and `f32` instantiations of the identical code.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point precision used by an agent-state instantiation.
+///
+/// Only `f32` and `f64` implement this trait; it is deliberately *not*
+/// open for downstream implementation (the GPU timing model needs to know
+/// the exact byte width and which throughput roof applies).
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Two, because `r1 + r2` style expressions are everywhere in Eq. 1.
+    const TWO: Self;
+    /// One half.
+    const HALF: Self;
+    /// Machine epsilon of this precision.
+    const EPSILON: Self;
+    /// Width of this scalar in bytes (4 for `f32`, 8 for `f64`).
+    ///
+    /// The GPU transfer/traffic model multiplies element counts by this to
+    /// get bytes moved — which is exactly why FP32 roughly doubles the
+    /// throughput of a memory-bound kernel (paper §VI).
+    const BYTES: usize;
+    /// `true` for `f64`. Selects the FP64 throughput roof in the device
+    /// timing model (32× slower than FP32 on the GTX 1080 Ti, 2× on V100).
+    const IS_F64: bool;
+    /// Human-readable precision name used in benchmark tables.
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (exact for `f64`, rounded for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (always exact).
+    fn to_f64(self) -> f64;
+    /// Conversion from a count.
+    fn from_usize(v: usize) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Minimum of two values (propagates the non-NaN operand like `f64::min`).
+    fn min(self, other: Self) -> Self;
+    /// Maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// Largest integer value less than or equal to `self`.
+    fn floor(self) -> Self;
+    /// Smallest integer value greater than or equal to `self`.
+    fn ceil(self) -> Self;
+    /// `e^self`; used by the diffusion decay term.
+    fn exp(self) -> Self;
+    /// `true` if the value is finite (not NaN/±inf).
+    fn is_finite(self) -> bool;
+    /// Clamp into `[lo, hi]`.
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        self.max(lo).min(hi)
+    }
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $bytes:expr, $is64:expr, $name:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = $bytes;
+            const IS_F64: bool = $is64;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                <$t>::floor(self)
+            }
+            #[inline(always)]
+            fn ceil(self) -> Self {
+                <$t>::ceil(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, 4, false, "fp32");
+impl_scalar!(f64, 8, true, "fp64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Scalar>() {
+        assert_eq!(R::ZERO.to_f64(), 0.0);
+        assert_eq!(R::ONE.to_f64(), 1.0);
+        assert_eq!(R::TWO.to_f64(), 2.0);
+        assert_eq!(R::HALF.to_f64(), 0.5);
+        assert_eq!(R::from_usize(7).to_f64(), 7.0);
+        assert_eq!(R::from_f64(1.5).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn constants_roundtrip_f32() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn constants_roundtrip_f64() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn byte_widths_match_precision() {
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        const { assert!(!<f32 as Scalar>::IS_F64) };
+        const { assert!(<f64 as Scalar>::IS_F64) };
+    }
+
+    #[test]
+    fn sqrt_and_abs() {
+        assert_eq!(<f64 as Scalar>::sqrt(9.0), 3.0);
+        assert_eq!(<f32 as Scalar>::sqrt(4.0f32), 2.0);
+        assert_eq!(Scalar::abs(-2.5f64), 2.5);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        for (v, expect) in [(5.0f64, 1.0), (-5.0, 0.0), (0.5, 0.5)] {
+            assert_eq!(Scalar::clamp(v, 0.0, 1.0), expect);
+        }
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Scalar::floor(1.7f32), 1.0);
+        assert_eq!(Scalar::ceil(1.2f64), 2.0);
+        assert_eq!(Scalar::floor(-0.5f64), -1.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Scalar::min(1.0f64, 2.0), 1.0);
+        assert_eq!(Scalar::max(1.0f32, 2.0), 2.0);
+    }
+
+    #[test]
+    fn f32_narrowing_is_lossy_but_close() {
+        let v = 0.1f64;
+        let narrowed = <f32 as Scalar>::from_f64(v).to_f64();
+        assert!((narrowed - v).abs() < 1e-7);
+        assert_ne!(narrowed, v); // 0.1 is not representable exactly in f32
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the math substrate: Eq. 1 physics, vector
+//! algebra, and the statistics accumulator.
+
+use bdm_math::interaction::{collision_force, displacement, MechParams};
+use bdm_math::{OnlineStats, Vec3};
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec3<f64>> {
+    (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// Newton's third law for arbitrary sphere pairs.
+    #[test]
+    fn force_is_antisymmetric(
+        p1 in vec3(),
+        p2 in vec3(),
+        r1 in 0.5f64..20.0,
+        r2 in 0.5f64..20.0,
+    ) {
+        let f12 = collision_force(p1, r1, p2, r2, 2.0, 0.4);
+        let f21 = collision_force(p2, r2, p1, r1, 2.0, 0.4);
+        match (f12, f21) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a + b).norm() < 1e-9 * (a.norm() + 1.0)),
+            _ => prop_assert!(false, "one side saw a contact the other missed"),
+        }
+    }
+
+    /// The force acts along the line of centers.
+    #[test]
+    fn force_is_central(
+        p1 in vec3(),
+        p2 in vec3(),
+        r1 in 0.5f64..20.0,
+        r2 in 0.5f64..20.0,
+    ) {
+        if let Some(f) = collision_force(p1, r1, p2, r2, 2.0, 0.4) {
+            let axis = p1 - p2;
+            let cross = Vec3::new(
+                f.y * axis.z - f.z * axis.y,
+                f.z * axis.x - f.x * axis.z,
+                f.x * axis.y - f.y * axis.x,
+            );
+            prop_assert!(cross.norm() < 1e-9 * (f.norm() * axis.norm() + 1.0));
+        }
+    }
+
+    /// Pure repulsion (γ = 0) grows monotonically with overlap depth.
+    #[test]
+    fn repulsion_monotone_in_overlap(
+        gap1 in 0.05f64..0.95,
+        gap2 in 0.05f64..0.95,
+    ) {
+        // Two unit spheres at center distance 2 - overlap.
+        let at = |overlap: f64| {
+            collision_force(
+                Vec3::zero(),
+                1.0,
+                Vec3::new(2.0 - overlap, 0.0, 0.0),
+                1.0,
+                2.0,
+                0.0,
+            )
+            .map(|f| f.norm())
+            .unwrap_or(0.0)
+        };
+        let (lo, hi) = if gap1 < gap2 { (gap1, gap2) } else { (gap2, gap1) };
+        prop_assert!(at(hi) >= at(lo), "deeper overlap must push harder");
+    }
+
+    /// No contact ⇒ no force, for any separation beyond r1 + r2.
+    #[test]
+    fn separated_spheres_never_interact(
+        r1 in 0.5f64..10.0,
+        r2 in 0.5f64..10.0,
+        extra in 0.001f64..100.0,
+        dir in vec3(),
+    ) {
+        let d = dir.try_normalized(1e-9).unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+        let p2 = d * (r1 + r2 + extra);
+        prop_assert!(collision_force(Vec3::zero(), r1, p2, r2, 2.0, 0.4).is_none());
+    }
+
+    /// Displacements never exceed the configured clamp.
+    #[test]
+    fn displacement_respects_clamp(
+        f in vec3(),
+        adherence in 0.0f64..5.0,
+        max_disp in 0.0f64..10.0,
+    ) {
+        let params = MechParams::<f64> {
+            max_displacement: max_disp,
+            ..MechParams::default_params()
+        };
+        let d = displacement(f, adherence, &params);
+        prop_assert!(d.norm() <= max_disp + 1e-12);
+        // And the adherence gate is a hard zero.
+        if f.norm() <= adherence {
+            prop_assert_eq!(d, Vec3::zero());
+        }
+    }
+
+    /// Vector algebra: the triangle inequality and dot-product bound.
+    #[test]
+    fn vector_inequalities(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    /// OnlineStats matches the naive two-pass computation.
+    #[test]
+    fn stats_match_two_pass(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * (1.0 + var));
+    }
+
+    /// Merging stats in any split position equals one-stream accumulation.
+    #[test]
+    fn stats_merge_any_split(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let k = 1 + split.index(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        whole.extend(xs.iter().copied());
+        let mut left = OnlineStats::new();
+        left.extend(xs[..k].iter().copied());
+        let mut right = OnlineStats::new();
+        right.extend(xs[k..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+}

@@ -1,0 +1,358 @@
+//! Z-order (Morton) space-filling curve — the paper's *Improvement II*.
+//!
+//! "A space-filling curve describes a path in multidimensional space that
+//! passes through the data points in consecutively local order. … For a
+//! Z-order curve, the Z-value of each data point can be computed by binary
+//! interleaving its coordinate values" (paper §IV-D, Fig. 6).
+//!
+//! The workflow the paper applies to BioDynaMo, reproduced here:
+//!
+//! 1. quantize each agent's position into integer voxel coordinates
+//!    ([`quantize`]),
+//! 2. interleave the coordinate bits into a 63-bit Z-value
+//!    ([`encode3`]),
+//! 3. argsort agents by Z-value and apply the permutation to every SoA
+//!    column ([`sort_permutation`] + `bdm_soa::Permutation`).
+//!
+//! After the sort, agents that are close in 3-D space are close in memory,
+//! so a GPU warp that walks a voxel neighborhood touches few distinct cache
+//! lines — the mechanism behind the paper's 2.6× kernel speedup.
+
+pub mod hilbert;
+
+use bdm_math::{Aabb, Scalar, Vec3};
+use bdm_soa::Permutation;
+use rayon::prelude::*;
+
+pub use hilbert::{hilbert_decode3, hilbert_encode3};
+
+/// Which space-filling curve orders the agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Curve {
+    /// Z-order / Morton — the paper's choice (cheap bit interleave).
+    #[default]
+    ZOrder,
+    /// Hilbert — no long jumps, costlier keys (the ablation alternative).
+    Hilbert,
+}
+
+impl Curve {
+    /// Key of quantized coordinates under this curve.
+    #[inline]
+    pub fn key(&self, x: u32, y: u32, z: u32) -> u64 {
+        match self {
+            Curve::ZOrder => encode3(x, y, z),
+            Curve::Hilbert => hilbert_encode3(x, y, z),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Curve::ZOrder => "z-order",
+            Curve::Hilbert => "hilbert",
+        }
+    }
+}
+
+/// Bits kept per coordinate. 3 × 21 = 63 bits fit a `u64` Z-value.
+pub const COORD_BITS: u32 = 21;
+/// Maximum representable quantized coordinate.
+pub const COORD_MAX: u32 = (1 << COORD_BITS) - 1;
+
+/// Spread the low 21 bits of `v` so that consecutive input bits land three
+/// positions apart (standard magic-mask dilation).
+#[inline]
+pub fn spread(v: u32) -> u64 {
+    let mut x = (v as u64) & COORD_MAX as u64;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread`]: compact every third bit back into 21 bits.
+#[inline]
+pub fn compact(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & COORD_MAX as u64;
+    x as u32
+}
+
+/// Interleave three 21-bit coordinates into a Z-value.
+/// Bit layout: `… z2 y2 x2 z1 y1 x1 z0 y0 x0` (x in the least significant
+/// lane, matching the classic Morton convention).
+///
+/// ```
+/// assert_eq!(bdm_morton::encode3(1, 1, 1), 0b111);
+/// assert_eq!(bdm_morton::decode3(bdm_morton::encode3(42, 7, 1000)), (42, 7, 1000));
+/// ```
+#[inline]
+pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x <= COORD_MAX && y <= COORD_MAX && z <= COORD_MAX);
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Recover the three coordinates of a Z-value.
+#[inline]
+pub fn decode3(m: u64) -> (u32, u32, u32) {
+    (compact(m), compact(m >> 1), compact(m >> 2))
+}
+
+/// 2-D encode, used for the Fig. 6 path illustration and its tests.
+#[inline]
+pub fn encode2(x: u32, y: u32) -> u64 {
+    let mut sx = x as u64;
+    sx = (sx | (sx << 16)) & 0x0000_FFFF_0000_FFFF;
+    sx = (sx | (sx << 8)) & 0x00FF_00FF_00FF_00FF;
+    sx = (sx | (sx << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    sx = (sx | (sx << 2)) & 0x3333_3333_3333_3333;
+    sx = (sx | (sx << 1)) & 0x5555_5555_5555_5555;
+    let mut sy = y as u64;
+    sy = (sy | (sy << 16)) & 0x0000_FFFF_0000_FFFF;
+    sy = (sy | (sy << 8)) & 0x00FF_00FF_00FF_00FF;
+    sy = (sy | (sy << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    sy = (sy | (sy << 2)) & 0x3333_3333_3333_3333;
+    sy = (sy | (sy << 1)) & 0x5555_5555_5555_5555;
+    sx | (sy << 1)
+}
+
+/// Quantize a position inside `space` into integer voxel coordinates with
+/// voxel edge `cell_len`. Positions below the lower boundary clamp to 0;
+/// coordinates saturate at [`COORD_MAX`].
+#[inline]
+pub fn quantize<R: Scalar>(p: Vec3<R>, space: &Aabb<R>, cell_len: R) -> (u32, u32, u32) {
+    debug_assert!(cell_len > R::ZERO);
+    let rel = p - space.min;
+    let q = |v: R| -> u32 {
+        let idx = (v / cell_len).floor().to_f64();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as u64).min(COORD_MAX as u64) as u32
+        }
+    };
+    (q(rel.x), q(rel.y), q(rel.z))
+}
+
+/// Z-value of a position (quantized at `cell_len` within `space`).
+#[inline]
+pub fn zvalue<R: Scalar>(p: Vec3<R>, space: &Aabb<R>, cell_len: R) -> u64 {
+    let (x, y, z) = quantize(p, space, cell_len);
+    encode3(x, y, z)
+}
+
+/// Compute the Z-values of all positions in parallel.
+///
+/// `xs`, `ys`, `zs` are the SoA position columns; `cell_len` is normally
+/// the uniform-grid box length, so agents in the same grid voxel share a
+/// key (the stable argsort then keeps them adjacent).
+pub fn zvalues<R: Scalar>(
+    xs: &[R],
+    ys: &[R],
+    zs: &[R],
+    space: &Aabb<R>,
+    cell_len: R,
+) -> Vec<u64> {
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), zs.len());
+    let compute = |i: usize| zvalue(Vec3::new(xs[i], ys[i], zs[i]), space, cell_len);
+    if xs.len() >= 1 << 14 {
+        (0..xs.len()).into_par_iter().map(compute).collect()
+    } else {
+        (0..xs.len()).map(compute).collect()
+    }
+}
+
+/// The permutation that sorts agents along the Z-order curve.
+pub fn sort_permutation<R: Scalar>(
+    xs: &[R],
+    ys: &[R],
+    zs: &[R],
+    space: &Aabb<R>,
+    cell_len: R,
+) -> Permutation {
+    sort_permutation_with(xs, ys, zs, space, cell_len, Curve::ZOrder)
+}
+
+/// The permutation that sorts agents along the chosen space-filling
+/// curve (quantized at `cell_len` within `space`).
+pub fn sort_permutation_with<R: Scalar>(
+    xs: &[R],
+    ys: &[R],
+    zs: &[R],
+    space: &Aabb<R>,
+    cell_len: R,
+    curve: Curve,
+) -> Permutation {
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), zs.len());
+    let compute = |i: usize| {
+        let (x, y, z) = quantize(Vec3::new(xs[i], ys[i], zs[i]), space, cell_len);
+        curve.key(x, y, z)
+    };
+    let keys: Vec<u64> = if xs.len() >= 1 << 14 {
+        (0..xs.len()).into_par_iter().map(compute).collect()
+    } else {
+        (0..xs.len()).map(compute).collect()
+    };
+    Permutation::sorting_by_key(&keys)
+}
+
+/// Average index distance in the given order between spatial neighbors —
+/// a locality diagnostic used by tests and the benchmark harness to verify
+/// that Morton sorting actually improves memory locality. O(n²); intended
+/// for diagnostic sample sizes only.
+pub fn mean_neighbor_index_distance(positions: &[(f64, f64, f64)], radius: f64) -> f64 {
+    let n = positions.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let r2 = radius * radius;
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for i in 0..n {
+        let (xi, yi, zi) = positions[i];
+        for (j, &(xj, yj, zj)) in positions.iter().enumerate().skip(i + 1) {
+            let d2 = (xi - xj).powi(2) + (yi - yj).powi(2) + (zi - zj).powi(2);
+            if d2 <= r2 {
+                total += (j - i) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_compact_roundtrip_small() {
+        for v in [0u32, 1, 2, 3, 255, 1 << 20, COORD_MAX] {
+            assert_eq!(compact(spread(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode3_known_values() {
+        assert_eq!(encode3(1, 0, 0), 0b001);
+        assert_eq!(encode3(0, 1, 0), 0b010);
+        assert_eq!(encode3(0, 0, 1), 0b100);
+        assert_eq!(encode3(1, 1, 1), 0b111);
+        // (2,0,0): x bit 1 → output bit 3.
+        assert_eq!(encode3(2, 0, 0), 0b1000);
+        assert_eq!(encode3(3, 3, 3), 0b111111);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for (x, y, z) in [(0, 0, 0), (1, 2, 3), (100, 2000, 30000), (COORD_MAX, 0, COORD_MAX)] {
+            assert_eq!(decode3(encode3(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn z_order_visits_quadrants_in_z_pattern() {
+        // Fig. 6: in 2-D the curve visits (0,0) (1,0) (0,1) (1,1) — a "Z".
+        let order: Vec<u64> = [(0u32, 0u32), (1, 0), (0, 1), (1, 1)]
+            .iter()
+            .map(|&(x, y)| encode2(x, y))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn encode2_four_level_path() {
+        // All 16 cells of a 4×4 grid enumerate 0..16 in Z-order.
+        let mut keys: Vec<(u64, (u32, u32))> = (0..4u32)
+            .flat_map(|y| (0..4u32).map(move |x| (encode2(x, y), (x, y))))
+            .collect();
+        keys.sort_unstable();
+        let ks: Vec<u64> = keys.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, (0..16u64).collect::<Vec<_>>());
+        // The first four cells in curve order are the lower-left 2×2 block.
+        let first_block: Vec<(u32, u32)> = keys[..4].iter().map(|&(_, c)| c).collect();
+        assert_eq!(first_block, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn quantize_boundaries() {
+        let space = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(10.0));
+        assert_eq!(quantize(Vec3::splat(0.0), &space, 1.0), (0, 0, 0));
+        assert_eq!(quantize(Vec3::new(0.99, 1.0, 9.99), &space, 1.0), (0, 1, 9));
+        assert_eq!(quantize(Vec3::splat(-5.0), &space, 1.0), (0, 0, 0));
+    }
+
+    #[test]
+    fn zvalue_same_voxel_same_key() {
+        let space = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(8.0));
+        let a = zvalue(Vec3::new(1.1, 2.2, 3.3), &space, 1.0);
+        let b = zvalue(Vec3::new(1.9, 2.8, 3.9), &space, 1.0);
+        assert_eq!(a, b);
+        let c = zvalue(Vec3::new(7.5, 7.5, 7.5), &space, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sort_permutation_sorts_keys() {
+        let space = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(16.0));
+        let mut rng = bdm_math::SplitMix64::new(3);
+        let n = 500;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 16.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 16.0)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 16.0)).collect();
+        let perm = sort_permutation(&xs, &ys, &zs, &space, 1.0);
+        let keys = zvalues(&xs, &ys, &zs, &space, 1.0);
+        let sorted = perm.apply(&keys);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn morton_sort_improves_locality_metric() {
+        // Random cloud: after Morton sorting, spatial neighbors should sit
+        // much closer together in index space than in insertion order.
+        let space = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(32.0));
+        let mut rng = bdm_math::SplitMix64::new(99);
+        let n = 800;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
+        let unsorted: Vec<(f64, f64, f64)> =
+            (0..n).map(|i| (xs[i], ys[i], zs[i])).collect();
+        let perm = sort_permutation(&xs, &ys, &zs, &space, 2.0);
+        let g = perm.gather_indices();
+        let sorted: Vec<(f64, f64, f64)> = g
+            .iter()
+            .map(|&i| (xs[i as usize], ys[i as usize], zs[i as usize]))
+            .collect();
+        let before = mean_neighbor_index_distance(&unsorted, 3.0);
+        let after = mean_neighbor_index_distance(&sorted, 3.0);
+        assert!(
+            after < before * 0.5,
+            "expected ≥2× locality improvement, got before={before:.1} after={after:.1}"
+        );
+    }
+
+    #[test]
+    fn f32_and_f64_quantize_identically_on_grid_points() {
+        let space64 = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(64.0));
+        let space32 = Aabb::new(Vec3::new(0.0f32, 0.0, 0.0), Vec3::splat(64.0));
+        for i in 0..32u32 {
+            let p64 = Vec3::new(i as f64 + 0.5, 1.5, 2.5);
+            let p32 = Vec3::new(i as f32 + 0.5, 1.5, 2.5);
+            assert_eq!(quantize(p64, &space64, 1.0), quantize(p32, &space32, 1.0));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Roofline analysis (paper §V–VI, Fig. 12).
+//!
+//! The paper quantifies how far the best GPU kernel sits from the
+//! hardware's limits with a roofline model [Williams et al. 2009],
+//! measuring the machine ceilings with the Empirical Roofline Tool (ERT)
+//! and the kernel's position with `nvprof`. The reproduction does the
+//! same against the *simulated* device:
+//!
+//! * [`ert`] sweeps microkernels of increasing arithmetic intensity
+//!   through the GPU simulator and recovers the empirical bandwidth and
+//!   compute ceilings — doubling as an end-to-end validation that the
+//!   timing model respects its own roofs.
+//! * [`model`] evaluates `attainable(AI) = min(peak, AI × bandwidth)` and
+//!   assembles the Fig. 12 data: ceilings plus one point per kernel run
+//!   (arithmetic intensity from counters, GFLOP/s from modeled time).
+
+pub mod ert;
+pub mod model;
+
+pub use ert::{ErtResult, ErtSweep};
+pub use model::{RooflineModel, RooflinePoint, RooflineReport};

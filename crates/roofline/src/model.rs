@@ -1,0 +1,209 @@
+//! Roofline model evaluation and the Fig. 12 report.
+
+use bdm_device::specs::GpuSpec;
+use bdm_gpu::counters::KernelCounters;
+
+/// Machine ceilings of a roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineModel {
+    /// FP32 compute roof in FLOP/s.
+    pub fp32_flops: f64,
+    /// FP64 compute roof in FLOP/s.
+    pub fp64_flops: f64,
+    /// Device-memory (HBM) bandwidth roof in bytes/s.
+    pub bandwidth: f64,
+}
+
+impl RooflineModel {
+    /// Ceilings straight from the device spec (the "theoretical" roofs).
+    pub fn from_spec(spec: &GpuSpec) -> Self {
+        Self {
+            fp32_flops: spec.fp32_flops,
+            fp64_flops: spec.fp64_flops,
+            bandwidth: spec.dram_bandwidth,
+        }
+    }
+
+    /// CPU roofline at a given thread count — the host-side counterpart
+    /// used when comparing where the same operation sits on each chip.
+    pub fn from_cpu(spec: &bdm_device::specs::CpuSpec, threads: u32) -> Self {
+        Self {
+            fp32_flops: spec.sustained_flops(threads, false),
+            fp64_flops: spec.sustained_flops(threads, true),
+            bandwidth: spec.bandwidth(threads),
+        }
+    }
+
+    /// Attainable FLOP/s at arithmetic intensity `ai` for a precision.
+    pub fn attainable(&self, ai: f64, fp64: bool) -> f64 {
+        let peak = if fp64 { self.fp64_flops } else { self.fp32_flops };
+        peak.min(ai * self.bandwidth)
+    }
+
+    /// The ridge point: the intensity where the bandwidth roof meets the
+    /// compute roof.
+    pub fn ridge(&self, fp64: bool) -> f64 {
+        let peak = if fp64 { self.fp64_flops } else { self.fp32_flops };
+        peak / self.bandwidth
+    }
+}
+
+/// One measured kernel on the roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label, e.g. `"n = 27"` (Fig. 12 labels points by density).
+    pub label: String,
+    /// Arithmetic intensity in FLOPs/byte.
+    pub arithmetic_intensity: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// L2 read share (the paper's cache-reuse diagnostic).
+    pub l2_read_share: f64,
+}
+
+impl RooflinePoint {
+    /// Build a point from a kernel's counters and modeled runtime.
+    pub fn from_counters(label: impl Into<String>, c: &KernelCounters, seconds: f64) -> Self {
+        Self {
+            label: label.into(),
+            arithmetic_intensity: c.arithmetic_intensity(),
+            gflops: c.total_flops() / seconds / 1e9,
+            l2_read_share: c.l2_read_share(),
+        }
+    }
+
+    /// Fraction of the attainable performance at this intensity this
+    /// point achieves (1.0 = sitting on the roof).
+    pub fn roof_fraction(&self, model: &RooflineModel, fp64: bool) -> f64 {
+        self.gflops * 1e9 / model.attainable(self.arithmetic_intensity, fp64)
+    }
+}
+
+/// A complete Fig. 12-style report.
+#[derive(Debug, Clone)]
+pub struct RooflineReport {
+    /// The machine ceilings.
+    pub model: RooflineModel,
+    /// Measured kernels.
+    pub points: Vec<RooflinePoint>,
+}
+
+impl RooflineReport {
+    /// Render as aligned text rows (the benchmark binaries print this).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "roofline ceilings: fp32 {:.2} TFLOP/s | fp64 {:.2} TFLOP/s | HBM {:.0} GB/s | fp32 ridge at {:.1} FLOP/B\n",
+            self.model.fp32_flops / 1e12,
+            self.model.fp64_flops / 1e12,
+            self.model.bandwidth / 1e9,
+            self.model.ridge(false),
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>12} {:>14} {:>12}\n",
+            "kernel", "AI (F/B)", "GFLOP/s", "attainable", "L2 share"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<14} {:>10.3} {:>12.1} {:>14.1} {:>11.1}%\n",
+                p.label,
+                p.arithmetic_intensity,
+                p.gflops,
+                self.model.attainable(p.arithmetic_intensity, false) / 1e9,
+                p.l2_read_share * 100.0
+            ));
+        }
+        out
+    }
+
+    /// CSV lines (`label,ai,gflops,l2_share`) for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,arithmetic_intensity,gflops,l2_read_share\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                p.label, p.arithmetic_intensity, p.gflops, p.l2_read_share
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_device::specs::{SYSTEM_A, SYSTEM_B};
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let m = RooflineModel::from_spec(&SYSTEM_B.gpu);
+        // Far left: bandwidth-limited.
+        assert_eq!(m.attainable(0.1, false), 0.1 * SYSTEM_B.gpu.dram_bandwidth);
+        // Far right: compute-limited.
+        assert_eq!(m.attainable(1e6, false), SYSTEM_B.gpu.fp32_flops);
+        // FP64 roof is lower.
+        assert!(m.attainable(1e6, true) < m.attainable(1e6, false));
+    }
+
+    #[test]
+    fn ridge_point_location() {
+        let m = RooflineModel::from_spec(&SYSTEM_B.gpu);
+        let ridge = m.ridge(false);
+        assert!((ridge - 15.7e12 / 900e9).abs() < 1e-9);
+        // At the ridge both roofs agree.
+        let at = m.attainable(ridge, false);
+        assert!((at - SYSTEM_B.gpu.fp32_flops).abs() / at < 1e-12);
+    }
+
+    #[test]
+    fn point_roof_fraction() {
+        let m = RooflineModel::from_spec(&SYSTEM_A.gpu);
+        let p = RooflinePoint {
+            label: "test".into(),
+            arithmetic_intensity: 1.0,
+            gflops: SYSTEM_A.gpu.dram_bandwidth / 1e9 / 2.0, // half the BW roof
+            l2_read_share: 0.4,
+        };
+        assert!((p.roof_fraction(&m, false) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_roofline_scales_with_threads() {
+        let four = RooflineModel::from_cpu(&SYSTEM_B.cpu, 4);
+        let thirty_two = RooflineModel::from_cpu(&SYSTEM_B.cpu, 32);
+        assert!(thirty_two.fp64_flops > four.fp64_flops * 7.0);
+        assert!(thirty_two.bandwidth >= four.bandwidth);
+        // The GPU roofs dwarf the CPU's — the premise of the paper.
+        let gpu = RooflineModel::from_spec(&SYSTEM_B.gpu);
+        assert!(gpu.bandwidth > thirty_two.bandwidth * 3.0);
+        assert!(gpu.fp64_flops > thirty_two.fp64_flops * 10.0);
+    }
+
+    #[test]
+    fn report_renders_all_points() {
+        let m = RooflineModel::from_spec(&SYSTEM_A.gpu);
+        let report = RooflineReport {
+            model: m,
+            points: vec![
+                RooflinePoint {
+                    label: "n = 6".into(),
+                    arithmetic_intensity: 0.5,
+                    gflops: 100.0,
+                    l2_read_share: 0.394,
+                },
+                RooflinePoint {
+                    label: "n = 47".into(),
+                    arithmetic_intensity: 0.9,
+                    gflops: 300.0,
+                    l2_read_share: 0.413,
+                },
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("n = 6"));
+        assert!(text.contains("n = 47"));
+        assert!(text.contains("39.4%"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

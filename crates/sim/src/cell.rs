@@ -1,0 +1,71 @@
+//! Cell construction.
+
+use crate::behavior::Behavior;
+use bdm_math::Vec3;
+
+/// Builder for a spherical cellular agent.
+#[derive(Debug, Clone)]
+pub struct CellBuilder {
+    pub(crate) position: Vec3<f64>,
+    pub(crate) diameter: f64,
+    pub(crate) adherence: f64,
+    pub(crate) behaviors: Vec<Behavior>,
+}
+
+impl CellBuilder {
+    /// A cell at a position with BioDynaMo-like defaults
+    /// (diameter 10 µm, adherence 0.4).
+    pub fn new(position: Vec3<f64>) -> Self {
+        Self {
+            position,
+            diameter: 10.0,
+            adherence: 0.4,
+            behaviors: Vec::new(),
+        }
+    }
+
+    /// Set the diameter.
+    pub fn diameter(mut self, d: f64) -> Self {
+        assert!(d > 0.0, "diameter must be positive");
+        self.diameter = d;
+        self
+    }
+
+    /// Set the adherence threshold (force needed to move the cell).
+    pub fn adherence(mut self, a: f64) -> Self {
+        assert!(a >= 0.0, "adherence must be non-negative");
+        self.adherence = a;
+        self
+    }
+
+    /// Attach a behavior (repeatable).
+    pub fn behavior(mut self, b: Behavior) -> Self {
+        self.behaviors.push(b);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let c = CellBuilder::new(Vec3::zero());
+        assert_eq!(c.diameter, 10.0);
+        assert_eq!(c.adherence, 0.4);
+        let c = c.diameter(5.0).adherence(0.1).behavior(Behavior::GrowthDivision {
+            growth_rate: 100.0,
+            division_threshold: 12.0,
+        });
+        assert_eq!(c.diameter, 5.0);
+        assert_eq!(c.adherence, 0.1);
+        assert_eq!(c.behaviors.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_diameter_rejected() {
+        CellBuilder::new(Vec3::zero()).diameter(0.0);
+    }
+}

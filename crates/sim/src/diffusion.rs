@@ -1,0 +1,330 @@
+//! Extracellular substance diffusion.
+//!
+//! "Operations that are independent of the agents, such as extracellular
+//! substance diffusion, are integral to biological systems … With
+//! BioDynaMo we can simulate the extracellular substance diffusion
+//! efficiently on a multi-core CPU, independently from the GPU
+//! operations" (§II). This module provides that CPU-side substrate:
+//! an explicit-Euler finite-difference solver for
+//! `∂c/∂t = D ∇²c − μ c` on a regular grid over the simulation space,
+//! with closed (zero-flux) or absorbing (Dirichlet-zero) boundaries.
+
+use bdm_math::{Aabb, Vec3};
+use rayon::prelude::*;
+
+/// Boundary handling of the diffusion grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryCondition {
+    /// Zero-flux walls: substance stays inside (mass conserved when the
+    /// decay constant is zero).
+    Closed,
+    /// Absorbing walls: concentration pinned to zero at the boundary.
+    Dirichlet,
+}
+
+/// Parameters of one substance.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffusionParams {
+    /// Human-readable substance name.
+    pub name: &'static str,
+    /// Diffusion coefficient D.
+    pub coefficient: f64,
+    /// First-order decay constant μ.
+    pub decay: f64,
+    /// Grid resolution per axis (`res³` voxels).
+    pub resolution: usize,
+    /// Boundary behavior.
+    pub boundary: BoundaryCondition,
+}
+
+impl DiffusionParams {
+    /// A typical oxygen-like substance on a 32³ lattice.
+    pub fn oxygen() -> Self {
+        Self {
+            name: "oxygen",
+            coefficient: 0.05,
+            decay: 0.0,
+            resolution: 32,
+            boundary: BoundaryCondition::Closed,
+        }
+    }
+}
+
+/// A regular-lattice substance concentration field.
+#[derive(Debug, Clone)]
+pub struct DiffusionGrid {
+    params: DiffusionParams,
+    space: Aabb<f64>,
+    res: usize,
+    voxel_len: Vec3<f64>,
+    /// Concentrations, x-major.
+    c: Vec<f64>,
+    /// Scratch buffer for the update sweep.
+    next: Vec<f64>,
+}
+
+impl DiffusionGrid {
+    /// Create a zero-initialized field over `space`.
+    pub fn new(params: DiffusionParams, space: Aabb<f64>) -> Self {
+        let res = params.resolution.max(2);
+        let n = res * res * res;
+        let e = space.extents();
+        Self {
+            params,
+            space,
+            res,
+            voxel_len: Vec3::new(e.x / res as f64, e.y / res as f64, e.z / res as f64),
+            c: vec![0.0; n],
+            next: vec![0.0; n],
+        }
+    }
+
+    /// Substance parameters.
+    pub fn params(&self) -> &DiffusionParams {
+        &self.params
+    }
+
+    /// Lattice resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.res
+    }
+
+    /// Number of voxels.
+    pub fn num_voxels(&self) -> usize {
+        self.c.len()
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.res + y) * self.res + x
+    }
+
+    /// Voxel coordinates of a position (clamped into the lattice).
+    #[inline]
+    pub fn voxel_of(&self, p: Vec3<f64>) -> [usize; 3] {
+        let rel = p - self.space.min;
+        let co = |v: f64, len: f64| -> usize {
+            if len <= 0.0 {
+                return 0;
+            }
+            ((v / len).floor().max(0.0) as usize).min(self.res - 1)
+        };
+        [
+            co(rel.x, self.voxel_len.x),
+            co(rel.y, self.voxel_len.y),
+            co(rel.z, self.voxel_len.z),
+        ]
+    }
+
+    /// Concentration at a position.
+    pub fn concentration_at(&self, p: Vec3<f64>) -> f64 {
+        let [x, y, z] = self.voxel_of(p);
+        self.c[self.idx(x, y, z)]
+    }
+
+    /// Set every voxel to `concentration` (initial conditions).
+    pub fn fill(&mut self, concentration: f64) {
+        self.c.fill(concentration);
+    }
+
+    /// Add `amount` at the voxel containing `p` (secretion).
+    pub fn secrete(&mut self, p: Vec3<f64>, amount: f64) {
+        let [x, y, z] = self.voxel_of(p);
+        let i = self.idx(x, y, z);
+        self.c[i] += amount;
+    }
+
+    /// Central-difference concentration gradient at a position.
+    pub fn gradient_at(&self, p: Vec3<f64>) -> Vec3<f64> {
+        let [x, y, z] = self.voxel_of(p);
+        let sample = |xx: isize, yy: isize, zz: isize| -> f64 {
+            let cx = xx.clamp(0, self.res as isize - 1) as usize;
+            let cy = yy.clamp(0, self.res as isize - 1) as usize;
+            let cz = zz.clamp(0, self.res as isize - 1) as usize;
+            self.c[self.idx(cx, cy, cz)]
+        };
+        let (x, y, z) = (x as isize, y as isize, z as isize);
+        Vec3::new(
+            (sample(x + 1, y, z) - sample(x - 1, y, z)) / (2.0 * self.voxel_len.x),
+            (sample(x, y + 1, z) - sample(x, y - 1, z)) / (2.0 * self.voxel_len.y),
+            (sample(x, y, z + 1) - sample(x, y, z - 1)) / (2.0 * self.voxel_len.z),
+        )
+    }
+
+    /// One explicit-Euler step of `∂c/∂t = D ∇²c − μ c` with `dt`.
+    /// Stability requires `D·dt/h² ≤ 1/6`; asserted in debug builds.
+    ///
+    /// Parallelized over z-slices with rayon (this is the operation
+    /// BioDynaMo keeps on the multi-core CPU while the GPU handles the
+    /// mechanical interactions). Returns the number of voxel updates
+    /// (work counter for the CPU timing model).
+    pub fn step(&mut self, dt: f64) -> u64 {
+        let res = self.res;
+        let h2 = Vec3::new(
+            self.voxel_len.x * self.voxel_len.x,
+            self.voxel_len.y * self.voxel_len.y,
+            self.voxel_len.z * self.voxel_len.z,
+        );
+        let d = self.params.coefficient;
+        debug_assert!(
+            d * dt * (1.0 / h2.x + 1.0 / h2.y + 1.0 / h2.z) <= 0.5 + 1e-9,
+            "explicit diffusion step unstable: reduce dt or coefficient"
+        );
+        let decay = self.params.decay;
+        let dirichlet = self.params.boundary == BoundaryCondition::Dirichlet;
+        let c = &self.c;
+
+        self.next
+            .par_chunks_mut(res * res)
+            .enumerate()
+            .for_each(|(z, slice)| {
+                let at = |x: usize, y: usize, zz: usize| c[(zz * res + y) * res + x];
+                for y in 0..res {
+                    for x in 0..res {
+                        let here = at(x, y, z);
+                        if dirichlet
+                            && (x == 0
+                                || y == 0
+                                || z == 0
+                                || x == res - 1
+                                || y == res - 1
+                                || z == res - 1)
+                        {
+                            slice[y * res + x] = 0.0;
+                            continue;
+                        }
+                        // Zero-flux: mirror the boundary neighbor.
+                        let xm = if x == 0 { here } else { at(x - 1, y, z) };
+                        let xp = if x == res - 1 { here } else { at(x + 1, y, z) };
+                        let ym = if y == 0 { here } else { at(x, y - 1, z) };
+                        let yp = if y == res - 1 { here } else { at(x, y + 1, z) };
+                        let zm = if z == 0 { here } else { at(x, y, z - 1) };
+                        let zp = if z == res - 1 { here } else { at(x, y, z + 1) };
+                        let lap = (xm + xp - 2.0 * here) / h2.x
+                            + (ym + yp - 2.0 * here) / h2.y
+                            + (zm + zp - 2.0 * here) / h2.z;
+                        slice[y * res + x] = here + dt * (d * lap - decay * here);
+                    }
+                }
+            });
+        std::mem::swap(&mut self.c, &mut self.next);
+        self.c.len() as u64
+    }
+
+    /// Total substance mass (× voxel volume omitted — lattice sum).
+    pub fn total_mass(&self) -> f64 {
+        self.c.iter().sum()
+    }
+
+    /// Peak concentration.
+    pub fn max_concentration(&self) -> f64 {
+        self.c.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(boundary: BoundaryCondition) -> DiffusionGrid {
+        DiffusionGrid::new(
+            DiffusionParams {
+                name: "test",
+                coefficient: 0.1,
+                decay: 0.0,
+                resolution: 16,
+                boundary,
+            },
+            Aabb::cube(8.0),
+        )
+    }
+
+    #[test]
+    fn mass_conserved_with_closed_boundaries() {
+        let mut g = grid(BoundaryCondition::Closed);
+        g.secrete(Vec3::zero(), 100.0);
+        let m0 = g.total_mass();
+        for _ in 0..50 {
+            g.step(0.5);
+        }
+        assert!((g.total_mass() - m0).abs() < 1e-9 * m0.max(1.0));
+    }
+
+    #[test]
+    fn mass_escapes_dirichlet_boundaries() {
+        let mut g = grid(BoundaryCondition::Dirichlet);
+        g.secrete(Vec3::zero(), 100.0);
+        let m0 = g.total_mass();
+        for _ in 0..400 {
+            g.step(0.5);
+        }
+        assert!(g.total_mass() < m0 * 0.9, "mass should leak out");
+    }
+
+    #[test]
+    fn diffusion_spreads_a_point_source() {
+        let mut g = grid(BoundaryCondition::Closed);
+        g.secrete(Vec3::zero(), 100.0);
+        let peak0 = g.max_concentration();
+        for _ in 0..20 {
+            g.step(0.5);
+        }
+        assert!(g.max_concentration() < peak0);
+        // A voxel away from the source now has non-zero concentration.
+        assert!(g.concentration_at(Vec3::new(2.0, 0.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    fn decay_reduces_mass() {
+        let mut g = DiffusionGrid::new(
+            DiffusionParams {
+                name: "t",
+                coefficient: 0.0,
+                decay: 0.1,
+                resolution: 8,
+                boundary: BoundaryCondition::Closed,
+            },
+            Aabb::cube(4.0),
+        );
+        g.secrete(Vec3::zero(), 10.0);
+        let m0 = g.total_mass();
+        g.step(1.0);
+        assert!((g.total_mass() - m0 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_points_toward_source() {
+        let mut g = grid(BoundaryCondition::Closed);
+        g.secrete(Vec3::zero(), 100.0);
+        for _ in 0..10 {
+            g.step(0.5);
+        }
+        // From +x of the source, the gradient points in −x (toward it).
+        let grad = g.gradient_at(Vec3::new(3.0, 0.0, 0.0));
+        assert!(grad.x < 0.0, "gradient {grad:?}");
+    }
+
+    #[test]
+    fn fill_sets_uniform_field() {
+        let mut g = grid(BoundaryCondition::Closed);
+        g.fill(0.75);
+        assert_eq!(g.concentration_at(Vec3::zero()), 0.75);
+        assert!((g.total_mass() - 0.75 * g.num_voxels() as f64).abs() < 1e-9);
+        // A uniform field is a diffusion fixed point.
+        g.step(0.5);
+        assert!((g.concentration_at(Vec3::splat(3.0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voxel_of_clamps() {
+        let g = grid(BoundaryCondition::Closed);
+        assert_eq!(g.voxel_of(Vec3::splat(-100.0)), [0, 0, 0]);
+        assert_eq!(g.voxel_of(Vec3::splat(100.0)), [15, 15, 15]);
+    }
+
+    #[test]
+    fn step_reports_voxel_work() {
+        let mut g = grid(BoundaryCondition::Closed);
+        assert_eq!(g.step(0.5), 16 * 16 * 16);
+    }
+}

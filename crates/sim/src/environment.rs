@@ -1,0 +1,124 @@
+//! The pluggable neighborhood environment.
+//!
+//! BioDynaMo's mechanical interaction needs, every step, the set of
+//! agents within the interaction radius of each agent. The paper's whole
+//! contribution is swapping the method that answers that query:
+//!
+//! * [`EnvironmentKind::KdTree`] — the v0.0.9 baseline: serial kd-tree
+//!   build + per-agent radius search;
+//! * [`EnvironmentKind::UniformGridSerial`] /
+//!   [`EnvironmentKind::UniformGridParallel`] — the paper's §IV-A
+//!   replacement (Fig. 5), with serial or lock-free parallel build;
+//! * [`EnvironmentKind::Gpu`] — the §IV-B offload: grid build and force
+//!   computation on the (simulated) device, in any kernel version and
+//!   either API frontend.
+
+use bdm_device::specs::{SystemSpec, SYSTEM_A, SYSTEM_B};
+use bdm_gpu::frontend::ApiFrontend;
+use bdm_gpu::pipeline::KernelVersion;
+
+/// Which benchmark system a GPU environment simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuSystem {
+    /// GTX 1080 Ti + Xeon E5-2640 v4 (Table I, System A).
+    A,
+    /// Tesla V100 + Xeon Gold 6130 (Table I, System B).
+    B,
+}
+
+impl GpuSystem {
+    /// The Table I spec.
+    pub fn spec(&self) -> SystemSpec {
+        match self {
+            GpuSystem::A => SYSTEM_A,
+            GpuSystem::B => SYSTEM_B,
+        }
+    }
+}
+
+/// The neighborhood method a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvironmentKind {
+    /// Serial kd-tree build + radius search (the replaced baseline).
+    KdTree,
+    /// Uniform grid, serial construction.
+    UniformGridSerial,
+    /// Uniform grid, rayon-parallel construction (the multithreaded
+    /// winner of §VI).
+    UniformGridParallel,
+    /// GPU offload of grid build + mechanical forces.
+    Gpu {
+        /// Simulated system.
+        system: GpuSystem,
+        /// CUDA- or OpenCL-style runtime.
+        frontend: ApiFrontend,
+        /// Kernel version (v0 … III, dynpar).
+        version: KernelVersion,
+        /// Warp trace sampling stride (1 = trace everything).
+        trace_sample: u64,
+    },
+}
+
+impl EnvironmentKind {
+    /// Default GPU environment: System A, CUDA, best kernel (version II),
+    /// full tracing.
+    pub fn gpu_default() -> Self {
+        EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V2Sorted,
+            trace_sample: 1,
+        }
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> String {
+        match self {
+            EnvironmentKind::KdTree => "kd-tree".into(),
+            EnvironmentKind::UniformGridSerial => "uniform grid (serial)".into(),
+            EnvironmentKind::UniformGridParallel => "uniform grid (parallel)".into(),
+            EnvironmentKind::Gpu {
+                system,
+                frontend,
+                version,
+                ..
+            } => format!(
+                "{} [{} / {}]",
+                version.label(),
+                frontend.name(),
+                system.spec().gpu.name
+            ),
+        }
+    }
+
+    /// `true` for the device-offloaded environment.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, EnvironmentKind::Gpu { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            EnvironmentKind::KdTree,
+            EnvironmentKind::UniformGridSerial,
+            EnvironmentKind::UniformGridParallel,
+            EnvironmentKind::gpu_default(),
+        ];
+        let labels: std::collections::HashSet<String> =
+            kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn gpu_system_specs() {
+        assert_eq!(GpuSystem::A.spec().gpu.name, "NVIDIA GTX 1080 Ti");
+        assert_eq!(GpuSystem::B.spec().gpu.name, "NVIDIA Tesla V100");
+        assert!(EnvironmentKind::gpu_default().is_gpu());
+        assert!(!EnvironmentKind::KdTree.is_gpu());
+    }
+}

@@ -1,0 +1,207 @@
+//! Snapshot export — the hook the paper's Fig. 2 visualization hangs off.
+//!
+//! BioDynaMo renders its cell-division demo through ParaView; this
+//! reproduction exports the same information (position, diameter, and a
+//! scalar the renderer can color by — Fig. 2 colors by diameter) as CSV,
+//! which any plotting tool ingests. Snapshots round-trip, so they double
+//! as a simple checkpoint format for tests.
+
+use crate::rm::ResourceManager;
+use crate::simulation::Simulation;
+use bdm_math::Vec3;
+use std::io::{self, BufRead, Write};
+
+/// One agent's exported state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotRow {
+    /// Stable unique id.
+    pub uid: u64,
+    /// Position.
+    pub position: Vec3<f64>,
+    /// Diameter (Fig. 2's color scalar).
+    pub diameter: f64,
+}
+
+/// A full population snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Step index the snapshot was taken at.
+    pub step: u64,
+    /// One row per agent, storage order.
+    pub rows: Vec<SnapshotRow>,
+}
+
+impl Snapshot {
+    /// Capture the current population of a simulation.
+    pub fn capture(sim: &Simulation) -> Self {
+        Self::from_rm(sim.rm(), sim.steps_executed())
+    }
+
+    /// Capture directly from a resource manager.
+    pub fn from_rm(rm: &ResourceManager, step: u64) -> Self {
+        let rows = (0..rm.len())
+            .map(|i| SnapshotRow {
+                uid: rm.uid(i),
+                position: rm.position(i),
+                diameter: rm.diameter(i),
+            })
+            .collect();
+        Self { step, rows }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Write as CSV (`uid,x,y,z,diameter`, with a `# step = n` header).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "# step = {}", self.step)?;
+        writeln!(w, "uid,x,y,z,diameter")?;
+        for r in &self.rows {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                r.uid, r.position.x, r.position.y, r.position.z, r.diameter
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Parse a snapshot written by [`Snapshot::write_csv`].
+    pub fn read_csv<R: BufRead>(r: R) -> io::Result<Self> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line == "uid,x,y,z,diameter" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# step = ") {
+                snap.step = rest.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {e}"))
+                })?;
+                continue;
+            }
+            let mut parts = line.split(',');
+            let mut next = |what: &str| -> io::Result<&str> {
+                parts.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: missing {what}"),
+                    )
+                })
+            };
+            let parse_err =
+                |e: std::num::ParseFloatError| io::Error::new(io::ErrorKind::InvalidData, e);
+            let uid: u64 = next("uid")?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+            let x: f64 = next("x")?.parse().map_err(parse_err)?;
+            let y: f64 = next("y")?.parse().map_err(parse_err)?;
+            let z: f64 = next("z")?.parse().map_err(parse_err)?;
+            let diameter: f64 = next("diameter")?.parse().map_err(parse_err)?;
+            snap.rows.push(SnapshotRow {
+                uid,
+                position: Vec3::new(x, y, z),
+                diameter,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Histogram of diameters in `bins` equal-width buckets — the data
+    /// behind Fig. 2's color scale.
+    pub fn diameter_histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        assert!(bins > 0);
+        if self.rows.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.rows.iter().map(|r| r.diameter).fold(f64::INFINITY, f64::min);
+        let hi = self
+            .rows
+            .iter()
+            .map(|r| r.diameter)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(1e-12);
+        let mut hist = vec![0usize; bins];
+        for r in &self.rows {
+            let b = (((r.diameter - lo) / width) as usize).min(bins - 1);
+            hist[b] += 1;
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellBuilder;
+    use crate::param::SimParams;
+
+    fn sample_sim() -> Simulation {
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        for i in 0..5 {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(i as f64, 0.5, -1.25)).diameter(2.0 + i as f64),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let sim = sample_sim();
+        let snap = Snapshot::capture(&sim);
+        let mut buf = Vec::new();
+        snap.write_csv(&mut buf).unwrap();
+        let parsed = Snapshot::read_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn capture_reflects_population() {
+        let sim = sample_sim();
+        let snap = Snapshot::capture(&sim);
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.rows[3].position, Vec3::new(3.0, 0.5, -1.25));
+        assert_eq!(snap.rows[3].diameter, 5.0);
+        assert_eq!(snap.step, 0);
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        let bad = "# step = 1\nuid,x,y,z,diameter\n1,2,3\n";
+        assert!(Snapshot::read_csv(bad.as_bytes()).is_err());
+        let bad_num = "# step = 1\n1,2,x,4,5\n";
+        assert!(Snapshot::read_csv(bad_num.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_population() {
+        let sim = sample_sim();
+        let snap = Snapshot::capture(&sim);
+        let hist = snap.diameter_histogram(3);
+        assert_eq!(hist.iter().map(|&(_, c)| c).sum::<usize>(), 5);
+        // Centers are ascending.
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_snapshot_is_fine() {
+        let snap = Snapshot::default();
+        let mut buf = Vec::new();
+        snap.write_csv(&mut buf).unwrap();
+        let parsed = Snapshot::read_csv(buf.as_slice()).unwrap();
+        assert!(parsed.is_empty());
+        assert!(snap.diameter_histogram(4).is_empty());
+    }
+}

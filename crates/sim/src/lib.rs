@@ -1,0 +1,48 @@
+//! The agent-based simulation platform — a from-scratch Rust analogue of
+//! the BioDynaMo core the paper builds on (v0.0.9, structs-of-arrays).
+//!
+//! A [`Simulation`] owns:
+//!
+//! * a [`ResourceManager`] — SoA storage of all cellular agents (position,
+//!   diameter, adherence, tractor force, behaviors);
+//! * an [`EnvironmentKind`] — the pluggable neighborhood method: kd-tree
+//!   (the baseline the paper replaces), uniform grid (serial or
+//!   rayon-parallel), or the simulated-GPU offload pipeline in any of the
+//!   paper's kernel versions;
+//! * zero or more [`DiffusionGrid`]s — extracellular substances evolved by
+//!   explicit-Euler reaction–diffusion on the CPU ("operations that are
+//!   independent of the agents, such as extracellular substance diffusion,
+//!   are integral to biological systems", §II);
+//! * a [`Profiler`] that records, per operation per step, both the wall
+//!   time on this host and the *work counters* that feed the Table I
+//!   machine models (see `bdm-device`).
+//!
+//! Each [`Simulation::step`] runs the operation pipeline:
+//! behaviors (growth/division/chemotaxis/secretion) → mechanical
+//! interactions (environment build + neighbor search + Eq. 1 forces +
+//! displacement) → bound space → diffusion.
+
+pub mod behavior;
+pub mod cell;
+pub mod diffusion;
+pub mod environment;
+pub mod io;
+pub mod mech;
+pub mod param;
+pub mod profiler;
+pub mod render;
+pub mod rm;
+pub mod simulation;
+pub mod timeseries;
+pub mod workload;
+
+pub use behavior::Behavior;
+pub use cell::CellBuilder;
+pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
+pub use environment::EnvironmentKind;
+pub use io::Snapshot;
+pub use param::SimParams;
+pub use profiler::{OpRecord, Profiler, StepProfile};
+pub use rm::ResourceManager;
+pub use simulation::{CustomOp, Simulation};
+pub use timeseries::TimeSeries;

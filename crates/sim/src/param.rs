@@ -1,0 +1,84 @@
+//! Simulation-wide parameters.
+
+use bdm_math::interaction::MechParams;
+use bdm_math::{Aabb, Vec3};
+
+/// Global parameters of a simulation (BioDynaMo's `Param`).
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// The bounded simulation space; agents are clamped into it by the
+    /// bound-space operation each step.
+    pub space: Aabb<f64>,
+    /// Mechanical interaction parameters (Eq. 1 coefficients, timestep,
+    /// displacement clamp).
+    pub mech: MechParams<f64>,
+    /// Master seed; every stochastic decision (division axes, benchmark
+    /// placement) derives deterministically from it.
+    pub seed: u64,
+    /// Override for the uniform-grid voxel edge / interaction radius.
+    /// `None` = the BioDynaMo policy: the largest agent diameter.
+    pub interaction_radius: Option<f64>,
+}
+
+impl SimParams {
+    /// Parameters for a cubic space `[-half, half]³`.
+    pub fn cube(half: f64) -> Self {
+        Self {
+            space: Aabb::cube(half),
+            mech: MechParams::default_params(),
+            seed: 0x5EED,
+            interaction_radius: None,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style mechanical-parameter override.
+    pub fn with_mech(mut self, mech: MechParams<f64>) -> Self {
+        self.mech = mech;
+        self
+    }
+
+    /// Builder-style interaction-radius override.
+    pub fn with_interaction_radius(mut self, r: f64) -> Self {
+        self.interaction_radius = Some(r);
+        self
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self::cube(100.0)
+    }
+}
+
+/// Convenience: center of the configured space.
+pub fn space_center(p: &SimParams) -> Vec3<f64> {
+    p.space.center()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_space_is_symmetric() {
+        let p = SimParams::cube(50.0);
+        assert_eq!(p.space.min, Vec3::splat(-50.0));
+        assert_eq!(p.space.max, Vec3::splat(50.0));
+        assert_eq!(space_center(&p), Vec3::zero());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = SimParams::cube(1.0)
+            .with_seed(99)
+            .with_interaction_radius(2.5);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.interaction_radius, Some(2.5));
+    }
+}

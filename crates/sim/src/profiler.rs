@@ -1,0 +1,214 @@
+//! Per-operation profiling — the machinery behind the Fig. 3 breakdown.
+//!
+//! Every step records, for each operation, the wall time on this host and
+//! the work phases for the Table I CPU model (plus the GPU report when
+//! the environment offloads). The Fig. 3 regenerator renders the
+//! aggregate shares; the Fig. 8–11 harnesses convert the recorded phases
+//! into modeled Xeon runtimes at arbitrary thread counts.
+
+use bdm_device::cpu::{CpuModel, Phase};
+use bdm_gpu::pipeline::GpuStepReport;
+
+/// One operation's record within one step.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Operation name ("behaviors", "grid build", …).
+    pub name: String,
+    /// Wall seconds on this host.
+    pub wall_s: f64,
+    /// Work counters for the CPU timing model (empty for GPU offload).
+    pub phases: Vec<Phase>,
+    /// The GPU offload report, when applicable.
+    pub gpu: Option<GpuStepReport>,
+}
+
+/// All operations of one step.
+#[derive(Debug, Clone, Default)]
+pub struct StepProfile {
+    /// Operation records in execution order.
+    pub records: Vec<OpRecord>,
+}
+
+/// Accumulates step profiles over a run.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    steps: Vec<StepProfile>,
+}
+
+impl Profiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one step's profile.
+    pub fn push(&mut self, step: StepProfile) {
+        self.steps.push(step);
+    }
+
+    /// Recorded steps.
+    pub fn steps(&self) -> &[StepProfile] {
+        &self.steps
+    }
+
+    /// Total wall seconds per operation name, aggregated over all steps,
+    /// in first-appearance order.
+    pub fn wall_totals(&self) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, f64> = Default::default();
+        for step in &self.steps {
+            for r in &step.records {
+                if !totals.contains_key(&r.name) {
+                    order.push(r.name.clone());
+                }
+                *totals.entry(r.name.clone()).or_default() += r.wall_s;
+            }
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let t = totals[&name];
+                (name, t)
+            })
+            .collect()
+    }
+
+    /// Fractions of total wall time per operation (the Fig. 3 pie).
+    pub fn wall_shares(&self) -> Vec<(String, f64)> {
+        let totals = self.wall_totals();
+        let sum: f64 = totals.iter().map(|(_, t)| t).sum();
+        if sum == 0.0 {
+            return totals;
+        }
+        totals.into_iter().map(|(n, t)| (n, t / sum)).collect()
+    }
+
+    /// Modeled total seconds on a Table I CPU at `threads` threads
+    /// (sums every recorded phase through the model; GPU-offloaded
+    /// operations contribute their modeled device time instead).
+    pub fn modeled_total(&self, model: &CpuModel, threads: u32) -> f64 {
+        let mut total = 0.0;
+        for step in &self.steps {
+            for r in &step.records {
+                total += model.total_time(&r.phases, threads);
+                if let Some(g) = &r.gpu {
+                    total += g.total_s;
+                }
+            }
+        }
+        total
+    }
+
+    /// Modeled seconds per operation name at `threads` threads.
+    pub fn modeled_per_op(&self, model: &CpuModel, threads: u32) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, f64> = Default::default();
+        for step in &self.steps {
+            for r in &step.records {
+                if !totals.contains_key(&r.name) {
+                    order.push(r.name.clone());
+                }
+                let mut t = model.total_time(&r.phases, threads);
+                if let Some(g) = &r.gpu {
+                    t += g.total_s;
+                }
+                *totals.entry(r.name.clone()).or_default() += t;
+            }
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let t = totals[&name];
+                (name, t)
+            })
+            .collect()
+    }
+
+    /// Render a Fig. 3-style text breakdown (shares of modeled time at
+    /// `threads` threads on `model`).
+    pub fn render_breakdown(&self, model: &CpuModel, threads: u32) -> String {
+        let per_op = self.modeled_per_op(model, threads);
+        let total: f64 = per_op.iter().map(|(_, t)| t).sum();
+        let mut out = format!(
+            "runtime profile ({} @ {} threads, modeled) — total {:.1} ms\n",
+            model.spec.name,
+            threads,
+            total * 1e3
+        );
+        for (name, t) in &per_op {
+            let share = if total > 0.0 { t / total * 100.0 } else { 0.0 };
+            let bar_len = (share / 2.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<22} {:>8.1} ms {:>5.1}%  {}\n",
+                name,
+                t * 1e3,
+                share,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_device::specs::SYSTEM_A;
+
+    fn record(name: &str, wall: f64, flops: f64) -> OpRecord {
+        OpRecord {
+            name: name.into(),
+            wall_s: wall,
+            phases: vec![Phase::parallel_fp64("p", flops, 0.0, 0.0)],
+            gpu: None,
+        }
+    }
+
+    #[test]
+    fn wall_totals_aggregate_across_steps() {
+        let mut p = Profiler::new();
+        p.push(StepProfile {
+            records: vec![record("a", 1.0, 0.0), record("b", 2.0, 0.0)],
+        });
+        p.push(StepProfile {
+            records: vec![record("a", 3.0, 0.0)],
+        });
+        let totals = p.wall_totals();
+        assert_eq!(totals, vec![("a".into(), 4.0), ("b".into(), 2.0)]);
+        let shares = p.wall_shares();
+        assert!((shares[0].1 - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_total_scales_with_threads() {
+        let mut p = Profiler::new();
+        p.push(StepProfile {
+            records: vec![record("force", 0.0, 1e9)],
+        });
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        let t1 = p.modeled_total(&m, 1);
+        let t8 = p.modeled_total(&m, 8);
+        assert!(t1 / t8 > 6.0);
+    }
+
+    #[test]
+    fn render_contains_ops_and_percentages() {
+        let mut p = Profiler::new();
+        p.push(StepProfile {
+            records: vec![record("mechanical forces", 0.0, 3e9), record("behaviors", 0.0, 1e9)],
+        });
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        let text = p.render_breakdown(&m, 4);
+        assert!(text.contains("mechanical forces"));
+        assert!(text.contains("behaviors"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn empty_profiler_is_harmless() {
+        let p = Profiler::new();
+        assert!(p.wall_totals().is_empty());
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        assert_eq!(p.modeled_total(&m, 4), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The resource manager: SoA storage of all agents.
+//!
+//! Mirrors BioDynaMo v0.0.9's structs-of-arrays engine (the property the
+//! paper exploits for cheap device transfers, §IV): every attribute of
+//! every agent lives in its own contiguous column.
+
+use crate::behavior::Behavior;
+use crate::cell::CellBuilder;
+use bdm_math::Vec3;
+use bdm_soa::{Column, SoaVec3};
+
+/// SoA storage of the whole agent population (precision: `f64`,
+/// BioDynaMo's storage default; GPU versions narrow on upload).
+#[derive(Debug, Clone, Default)]
+pub struct ResourceManager {
+    positions: SoaVec3<f64>,
+    diameters: Column<f64>,
+    adherences: Column<f64>,
+    /// Per-agent behavior lists (usually 0–2 entries).
+    behaviors: Column<Vec<Behavior>>,
+    /// Stable unique ids (survive reordering; seed per-agent RNG streams).
+    uids: Column<u64>,
+    next_uid: u64,
+}
+
+impl ResourceManager {
+    /// Empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.diameters.len()
+    }
+
+    /// `true` when no agents exist.
+    pub fn is_empty(&self) -> bool {
+        self.diameters.is_empty()
+    }
+
+    /// Add a cell; returns its index.
+    pub fn add(&mut self, cell: CellBuilder) -> usize {
+        let i = self.len();
+        self.positions.push(cell.position);
+        self.diameters.push(cell.diameter);
+        self.adherences.push(cell.adherence);
+        self.behaviors.push(cell.behaviors);
+        self.uids.push(self.next_uid);
+        self.next_uid += 1;
+        i
+    }
+
+    /// Remove agent `i` (swap-remove across every column).
+    pub fn remove(&mut self, i: usize) {
+        self.positions.swap_remove(i);
+        self.diameters.swap_remove(i);
+        self.adherences.swap_remove(i);
+        self.behaviors.swap_remove(i);
+        self.uids.swap_remove(i);
+    }
+
+    /// Position of agent `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> Vec3<f64> {
+        self.positions.get(i)
+    }
+
+    /// Overwrite agent `i`'s position.
+    #[inline]
+    pub fn set_position(&mut self, i: usize, p: Vec3<f64>) {
+        self.positions.set(i, p);
+    }
+
+    /// Translate agent `i`.
+    #[inline]
+    pub fn translate(&mut self, i: usize, delta: Vec3<f64>) {
+        self.positions.add_assign(i, delta);
+    }
+
+    /// Diameter of agent `i`.
+    #[inline]
+    pub fn diameter(&self, i: usize) -> f64 {
+        *self.diameters.get(i)
+    }
+
+    /// Overwrite agent `i`'s diameter.
+    #[inline]
+    pub fn set_diameter(&mut self, i: usize, d: f64) {
+        self.diameters.set(i, d);
+    }
+
+    /// Adherence of agent `i`.
+    #[inline]
+    pub fn adherence(&self, i: usize) -> f64 {
+        *self.adherences.get(i)
+    }
+
+    /// Stable unique id of agent `i`.
+    #[inline]
+    pub fn uid(&self, i: usize) -> u64 {
+        *self.uids.get(i)
+    }
+
+    /// Behaviors of agent `i`.
+    #[inline]
+    pub fn behaviors(&self, i: usize) -> &[Behavior] {
+        self.behaviors.get(i)
+    }
+
+    /// Largest diameter in the population — BioDynaMo's uniform-grid box
+    /// length policy ("each voxel … determined by the largest agent").
+    pub fn largest_diameter(&self) -> f64 {
+        self.diameters.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The position columns `(x, y, z)` — what the environments index and
+    /// the GPU pipeline uploads.
+    pub fn position_columns(&self) -> (&[f64], &[f64], &[f64]) {
+        self.positions.as_slices()
+    }
+
+    /// Diameter column.
+    pub fn diameter_column(&self) -> &[f64] {
+        self.diameters.as_slice()
+    }
+
+    /// Adherence column.
+    pub fn adherence_column(&self) -> &[f64] {
+        self.adherences.as_slice()
+    }
+
+    /// Sum of all agent volumes (conservation diagnostics in tests).
+    pub fn total_volume(&self) -> f64 {
+        self.diameters
+            .iter()
+            .map(|&d| crate::behavior::volume_of(d))
+            .sum()
+    }
+
+    /// Centroid of the population.
+    pub fn centroid(&self) -> Vec3<f64> {
+        let n = self.len().max(1) as f64;
+        let mut sum = Vec3::zero();
+        for i in 0..self.len() {
+            sum += self.position(i);
+        }
+        sum / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_at(x: f64) -> CellBuilder {
+        CellBuilder::new(Vec3::new(x, 0.0, 0.0))
+    }
+
+    #[test]
+    fn add_assigns_monotonic_uids() {
+        let mut rm = ResourceManager::new();
+        let a = rm.add(cell_at(0.0));
+        let b = rm.add(cell_at(1.0));
+        assert_eq!(rm.uid(a), 0);
+        assert_eq!(rm.uid(b), 1);
+        assert_eq!(rm.len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_columns_aligned() {
+        let mut rm = ResourceManager::new();
+        rm.add(cell_at(0.0).diameter(1.0));
+        rm.add(cell_at(1.0).diameter(2.0));
+        rm.add(cell_at(2.0).diameter(3.0));
+        rm.remove(0);
+        assert_eq!(rm.len(), 2);
+        // Swap-remove moved the last agent into slot 0.
+        assert_eq!(rm.position(0).x, 2.0);
+        assert_eq!(rm.diameter(0), 3.0);
+        assert_eq!(rm.uid(0), 2);
+    }
+
+    #[test]
+    fn largest_diameter_tracks_population() {
+        let mut rm = ResourceManager::new();
+        assert_eq!(rm.largest_diameter(), 0.0);
+        rm.add(cell_at(0.0).diameter(4.0));
+        rm.add(cell_at(1.0).diameter(9.0));
+        assert_eq!(rm.largest_diameter(), 9.0);
+    }
+
+    #[test]
+    fn position_columns_are_soa() {
+        let mut rm = ResourceManager::new();
+        rm.add(CellBuilder::new(Vec3::new(1.0, 2.0, 3.0)));
+        rm.add(CellBuilder::new(Vec3::new(4.0, 5.0, 6.0)));
+        let (x, y, z) = rm.position_columns();
+        assert_eq!(x, &[1.0, 4.0]);
+        assert_eq!(y, &[2.0, 5.0]);
+        assert_eq!(z, &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn translate_moves_agent() {
+        let mut rm = ResourceManager::new();
+        rm.add(cell_at(1.0));
+        rm.translate(0, Vec3::new(0.5, -1.0, 2.0));
+        assert_eq!(rm.position(0), Vec3::new(1.5, -1.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_and_volume() {
+        let mut rm = ResourceManager::new();
+        rm.add(cell_at(0.0).diameter(2.0));
+        rm.add(cell_at(2.0).diameter(2.0));
+        assert_eq!(rm.centroid(), Vec3::new(1.0, 0.0, 0.0));
+        assert!((rm.total_volume() - 2.0 * crate::behavior::volume_of(2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,576 @@
+//! The simulation object and its operation scheduler.
+
+use crate::behavior::{diameter_of, volume_of, Behavior};
+use crate::cell::CellBuilder;
+use crate::diffusion::{DiffusionGrid, DiffusionParams};
+use crate::environment::EnvironmentKind;
+use crate::mech::{self, MechWork};
+use crate::param::SimParams;
+use crate::profiler::{OpRecord, Profiler, StepProfile};
+use crate::rm::ResourceManager;
+use bdm_device::cpu::Phase;
+use bdm_gpu::pipeline::MechanicalPipeline;
+use bdm_math::{SplitMix64, Vec3};
+use std::time::Instant;
+
+/// A user-defined operation, run once per step after the built-in
+/// pipeline (BioDynaMo's extension point: "researchers can implement
+/// their models on top of BioDynaMo's … execution engine", abstract).
+///
+/// Implementors get mutable access to the agent storage and the
+/// substance grids. The scheduler profiles each custom operation under
+/// its [`CustomOp::name`].
+pub trait CustomOp: Send {
+    /// Name shown in the profiler.
+    fn name(&self) -> &str;
+    /// Execute for this step.
+    fn run(&mut self, step: u64, rm: &mut ResourceManager, substances: &mut [DiffusionGrid]);
+}
+
+/// A complete simulation: agents + environment + substances + scheduler.
+pub struct Simulation {
+    params: SimParams,
+    rm: ResourceManager,
+    env: EnvironmentKind,
+    diffusion: Vec<DiffusionGrid>,
+    profiler: Profiler,
+    pipeline: Option<MechanicalPipeline>,
+    steps_executed: u64,
+    /// Density measured by the last mechanical step (paper's `n`).
+    last_mech: Option<MechWork>,
+    custom_ops: Vec<Box<dyn CustomOp>>,
+}
+
+impl Simulation {
+    /// New simulation with the default environment (parallel uniform
+    /// grid — BioDynaMo's production configuration after the paper).
+    pub fn new(params: SimParams) -> Self {
+        Self {
+            params,
+            rm: ResourceManager::new(),
+            env: EnvironmentKind::UniformGridParallel,
+            diffusion: Vec::new(),
+            profiler: Profiler::new(),
+            pipeline: None,
+            steps_executed: 0,
+            last_mech: None,
+            custom_ops: Vec::new(),
+        }
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The agent storage.
+    pub fn rm(&self) -> &ResourceManager {
+        &self.rm
+    }
+
+    /// Mutable agent storage (model construction).
+    pub fn rm_mut(&mut self) -> &mut ResourceManager {
+        &mut self.rm
+    }
+
+    /// The profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Steps executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// The last mechanical step's work summary (density metric etc.).
+    pub fn last_mech_work(&self) -> Option<&MechWork> {
+        self.last_mech.as_ref()
+    }
+
+    /// Select the neighborhood environment.
+    pub fn set_environment(&mut self, env: EnvironmentKind) {
+        if let EnvironmentKind::Gpu {
+            system,
+            frontend,
+            version,
+            trace_sample,
+        } = env
+        {
+            self.pipeline = Some(MechanicalPipeline::new(
+                system.spec(),
+                frontend,
+                version,
+                trace_sample,
+            ));
+        } else {
+            self.pipeline = None;
+        }
+        self.env = env;
+    }
+
+    /// The active environment.
+    pub fn environment(&self) -> &EnvironmentKind {
+        &self.env
+    }
+
+    /// Add one cell.
+    pub fn add_cell(&mut self, cell: CellBuilder) -> usize {
+        self.rm.add(cell)
+    }
+
+    /// Register a user-defined operation, appended to the per-step
+    /// pipeline after diffusion.
+    pub fn add_operation(&mut self, op: Box<dyn CustomOp>) {
+        self.custom_ops.push(op);
+    }
+
+    /// Add a substance; returns its index (referenced by behaviors).
+    pub fn add_diffusion_grid(&mut self, params: DiffusionParams) -> usize {
+        self.diffusion.push(DiffusionGrid::new(params, self.params.space));
+        self.diffusion.len() - 1
+    }
+
+    /// Access a substance grid.
+    pub fn diffusion_grid(&self, i: usize) -> &DiffusionGrid {
+        &self.diffusion[i]
+    }
+
+    /// Mutable access to a substance grid (initial conditions).
+    pub fn diffusion_grid_mut(&mut self, i: usize) -> &mut DiffusionGrid {
+        &mut self.diffusion[i]
+    }
+
+    /// Run `n` steps.
+    pub fn simulate(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Execute one step of the operation pipeline:
+    /// behaviors → mechanical interactions → bound space → diffusion.
+    pub fn step(&mut self) {
+        let mut profile = StepProfile::default();
+
+        // --- Behaviors (growth/division, chemotaxis, secretion) ---
+        let t = Instant::now();
+        let (behaviors_run, divisions) = self.run_behaviors();
+        profile.records.push(OpRecord {
+            name: "behaviors".into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            phases: vec![Phase::parallel_fp64(
+                "behaviors",
+                20.0 * behaviors_run as f64 + 60.0 * divisions as f64,
+                64.0 * behaviors_run as f64,
+                divisions as f64,
+            )],
+            gpu: None,
+        });
+
+        // --- Mechanical interactions (environment-dependent) ---
+        let t = Instant::now();
+        let work = mech::mechanical_step(
+            &mut self.rm,
+            &self.params,
+            &self.env,
+            self.pipeline.as_ref(),
+        );
+        let wall = t.elapsed().as_secs_f64();
+        // Record the three sub-phases under names matching Fig. 3.
+        if work.gpu.is_some() {
+            profile.records.push(OpRecord {
+                name: "mechanical interactions (GPU)".into(),
+                wall_s: wall,
+                phases: Vec::new(),
+                gpu: work.gpu.clone(),
+            });
+        } else {
+            for (k, phase) in work.phases.iter().enumerate() {
+                profile.records.push(OpRecord {
+                    name: phase.name.into(),
+                    wall_s: work.wall_s[k],
+                    phases: vec![*phase],
+                    gpu: None,
+                });
+            }
+        }
+        self.last_mech = Some(work);
+
+        // --- Bound space ---
+        let t = Instant::now();
+        let clamped = self.bound_space();
+        profile.records.push(OpRecord {
+            name: "bound space".into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            phases: vec![Phase::parallel_fp64(
+                "bound space",
+                6.0 * self.rm.len() as f64,
+                48.0 * self.rm.len() as f64,
+                clamped as f64,
+            )],
+            gpu: None,
+        });
+
+        // --- Diffusion ---
+        if !self.diffusion.is_empty() {
+            let t = Instant::now();
+            let mut voxels = 0u64;
+            let dt = self.params.mech.timestep;
+            for g in &mut self.diffusion {
+                voxels += g.step(dt);
+            }
+            profile.records.push(OpRecord {
+                name: "diffusion".into(),
+                wall_s: t.elapsed().as_secs_f64(),
+                phases: vec![Phase::parallel_fp64(
+                    "diffusion",
+                    10.0 * voxels as f64,
+                    16.0 * voxels as f64,
+                    0.0,
+                )],
+                gpu: None,
+            });
+        }
+
+        // --- Custom operations ---
+        for op in &mut self.custom_ops {
+            let t = Instant::now();
+            op.run(self.steps_executed, &mut self.rm, &mut self.diffusion);
+            profile.records.push(OpRecord {
+                name: op.name().to_string(),
+                wall_s: t.elapsed().as_secs_f64(),
+                phases: Vec::new(),
+                gpu: None,
+            });
+        }
+
+        self.profiler.push(profile);
+        self.steps_executed += 1;
+    }
+
+    /// Execute every agent's behaviors; returns (behaviors run,
+    /// divisions performed).
+    fn run_behaviors(&mut self) -> (u64, u64) {
+        let n0 = self.rm.len();
+        let mut behaviors_run = 0u64;
+        let mut divisions = 0u64;
+        let mut deaths: Vec<usize> = Vec::new();
+        let step = self.steps_executed;
+        for i in 0..n0 {
+            // Copy the behavior list (usually ≤ 2 entries) so the borrow
+            // of `rm` can be released for the mutations below.
+            let behaviors: Vec<Behavior> = self.rm.behaviors(i).to_vec();
+            for b in behaviors {
+                behaviors_run += 1;
+                match b {
+                    Behavior::GrowthDivision {
+                        growth_rate,
+                        division_threshold,
+                    } => {
+                        let d = self.rm.diameter(i);
+                        let vol = volume_of(d) + growth_rate;
+                        let new_d = diameter_of(vol);
+                        if new_d >= division_threshold {
+                            divisions += 1;
+                            self.divide(i, vol, step);
+                        } else {
+                            self.rm.set_diameter(i, new_d);
+                        }
+                    }
+                    Behavior::Chemotaxis { substance, speed } => {
+                        let p = self.rm.position(i);
+                        let grad = self.diffusion[substance].gradient_at(p);
+                        if let Some(dir) = grad.try_normalized(1e-12) {
+                            self.rm.translate(i, dir * speed);
+                        }
+                    }
+                    Behavior::Secretion { substance, rate } => {
+                        let p = self.rm.position(i);
+                        self.diffusion[substance].secrete(p, rate);
+                    }
+                    Behavior::Apoptosis { probability } => {
+                        let uid = self.rm.uid(i);
+                        let mut rng =
+                            SplitMix64::for_stream(self.params.seed ^ (step << 32) ^ 0xDEAD, uid);
+                        if rng.next_f64() < probability {
+                            deaths.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        // Apply deaths after the loop, highest index first, so earlier
+        // swap-removes cannot move an agent that is still scheduled to
+        // die (swap_remove moves the *last* agent into the hole).
+        deaths.sort_unstable();
+        deaths.dedup();
+        for &i in deaths.iter().rev() {
+            self.rm.remove(i);
+        }
+        (behaviors_run, divisions)
+    }
+
+    /// Split mother `i` (with grown volume `vol`) into two equal
+    /// daughters. The division axis is deterministic per (seed, uid,
+    /// step) so every environment reproduces the same trajectory.
+    fn divide(&mut self, i: usize, vol: f64, step: u64) {
+        let half = vol / 2.0;
+        let new_d = diameter_of(half);
+        let mother_pos = self.rm.position(i);
+        let uid = self.rm.uid(i);
+        let mut rng = SplitMix64::for_stream(self.params.seed ^ (step << 32), uid);
+        // Random unit axis via normalized Gaussian triple.
+        let dir = Vec3::new(rng.normal(), rng.normal(), rng.normal())
+            .try_normalized(1e-12)
+            .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+        let offset = dir * (new_d * 0.5);
+        self.rm.set_diameter(i, new_d);
+        self.rm.set_position(i, mother_pos - offset);
+        let daughter = CellBuilder {
+            position: mother_pos + offset,
+            diameter: new_d,
+            adherence: self.rm.adherence(i),
+            behaviors: self.rm.behaviors(i).to_vec(),
+        };
+        self.rm.add(daughter);
+    }
+
+    /// Clamp every agent into the simulation space; returns how many
+    /// needed clamping.
+    fn bound_space(&mut self) -> u64 {
+        let space = self.params.space;
+        let mut clamped = 0u64;
+        for i in 0..self.rm.len() {
+            let p = self.rm.position(i);
+            let q = space.clamp_point(p);
+            if q != p {
+                self.rm.set_position(i, q);
+                clamped += 1;
+            }
+        }
+        clamped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusion::BoundaryCondition;
+
+    fn growth_cell(pos: Vec3<f64>) -> CellBuilder {
+        CellBuilder::new(pos)
+            .diameter(10.0)
+            .adherence(0.4)
+            .behavior(Behavior::GrowthDivision {
+                growth_rate: 100.0,
+                division_threshold: 10.5,
+            })
+    }
+
+    #[test]
+    fn growth_leads_to_division() {
+        let mut sim = Simulation::new(SimParams::cube(100.0));
+        sim.add_cell(growth_cell(Vec3::zero()));
+        // Volume 523.6 + 100 = 623.6 exceeds the threshold volume
+        // (≈ 606.1 at d = 10.5): the cell divides on the first step.
+        sim.simulate(1);
+        assert_eq!(sim.rm().len(), 2, "division expected at step 1");
+        // Daughters share the mother's grown volume.
+        let v: f64 = sim.rm().total_volume();
+        assert!((v - (volume_of(10.0) + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_is_deterministic() {
+        let run = || {
+            let mut sim = Simulation::new(SimParams::cube(100.0).with_seed(77));
+            sim.add_cell(growth_cell(Vec3::zero()));
+            sim.simulate(5);
+            (0..sim.rm().len())
+                .map(|i| sim.rm().position(i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bound_space_clamps_escapees() {
+        let mut sim = Simulation::new(SimParams::cube(1.0));
+        sim.add_cell(CellBuilder::new(Vec3::new(5.0, 0.0, 0.0)).diameter(0.5));
+        sim.simulate(1);
+        let p = sim.rm().position(0);
+        assert!(sim.params().space.contains(p));
+    }
+
+    #[test]
+    fn profiler_records_every_operation() {
+        let mut sim = Simulation::new(SimParams::cube(50.0));
+        sim.add_cell(growth_cell(Vec3::zero()));
+        sim.add_diffusion_grid(DiffusionParams {
+            name: "o2",
+            coefficient: 0.1,
+            decay: 0.0,
+            resolution: 8,
+            boundary: BoundaryCondition::Closed,
+        });
+        sim.simulate(1);
+        let names: Vec<String> = sim.profiler().steps()[0]
+            .records
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        assert!(names.contains(&"behaviors".to_string()));
+        assert!(names.contains(&"mechanical forces".to_string()));
+        assert!(names.contains(&"bound space".to_string()));
+        assert!(names.contains(&"diffusion".to_string()));
+    }
+
+    #[test]
+    fn chemotaxis_climbs_gradient() {
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        let s = sim.add_diffusion_grid(DiffusionParams {
+            name: "signal",
+            coefficient: 0.2,
+            decay: 0.0,
+            resolution: 16,
+            boundary: BoundaryCondition::Closed,
+        });
+        // Source on the +x side; cell starts at the center.
+        sim.diffusion_grid_mut(s).secrete(Vec3::new(8.0, 0.0, 0.0), 1000.0);
+        for _ in 0..30 {
+            sim.diffusion_grid_mut(s).step(0.4);
+        }
+        sim.add_cell(
+            CellBuilder::new(Vec3::zero())
+                .diameter(1.0)
+                .behavior(Behavior::Chemotaxis {
+                    substance: s,
+                    speed: 0.2,
+                }),
+        );
+        let x0 = sim.rm().position(0).x;
+        sim.simulate(10);
+        let x1 = sim.rm().position(0).x;
+        assert!(x1 > x0 + 0.5, "cell should move toward the source: {x0} → {x1}");
+    }
+
+    #[test]
+    fn secretion_adds_mass() {
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        let s = sim.add_diffusion_grid(DiffusionParams {
+            name: "waste",
+            coefficient: 0.05,
+            decay: 0.0,
+            resolution: 8,
+            boundary: BoundaryCondition::Closed,
+        });
+        sim.add_cell(
+            CellBuilder::new(Vec3::zero())
+                .diameter(1.0)
+                .behavior(Behavior::Secretion {
+                    substance: s,
+                    rate: 2.5,
+                }),
+        );
+        sim.simulate(4);
+        assert!((sim.diffusion_grid(s).total_mass() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_operations_run_each_step_and_are_profiled() {
+        struct Tagger {
+            runs: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl CustomOp for Tagger {
+            fn name(&self) -> &str {
+                "tagger"
+            }
+            fn run(&mut self, step: u64, rm: &mut ResourceManager, _s: &mut [DiffusionGrid]) {
+                self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Mutating access works: nudge agent 0 each step.
+                if rm.len() > 0 {
+                    rm.translate(0, Vec3::new(0.1, 0.0, 0.0));
+                }
+                assert_eq!(step + 1, self.runs.load(std::sync::atomic::Ordering::Relaxed));
+            }
+        }
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        sim.add_cell(CellBuilder::new(Vec3::zero()).diameter(1.0));
+        sim.add_operation(Box::new(Tagger { runs: runs.clone() }));
+        sim.simulate(4);
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert!((sim.rm().position(0).x - 0.4).abs() < 1e-12);
+        let names: Vec<&str> = sim.profiler().steps()[0]
+            .records
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert!(names.contains(&"tagger"));
+    }
+
+    #[test]
+    fn apoptosis_removes_agents_deterministically() {
+        let build = || {
+            let mut sim = Simulation::new(SimParams::cube(50.0).with_seed(31));
+            for i in 0..200 {
+                sim.add_cell(
+                    CellBuilder::new(Vec3::new(i as f64 * 0.4 - 40.0, 0.0, 0.0))
+                        .diameter(1.0)
+                        .behavior(Behavior::Apoptosis { probability: 0.1 }),
+                );
+            }
+            sim
+        };
+        let mut a = build();
+        a.simulate(5);
+        assert!(a.rm().len() < 200, "some cells should have died");
+        assert!(a.rm().len() > 50, "not all cells should have died");
+        let mut b = build();
+        b.simulate(5);
+        assert_eq!(a.rm().len(), b.rm().len(), "deaths are deterministic");
+    }
+
+    #[test]
+    fn apoptosis_probability_zero_and_one() {
+        let build = |p: f64| {
+            let mut sim = Simulation::new(SimParams::cube(10.0));
+            for i in 0..20 {
+                sim.add_cell(
+                    CellBuilder::new(Vec3::new(i as f64 * 0.3 - 3.0, 0.0, 0.0))
+                        .diameter(0.5)
+                        .behavior(Behavior::Apoptosis { probability: p }),
+                );
+            }
+            sim.simulate(1);
+            sim.rm().len()
+        };
+        assert_eq!(build(0.0), 20);
+        assert_eq!(build(1.0), 0);
+    }
+
+    #[test]
+    fn gpu_environment_runs_full_steps() {
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        for i in 0..50 {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(
+                    (i % 5) as f64 * 1.5 - 3.0,
+                    ((i / 5) % 5) as f64 * 1.5 - 3.0,
+                    (i / 25) as f64 * 1.5 - 1.5,
+                ))
+                .diameter(2.0)
+                .adherence(0.01),
+            );
+        }
+        sim.set_environment(EnvironmentKind::gpu_default());
+        sim.simulate(2);
+        assert_eq!(sim.steps_executed(), 2);
+        let gpu_rec = sim.profiler().steps()[0]
+            .records
+            .iter()
+            .find(|r| r.gpu.is_some());
+        assert!(gpu_rec.is_some(), "GPU report expected in the profile");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the platform's physical invariants.
+
+use bdm_sim::behavior::{volume_of, Behavior};
+use bdm_sim::cell::CellBuilder;
+use bdm_sim::diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
+use bdm_sim::param::SimParams;
+use bdm_sim::simulation::Simulation;
+use bdm_math::{Aabb, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Closed-boundary diffusion conserves mass for any source pattern,
+    /// resolution, and (stable) coefficient.
+    #[test]
+    fn diffusion_conserves_mass(
+        sources in proptest::collection::vec(
+            ((-7.0f64..7.0, -7.0f64..7.0, -7.0f64..7.0), 0.1f64..50.0),
+            1..10
+        ),
+        res in 6usize..20,
+        coeff in 0.01f64..0.3,
+    ) {
+        let mut g = DiffusionGrid::new(
+            DiffusionParams {
+                name: "p",
+                coefficient: coeff,
+                decay: 0.0,
+                resolution: res,
+                boundary: BoundaryCondition::Closed,
+            },
+            Aabb::cube(8.0),
+        );
+        for ((x, y, z), amount) in &sources {
+            g.secrete(Vec3::new(*x, *y, *z), *amount);
+        }
+        let m0 = g.total_mass();
+        for _ in 0..20 {
+            g.step(0.25);
+        }
+        prop_assert!((g.total_mass() - m0).abs() < 1e-9 * m0.max(1.0));
+        // And diffusion never creates negative concentrations.
+        prop_assert!(g.max_concentration() >= 0.0);
+    }
+
+    /// Decay is exactly exponential for a diffusion-free substance.
+    #[test]
+    fn decay_is_exponential(decay in 0.01f64..0.5, steps in 1u32..30) {
+        let mut g = DiffusionGrid::new(
+            DiffusionParams {
+                name: "d",
+                coefficient: 0.0,
+                decay,
+                resolution: 8,
+                boundary: BoundaryCondition::Closed,
+            },
+            Aabb::cube(4.0),
+        );
+        g.secrete(Vec3::zero(), 100.0);
+        for _ in 0..steps {
+            g.step(1.0);
+        }
+        let expect = 100.0 * (1.0 - decay).powi(steps as i32);
+        prop_assert!((g.total_mass() - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// Total cell volume is conserved by division and grows by exactly
+    /// the growth rate per living cell per step, for arbitrary thresholds.
+    #[test]
+    fn growth_division_volume_budget(
+        growth in 5.0f64..120.0,
+        threshold in 10.2f64..14.0,
+        steps in 1u64..6,
+    ) {
+        let mut sim = Simulation::new(SimParams::cube(100.0).with_seed(4));
+        for i in 0..10 {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(i as f64 * 25.0 - 112.0, 0.0, 0.0))
+                    .diameter(10.0)
+                    .adherence(10.0) // agents stay put; only volume matters
+                    .behavior(Behavior::GrowthDivision {
+                        growth_rate: growth,
+                        division_threshold: threshold,
+                    }),
+            );
+        }
+        let mut expected = 10.0 * volume_of(10.0);
+        let mut living = 10.0;
+        for _ in 0..steps {
+            expected += growth * living;
+            sim.simulate(1);
+            living = sim.rm().len() as f64;
+        }
+        prop_assert!(
+            (sim.rm().total_volume() - expected).abs() < 1e-6 * expected,
+            "volume {} vs expected {}",
+            sim.rm().total_volume(),
+            expected
+        );
+    }
+
+    /// Bound space: agents never end a step outside the simulation cube,
+    /// wherever they start and however hard they are pushed.
+    #[test]
+    fn agents_stay_in_bounds(
+        half in 2.0f64..30.0,
+        offsets in proptest::collection::vec(
+            (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0),
+            1..40
+        ),
+    ) {
+        let mut sim = Simulation::new(SimParams::cube(half).with_seed(6));
+        for (x, y, z) in &offsets {
+            sim.add_cell(CellBuilder::new(Vec3::new(*x, *y, *z)).diameter(2.0).adherence(0.0));
+        }
+        sim.simulate(2);
+        for i in 0..sim.rm().len() {
+            prop_assert!(
+                sim.params().space.contains(sim.rm().position(i)),
+                "agent {i} escaped to {:?}",
+                sim.rm().position(i)
+            );
+        }
+    }
+
+    /// The three CPU environments agree on arbitrary random scenes
+    /// (a randomized version of the integration test).
+    #[test]
+    fn environments_agree_on_random_scenes(seed in 0u64..1000) {
+        use bdm_sim::environment::EnvironmentKind;
+        use bdm_math::SplitMix64;
+        let build = || {
+            let mut sim = Simulation::new(SimParams::cube(12.0).with_seed(seed));
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..120 {
+                sim.add_cell(
+                    CellBuilder::new(Vec3::new(
+                        rng.uniform(-11.0, 11.0),
+                        rng.uniform(-11.0, 11.0),
+                        rng.uniform(-11.0, 11.0),
+                    ))
+                    .diameter(rng.uniform(2.0, 5.0))
+                    .adherence(0.01),
+                );
+            }
+            sim
+        };
+        let mut a = build();
+        a.set_environment(EnvironmentKind::KdTree);
+        a.simulate(2);
+        let mut b = build();
+        b.set_environment(EnvironmentKind::UniformGridParallel);
+        b.simulate(2);
+        for i in 0..a.rm().len() {
+            let d = (a.rm().position(i) - b.rm().position(i)).norm();
+            prop_assert!(d < 1e-8, "agent {i} diverged by {d}");
+        }
+    }
+}

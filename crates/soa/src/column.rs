@@ -1,0 +1,191 @@
+//! A single SoA attribute column.
+//!
+//! `Column<T>` is a thin, purpose-revealing wrapper over `Vec<T>` that adds
+//! the operations the resource manager needs: permutation gather (Z-order
+//! sorting), swap-remove (agent death), and contiguous byte views (device
+//! transfers of exactly this column).
+
+use crate::perm::Permutation;
+
+/// One agent attribute, stored contiguously for all agents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Column<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> Column<T> {
+    /// Empty column.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Column with reserved capacity (the cell-division benchmark grows the
+    /// population every step; reserving avoids reallocation in the loop).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Column of `n` copies of `value`.
+    pub fn filled(value: T, n: usize) -> Self {
+        Self {
+            data: vec![value; n],
+        }
+    }
+
+    /// Build from an existing vector.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    /// Number of agents in the column.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no agents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append one agent's value.
+    pub fn push(&mut self, v: T) {
+        self.data.push(v);
+    }
+
+    /// Remove agent `i` by moving the last agent into its slot (O(1), does
+    /// not preserve order — the environment is rebuilt each step anyway).
+    pub fn swap_remove(&mut self, i: usize) -> T {
+        self.data.swap_remove(i)
+    }
+
+    /// Read access.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+
+    /// Write access.
+    #[inline(always)]
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+
+    /// Set agent `i`'s value.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// The whole column as a slice (this is what gets copied to the device).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable slice over the whole column.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Reorder the column by `perm` (gather convention), reusing `scratch`.
+    pub fn permute(&mut self, perm: &Permutation, scratch: &mut Vec<T>) {
+        perm.apply_in_place(&mut self.data, scratch);
+    }
+
+    /// Drop all agents but keep the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Grow to `n` agents, filling new slots with `value`.
+    pub fn resize(&mut self, n: usize, value: T) {
+        self.data.resize(n, value);
+    }
+
+    /// Iterate over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+}
+
+impl<T: Clone + Send + Sync> FromIterator<T> for Column<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> std::ops::Index<usize> for Column<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Clone + Send + Sync> std::ops::IndexMut<usize> for Column<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut c = Column::new();
+        c.push(1.0f64);
+        c.push(2.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(*c.get(1), 2.0);
+        c.set(0, 5.0);
+        assert_eq!(c[0], 5.0);
+    }
+
+    #[test]
+    fn swap_remove_moves_last() {
+        let mut c: Column<i32> = [10, 20, 30, 40].into_iter().collect();
+        let removed = c.swap_remove(1);
+        assert_eq!(removed, 20);
+        assert_eq!(c.as_slice(), &[10, 40, 30]);
+    }
+
+    #[test]
+    fn permute_reorders() {
+        let mut c: Column<i32> = [3, 1, 2].into_iter().collect();
+        let perm = Permutation::sorting_by_key(c.as_slice());
+        let mut scratch = Vec::new();
+        c.permute(&perm, &mut scratch);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn filled_and_resize() {
+        let mut c = Column::filled(7u8, 3);
+        assert_eq!(c.as_slice(), &[7, 7, 7]);
+        c.resize(5, 9);
+        assert_eq!(c.as_slice(), &[7, 7, 7, 9, 9]);
+        c.resize(2, 0);
+        assert_eq!(c.as_slice(), &[7, 7]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut c = Column::with_capacity(100);
+        c.push(1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn index_mut_writes() {
+        let mut c: Column<i32> = [1, 2].into_iter().collect();
+        c[1] = 99;
+        assert_eq!(c.as_slice(), &[1, 99]);
+    }
+}

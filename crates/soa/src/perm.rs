@@ -1,0 +1,225 @@
+//! Validated index permutations with (parallel) gather application.
+//!
+//! Improvement II sorts agents along the Z-order curve. With SoA state the
+//! sort is realized as: compute Morton keys → argsort → apply the resulting
+//! permutation to every column. This module owns the "apply to every
+//! column" half; `bdm-morton` owns key computation and argsort.
+
+use rayon::prelude::*;
+
+/// Threshold below which gathers run serially; rayon's fork/join overhead
+/// dominates for tiny columns.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// A permutation of `0..len`, stored in *gather* convention:
+/// `new[i] = old[perm[i]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    gather: Vec<u32>,
+}
+
+impl Permutation {
+    /// Wrap a gather vector, validating that it is a bijection of
+    /// `0..gather.len()`.
+    pub fn new(gather: Vec<u32>) -> Self {
+        let n = gather.len();
+        assert!(n < u32::MAX as usize, "permutation too large for u32");
+        let mut seen = vec![false; n];
+        for &g in &gather {
+            let g = g as usize;
+            assert!(g < n, "permutation entry {g} out of range 0..{n}");
+            assert!(!seen[g], "duplicate permutation entry {g}");
+            seen[g] = true;
+        }
+        Self { gather }
+    }
+
+    /// Wrap without validation. Safe in the memory sense (application
+    /// bounds-checks), but a non-bijective vector would silently duplicate
+    /// or drop elements — callers must guarantee bijectivity.
+    pub fn new_unchecked(gather: Vec<u32>) -> Self {
+        Self { gather }
+    }
+
+    /// The identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            gather: (0..n as u32).collect(),
+        }
+    }
+
+    /// Argsort: the permutation that orders `keys` ascending (stable, so
+    /// equal Morton keys — agents in the same voxel — keep their relative
+    /// order, which keeps the parallel and serial pipelines bit-identical).
+    pub fn sorting_by_key<K: Ord + Send + Sync + Copy>(keys: &[K]) -> Self {
+        let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+        if keys.len() >= PAR_THRESHOLD {
+            idx.par_sort_by_key(|&i| keys[i as usize]);
+        } else {
+            idx.sort_by_key(|&i| keys[i as usize]);
+        }
+        Self { gather: idx }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// `true` when the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gather.is_empty()
+    }
+
+    /// `true` when this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.gather.iter().enumerate().all(|(i, &g)| i as u32 == g)
+    }
+
+    /// Raw gather indices (`new[i] = old[g[i]]`).
+    pub fn gather_indices(&self) -> &[u32] {
+        &self.gather
+    }
+
+    /// The inverse permutation: if `self` maps old→new by gather, the
+    /// inverse maps new→old. `self.apply(&inverse.apply(&x)) == x`.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u32; self.gather.len()];
+        for (new_pos, &old_pos) in self.gather.iter().enumerate() {
+            inv[old_pos as usize] = new_pos as u32;
+        }
+        Self { gather: inv }
+    }
+
+    /// Out-of-place gather: returns `new` with `new[i] = data[perm[i]]`.
+    pub fn apply<T: Clone + Send + Sync>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(
+            data.len(),
+            self.gather.len(),
+            "column length {} does not match permutation length {}",
+            data.len(),
+            self.gather.len()
+        );
+        if data.len() >= PAR_THRESHOLD {
+            self.gather
+                .par_iter()
+                .map(|&g| data[g as usize].clone())
+                .collect()
+        } else {
+            self.gather.iter().map(|&g| data[g as usize].clone()).collect()
+        }
+    }
+
+    /// In-place gather through a scratch buffer (reuses `scratch`'s
+    /// capacity; leaves `scratch` holding the old data).
+    pub fn apply_in_place<T: Clone + Send + Sync>(&self, data: &mut Vec<T>, scratch: &mut Vec<T>) {
+        scratch.clear();
+        scratch.extend(self.apply(data.as_slice()));
+        std::mem::swap(data, scratch);
+    }
+
+    /// Composition: `(self ∘ other)` first applies `other`, then `self`.
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len());
+        let gather = self
+            .gather
+            .iter()
+            .map(|&g| other.gather[g as usize])
+            .collect();
+        Self { gather }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.apply(&[10, 20, 30, 40, 50]), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn gather_convention() {
+        // new[i] = old[perm[i]]
+        let p = Permutation::new(vec![2, 0, 1]);
+        assert_eq!(p.apply(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::new(vec![3, 1, 0, 2]);
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let shuffled = p.apply(&data);
+        let restored = p.inverse().apply(&shuffled);
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn sorting_by_key_sorts() {
+        let keys = [5u64, 1, 4, 2, 3];
+        let p = Permutation::sorting_by_key(&keys);
+        let sorted = p.apply(&keys);
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sorting_is_stable() {
+        let keys = [1u64, 0, 1, 0];
+        let p = Permutation::sorting_by_key(&keys);
+        // Values tagged with original index; equal keys preserve order.
+        let tagged = ["a1", "b0", "c1", "d0"];
+        assert_eq!(p.apply(&tagged), vec!["b0", "d0", "a1", "c1"]);
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        let rot = Permutation::new(vec![1, 2, 0]); // new[i] = old[i+1 mod 3]
+        let composed = rot.compose(&rot);
+        let data = vec![0, 1, 2];
+        assert_eq!(composed.apply(&data), rot.apply(&rot.apply(&data)));
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let p = Permutation::new(vec![2, 0, 3, 1]);
+        let data = vec![9, 8, 7, 6];
+        let expected = p.apply(&data);
+        let mut d = data.clone();
+        let mut scratch = Vec::new();
+        p.apply_in_place(&mut d, &mut scratch);
+        assert_eq!(d, expected);
+        assert_eq!(scratch, data); // scratch holds the pre-gather data
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        Permutation::new(vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicates() {
+        Permutation::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_rejects_length_mismatch() {
+        Permutation::identity(3).apply(&[1, 2]);
+    }
+
+    #[test]
+    fn large_parallel_gather_matches_serial() {
+        let n = PAR_THRESHOLD * 2;
+        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1000).collect();
+        let p = Permutation::sorting_by_key(&keys);
+        let gathered = p.apply(&keys);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(gathered, expected);
+    }
+}

@@ -1,0 +1,229 @@
+//! A 3-component attribute stored as three scalar columns.
+//!
+//! "The position data of all agents are stored contiguously in memory"
+//! (paper §IV-B): positions live as separate `x[]`, `y[]`, `z[]` arrays so
+//! the device transfer of the position attribute is three contiguous
+//! buffers, and a warp reading the x-coordinates of 32 consecutive
+//! (Z-order-sorted) agents issues one coalesced transaction.
+
+use crate::column::Column;
+use crate::perm::Permutation;
+use bdm_math::{Scalar, Vec3};
+
+/// SoA storage of one `Vec3` attribute for all agents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoaVec3<R> {
+    x: Column<R>,
+    y: Column<R>,
+    z: Column<R>,
+}
+
+impl<R: Scalar> SoaVec3<R> {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self {
+            x: Column::new(),
+            y: Column::new(),
+            z: Column::new(),
+        }
+    }
+
+    /// Storage with reserved capacity in each component column.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            x: Column::with_capacity(cap),
+            y: Column::with_capacity(cap),
+            z: Column::with_capacity(cap),
+        }
+    }
+
+    /// `n` copies of `v`.
+    pub fn filled(v: Vec3<R>, n: usize) -> Self {
+        Self {
+            x: Column::filled(v.x, n),
+            y: Column::filled(v.y, n),
+            z: Column::filled(v.z, n),
+        }
+    }
+
+    /// Build from an AoS slice (used at model-initialization time only; the
+    /// hot loops never materialize AoS data).
+    pub fn from_vecs(vs: &[Vec3<R>]) -> Self {
+        let mut out = Self::with_capacity(vs.len());
+        for &v in vs {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Append one agent's vector.
+    pub fn push(&mut self, v: Vec3<R>) {
+        self.x.push(v.x);
+        self.y.push(v.y);
+        self.z.push(v.z);
+    }
+
+    /// Gather agent `i`'s vector from the three columns.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> Vec3<R> {
+        Vec3::new(*self.x.get(i), *self.y.get(i), *self.z.get(i))
+    }
+
+    /// Scatter a vector into agent `i`'s slots.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, v: Vec3<R>) {
+        self.x.set(i, v.x);
+        self.y.set(i, v.y);
+        self.z.set(i, v.z);
+    }
+
+    /// Add `delta` to agent `i`'s vector (displacement application).
+    #[inline(always)]
+    pub fn add_assign(&mut self, i: usize, delta: Vec3<R>) {
+        *self.x.get_mut(i) += delta.x;
+        *self.y.get_mut(i) += delta.y;
+        *self.z.get_mut(i) += delta.z;
+    }
+
+    /// O(1) removal by swapping in the last agent.
+    pub fn swap_remove(&mut self, i: usize) -> Vec3<R> {
+        Vec3::new(self.x.swap_remove(i), self.y.swap_remove(i), self.z.swap_remove(i))
+    }
+
+    /// Component slices `(x, y, z)` — the exact buffers a device transfer
+    /// of this attribute copies.
+    pub fn as_slices(&self) -> (&[R], &[R], &[R]) {
+        (self.x.as_slice(), self.y.as_slice(), self.z.as_slice())
+    }
+
+    /// Mutable component slices.
+    pub fn as_mut_slices(&mut self) -> (&mut [R], &mut [R], &mut [R]) {
+        (
+            self.x.as_mut_slice(),
+            self.y.as_mut_slice(),
+            self.z.as_mut_slice(),
+        )
+    }
+
+    /// Reorder all three columns by the same permutation.
+    pub fn permute(&mut self, perm: &Permutation, scratch: &mut Vec<R>) {
+        self.x.permute(perm, scratch);
+        self.y.permute(perm, scratch);
+        self.z.permute(perm, scratch);
+    }
+
+    /// Resize, filling new agents with `v`.
+    pub fn resize(&mut self, n: usize, v: Vec3<R>) {
+        self.x.resize(n, v.x);
+        self.y.resize(n, v.y);
+        self.z.resize(n, v.z);
+    }
+
+    /// Set every agent's vector to `v` (e.g. zeroing force accumulators).
+    pub fn fill(&mut self, v: Vec3<R>) {
+        self.x.as_mut_slice().fill(v.x);
+        self.y.as_mut_slice().fill(v.y);
+        self.z.as_mut_slice().fill(v.z);
+    }
+
+    /// Iterate agents as `Vec3`s (gathering; test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = Vec3<R>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total bytes of the three columns (transfer-size accounting).
+    pub fn bytes(&self) -> usize {
+        3 * self.len() * R::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SoaVec3<f64> {
+        SoaVec3::from_vecs(&[
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::new(7.0, 8.0, 9.0),
+        ])
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1), Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn columns_are_contiguous() {
+        let s = sample();
+        let (x, y, z) = s.as_slices();
+        assert_eq!(x, &[1.0, 4.0, 7.0]);
+        assert_eq!(y, &[2.0, 5.0, 8.0]);
+        assert_eq!(z, &[3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn set_and_add_assign() {
+        let mut s = sample();
+        s.set(0, Vec3::splat(0.0));
+        s.add_assign(0, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(s.get(0), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn swap_remove_keeps_soa_consistent() {
+        let mut s = sample();
+        let removed = s.swap_remove(0);
+        assert_eq!(removed, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Vec3::new(7.0, 8.0, 9.0));
+        assert_eq!(s.get(1), Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn permute_moves_all_components_together() {
+        let mut s = sample();
+        let perm = Permutation::new(vec![2, 0, 1]);
+        let mut scratch = Vec::new();
+        s.permute(&perm, &mut scratch);
+        assert_eq!(s.get(0), Vec3::new(7.0, 8.0, 9.0));
+        assert_eq!(s.get(1), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(s.get(2), Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut s = sample();
+        s.fill(Vec3::splat(-1.0));
+        assert!(s.iter().all(|v| v == Vec3::splat(-1.0)));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let s = sample();
+        assert_eq!(s.bytes(), 3 * 3 * 8);
+        let f: SoaVec3<f32> = SoaVec3::filled(Vec3::zero(), 10);
+        assert_eq!(f.bytes(), 3 * 10 * 4);
+    }
+
+    #[test]
+    fn resize_extends_with_value() {
+        let mut s = sample();
+        s.resize(5, Vec3::splat(0.5));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.get(4), Vec3::splat(0.5));
+    }
+}

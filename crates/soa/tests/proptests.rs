@@ -1,0 +1,98 @@
+//! Property-based tests for the SoA substrate.
+
+use bdm_soa::{Column, Permutation, SoaVec3};
+use bdm_math::Vec3;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Strategy producing a random valid permutation of length 0..=256.
+fn permutation_strategy() -> impl Strategy<Value = Permutation> {
+    (0usize..=256, any::<u64>()).prop_map(|(n, seed)| {
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        Permutation::new(idx)
+    })
+}
+
+proptest! {
+    /// A permutation followed by its inverse restores the original column.
+    #[test]
+    fn inverse_restores(perm in permutation_strategy()) {
+        let data: Vec<u32> = (0..perm.len() as u32).map(|i| i * 7 + 3).collect();
+        let shuffled = perm.apply(&data);
+        let restored = perm.inverse().apply(&shuffled);
+        prop_assert_eq!(restored, data);
+    }
+
+    /// The inverse of the inverse is the original permutation.
+    #[test]
+    fn double_inverse_is_identity(perm in permutation_strategy()) {
+        prop_assert_eq!(perm.inverse().inverse(), perm);
+    }
+
+    /// Applying a permutation never loses or duplicates elements.
+    #[test]
+    fn apply_is_bijective(perm in permutation_strategy()) {
+        let data: Vec<u32> = (0..perm.len() as u32).collect();
+        let mut shuffled = perm.apply(&data);
+        shuffled.sort_unstable();
+        prop_assert_eq!(shuffled, data);
+    }
+
+    /// Sorting-by-key produces ascending output for arbitrary keys.
+    #[test]
+    fn argsort_sorts(keys in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let perm = Permutation::sorting_by_key(&keys);
+        let sorted = perm.apply(&keys);
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Composition law: (p ∘ q).apply(x) == p.apply(q.apply(x)).
+    #[test]
+    fn composition_law(seed in any::<u64>(), n in 0usize..=128) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a: Vec<u32> = (0..n as u32).collect();
+        let mut b: Vec<u32> = (0..n as u32).collect();
+        a.shuffle(&mut rng);
+        b.shuffle(&mut rng);
+        let p = Permutation::new(a);
+        let q = Permutation::new(b);
+        let data: Vec<u32> = (0..n as u32).map(|i| i * 13).collect();
+        prop_assert_eq!(p.compose(&q).apply(&data), p.apply(&q.apply(&data)));
+    }
+
+    /// SoaVec3 permutation keeps (x, y, z) triples together.
+    #[test]
+    fn soavec3_triples_stay_together(perm in permutation_strategy()) {
+        let n = perm.len();
+        let vecs: Vec<Vec3<f64>> = (0..n)
+            .map(|i| Vec3::new(i as f64, i as f64 + 0.25, i as f64 + 0.5))
+            .collect();
+        let mut soa = SoaVec3::from_vecs(&vecs);
+        let mut scratch = Vec::new();
+        soa.permute(&perm, &mut scratch);
+        for i in 0..n {
+            let v = soa.get(i);
+            // A valid triple satisfies y = x + 0.25 and z = x + 0.5.
+            prop_assert_eq!(v.y, v.x + 0.25);
+            prop_assert_eq!(v.z, v.x + 0.5);
+        }
+    }
+
+    /// Column swap_remove preserves the multiset minus the removed element.
+    #[test]
+    fn swap_remove_multiset(data in proptest::collection::vec(any::<i32>(), 1..64), idx in any::<prop::sample::Index>()) {
+        let i = idx.index(data.len());
+        let mut col: Column<i32> = data.iter().copied().collect();
+        let removed = col.swap_remove(i);
+        prop_assert_eq!(removed, data[i]);
+        let mut remaining: Vec<i32> = col.as_slice().to_vec();
+        let mut expected = data.clone();
+        expected.remove(i);
+        remaining.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(remaining, expected);
+    }
+}

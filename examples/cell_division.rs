@@ -1,0 +1,50 @@
+//! The paper's benchmark A: the cell-division module.
+//!
+//! "In this benchmark, a 3D grid of 262,144 cells of the same volume are
+//! spawned and proliferate for 10 iterations" (§III). This example runs
+//! a reduced lattice, prints the population trajectory, and reproduces
+//! the Fig. 3 runtime profile showing the mechanical interactions
+//! operation dominating.
+//!
+//! ```bash
+//! cargo run --release --example cell_division [cells_per_dim]
+//! ```
+
+use bdm_device::cpu::CpuModel;
+use bdm_device::specs::SYSTEM_A;
+use biodynamo::prelude::*;
+use biodynamo::sim::workload::benchmark_a;
+
+fn main() {
+    let cells_per_dim: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let mut sim = benchmark_a(cells_per_dim, 42);
+    sim.set_environment(EnvironmentKind::KdTree);
+    println!(
+        "cell-division benchmark: {}^3 = {} cells, 10 steps (paper: 64^3 = 262,144)\n",
+        cells_per_dim,
+        sim.rm().len()
+    );
+    for step in 1..=10u64 {
+        sim.step();
+        let w = sim.last_mech_work().unwrap();
+        println!(
+            "step {:>2}: {:>8} cells  mean diameter {:>5.2}  contacts/cell {:>5.1}",
+            step,
+            sim.rm().len(),
+            mean_diameter(&sim),
+            w.contacts as f64 / sim.rm().len() as f64,
+        );
+    }
+
+    // Fig. 3: where does the time go? (modeled on the paper's System A)
+    let model = CpuModel::new(SYSTEM_A.cpu);
+    println!("\n{}", sim.profiler().render_breakdown(&model, 1));
+    println!("paper (Fig. 3): mechanical forces 51%, neighborhood update 36%");
+}
+
+fn mean_diameter(sim: &Simulation) -> f64 {
+    (0..sim.rm().len()).map(|i| sim.rm().diameter(i)).sum::<f64>() / sim.rm().len() as f64
+}

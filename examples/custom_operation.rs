@@ -1,0 +1,117 @@
+//! Extending the platform with a custom operation — the extension point
+//! modelers use to add logic the built-in pipeline doesn't have.
+//!
+//! Here: a *nutrient-starvation* operation that kills cells whose local
+//! oxygen falls below a threshold, coupled to the diffusion substrate.
+//! The built-in pipeline handles growth/division, mechanics, and the
+//! oxygen field; the custom op closes the loop.
+//!
+//! ```bash
+//! cargo run --release --example custom_operation
+//! ```
+
+use biodynamo::prelude::*;
+use biodynamo::sim::diffusion::DiffusionGrid;
+use biodynamo::sim::rm::ResourceManager;
+
+const OXYGEN: usize = 0;
+
+/// Kill any cell whose voxel oxygen concentration is below `threshold`,
+/// and make every survivor consume `uptake` from its voxel.
+struct Starvation {
+    threshold: f64,
+    uptake: f64,
+    deaths_total: u64,
+}
+
+impl CustomOp for Starvation {
+    fn name(&self) -> &str {
+        "starvation"
+    }
+
+    fn run(&mut self, _step: u64, rm: &mut ResourceManager, substances: &mut [DiffusionGrid]) {
+        let oxygen = &mut substances[OXYGEN];
+        // Consume, then collect the starving (reverse order keeps
+        // swap-remove indices valid).
+        let mut dead = Vec::new();
+        for i in 0..rm.len() {
+            let p = rm.position(i);
+            if oxygen.concentration_at(p) < self.threshold {
+                dead.push(i);
+            } else {
+                oxygen.secrete(p, -self.uptake);
+            }
+        }
+        for &i in dead.iter().rev() {
+            rm.remove(i);
+        }
+        self.deaths_total += dead.len() as u64;
+    }
+}
+
+fn main() {
+    let mut sim = Simulation::new(SimParams::cube(40.0).with_seed(12));
+    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    let o2 = sim.add_diffusion_grid(DiffusionParams {
+        name: "oxygen",
+        coefficient: 1.5,
+        decay: 0.0,
+        resolution: 16,
+        boundary: BoundaryCondition::Closed,
+    });
+    assert_eq!(o2, OXYGEN);
+    // Start from a uniformly oxygenated tissue; the supply then only
+    // tops up one face, so the far side slowly starves.
+    sim.diffusion_grid_mut(OXYGEN).fill(0.6);
+    sim.add_operation(Box::new(Starvation {
+        threshold: 0.02,
+        uptake: 0.05,
+        deaths_total: 0,
+    }));
+
+    // A slab of dividing cells across the whole space.
+    for y in -3..=3 {
+        for z in -3..=3 {
+            for x in -3..=3 {
+                sim.add_cell(
+                    CellBuilder::new(Vec3::new(
+                        x as f64 * 8.0,
+                        y as f64 * 8.0,
+                        z as f64 * 8.0,
+                    ))
+                    .diameter(8.0)
+                    .adherence(0.3)
+                    .behavior(Behavior::GrowthDivision {
+                        growth_rate: 30.0,
+                        division_threshold: 9.0,
+                    }),
+                );
+            }
+        }
+    }
+
+    println!("nutrient-limited growth: oxygen supplied at x = +40 only\n");
+    let mut series = TimeSeries::new();
+    for epoch in 0..6 {
+        for _ in 0..5 {
+            // Supply before each step so the gradient persists.
+            sim.diffusion_grid_mut(OXYGEN)
+                .secrete(Vec3::new(38.0, 0.0, 0.0), 40.0);
+            sim.step();
+            series.record(&sim, 1);
+        }
+        // Where do the survivors sit along the gradient?
+        let n = sim.rm().len();
+        let mean_x = (0..n).map(|i| sim.rm().position(i).x).sum::<f64>() / n.max(1) as f64;
+        println!(
+            "step {:>2}: {:>5} cells alive | mean x = {:+6.1} | oxygen mass {:>8.1}",
+            (epoch + 1) * 5,
+            n,
+            mean_x,
+            sim.diffusion_grid(OXYGEN).total_mass(),
+        );
+    }
+    println!("\nThe population drifts toward the oxygen source: starvation prunes the");
+    println!("far side while division replenishes the near side — emergent behavior");
+    println!("from one custom operation coupled to the built-in pipeline.");
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the two paper benchmarks end-to-end.
+
+use bdm_device::cpu::CpuModel;
+use bdm_device::specs::SYSTEM_A;
+use biodynamo::prelude::*;
+use biodynamo::sim::workload::{benchmark_a, benchmark_b, DENSITY_SWEEP};
+
+#[test]
+fn benchmark_a_population_is_environment_independent() {
+    // Division decisions depend only on (seed, uid, step), never on the
+    // neighborhood method, so the population trajectory is identical.
+    let mut counts = Vec::new();
+    for env in [
+        EnvironmentKind::KdTree,
+        EnvironmentKind::UniformGridParallel,
+        EnvironmentKind::gpu_default(),
+    ] {
+        let mut sim = benchmark_a(6, 5);
+        sim.set_environment(env);
+        sim.simulate(10);
+        counts.push(sim.rm().len());
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+    assert!(counts[0] > 6 * 6 * 6, "no proliferation happened");
+}
+
+#[test]
+fn benchmark_a_total_volume_is_conserved_by_division() {
+    let mut sim = benchmark_a(4, 9);
+    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    let growth_per_step = 45.0 * 64.0; // growth_rate × initial population
+    let v0 = sim.rm().total_volume();
+    sim.simulate(1);
+    let v1 = sim.rm().total_volume();
+    assert!(
+        (v1 - v0 - growth_per_step).abs() < 1e-6,
+        "volume must grow by exactly the growth rate: {v0} → {v1}"
+    );
+}
+
+#[test]
+fn benchmark_a_profile_is_mechanics_dominated() {
+    // The Fig. 3 observation that motivates the whole paper.
+    let mut sim = benchmark_a(8, 3);
+    sim.set_environment(EnvironmentKind::KdTree);
+    sim.simulate(3);
+    let model = CpuModel::new(SYSTEM_A.cpu);
+    let per_op = sim.profiler().modeled_per_op(&model, 1);
+    let total: f64 = per_op.iter().map(|(_, t)| t).sum();
+    let mech: f64 = per_op
+        .iter()
+        .filter(|(name, _)| {
+            ["neighborhood build", "neighborhood search", "mechanical forces"]
+                .contains(&name.as_str())
+        })
+        .map(|(_, t)| t)
+        .sum();
+    assert!(
+        mech / total > 0.8,
+        "mechanical interactions should dominate: {:.2}",
+        mech / total
+    );
+}
+
+#[test]
+fn benchmark_b_realizes_the_density_sweep() {
+    for &target in &DENSITY_SWEEP {
+        let mut sim = benchmark_b(6_000, target, 21);
+        sim.set_environment(EnvironmentKind::UniformGridParallel);
+        sim.simulate(1);
+        let measured = sim
+            .last_mech_work()
+            .unwrap()
+            .mean_density(sim.rm().len());
+        let rel = measured / target;
+        assert!(
+            (0.65..=1.2).contains(&rel),
+            "target {target}: measured {measured:.1}"
+        );
+    }
+}
+
+#[test]
+fn benchmark_b_is_static_by_construction() {
+    let mut sim = benchmark_b(3_000, 27.0, 8);
+    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    let before: Vec<Vec3<f64>> = (0..100).map(|i| sim.rm().position(i)).collect();
+    sim.simulate(3);
+    let after: Vec<Vec3<f64>> = (0..100).map(|i| sim.rm().position(i)).collect();
+    assert_eq!(before, after, "max_displacement = 0 must freeze agents");
+    // And yet the mechanical work happened (contacts were computed).
+    assert!(sim.last_mech_work().unwrap().contacts > 0);
+}
+
+#[test]
+fn gpu_offload_reports_are_complete_in_benchmarks() {
+    let mut sim = benchmark_b(3_000, 12.0, 4);
+    sim.set_environment(EnvironmentKind::Gpu {
+        system: GpuSystem::B,
+        frontend: ApiFrontend::Cuda,
+        version: KernelVersion::V2Sorted,
+        trace_sample: 1,
+    });
+    sim.simulate(2);
+    for step in sim.profiler().steps() {
+        let g = step
+            .records
+            .iter()
+            .find_map(|r| r.gpu.as_ref())
+            .expect("every step must carry a GPU report");
+        assert!(g.h2d_s > 0.0 && g.d2h_s > 0.0);
+        assert!(g.kernel_s() > 0.0);
+        assert!(g.mech_counters.total_flops() > 0.0);
+        assert!(g.counters.global_transactions > 0.0);
+        assert!(
+            (g.total_s - (g.h2d_s + g.build_s + g.mech_s + g.d2h_s)).abs() < 1e-12,
+            "report totals must be consistent"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = || {
+        let mut sim = benchmark_a(5, 77);
+        sim.set_environment(EnvironmentKind::UniformGridParallel);
+        sim.simulate(6);
+        (0..sim.rm().len())
+            .map(|i| sim.rm().position(i))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

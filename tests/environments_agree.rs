@@ -1,0 +1,159 @@
+//! Cross-crate integration: every neighborhood environment — kd-tree,
+//! serial/parallel uniform grid, and all five simulated-GPU kernel
+//! versions on both API frontends — must produce the *same simulation*.
+//!
+//! This is the property the paper leans on when swapping methods: "We
+//! verified that the correctness of the simulations was not affected"
+//! (§VI). FP64 paths must agree to summation-order tolerance; FP32 GPU
+//! paths to single-precision tolerance.
+
+use biodynamo::prelude::*;
+use biodynamo::math::SplitMix64;
+
+fn random_scene(n: usize, seed: u64) -> Simulation {
+    let mut sim = Simulation::new(SimParams::cube(25.0).with_seed(seed));
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        sim.add_cell(
+            CellBuilder::new(Vec3::new(
+                rng.uniform(-22.0, 22.0),
+                rng.uniform(-22.0, 22.0),
+                rng.uniform(-22.0, 22.0),
+            ))
+            .diameter(rng.uniform(4.0, 8.0))
+            .adherence(0.05),
+        );
+    }
+    sim
+}
+
+fn run(env: EnvironmentKind, steps: u64) -> Vec<Vec3<f64>> {
+    let mut sim = random_scene(400, 99);
+    sim.set_environment(env);
+    sim.simulate(steps);
+    (0..sim.rm().len()).map(|i| sim.rm().position(i)).collect()
+}
+
+fn max_divergence(a: &[Vec3<f64>], b: &[Vec3<f64>]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(p, q)| (*p - *q).norm())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn fp64_environments_are_equivalent() {
+    let reference = run(EnvironmentKind::KdTree, 5);
+    for env in [
+        EnvironmentKind::UniformGridSerial,
+        EnvironmentKind::UniformGridParallel,
+        EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V0, // the FP64 GPU port
+            trace_sample: 1,
+        },
+    ] {
+        let got = run(env, 5);
+        let d = max_divergence(&reference, &got);
+        assert!(d < 1e-7, "{env:?} diverged by {d}");
+    }
+}
+
+#[test]
+fn fp32_gpu_versions_track_the_fp64_reference() {
+    let reference = run(EnvironmentKind::KdTree, 5);
+    for version in [
+        KernelVersion::V1Fp32,
+        KernelVersion::V2Sorted,
+        KernelVersion::V3Shared,
+        KernelVersion::DynPar,
+    ] {
+        let got = run(
+            EnvironmentKind::Gpu {
+                system: GpuSystem::A,
+                frontend: ApiFrontend::Cuda,
+                version,
+                trace_sample: 1,
+            },
+            5,
+        );
+        let d = max_divergence(&reference, &got);
+        // Five steps of compounding single-precision rounding.
+        assert!(d < 5e-3, "{version:?} diverged by {d}");
+    }
+}
+
+#[test]
+fn cuda_and_opencl_frontends_agree_exactly() {
+    for version in [KernelVersion::V0, KernelVersion::V2Sorted] {
+        let cuda = run(
+            EnvironmentKind::Gpu {
+                system: GpuSystem::B,
+                frontend: ApiFrontend::Cuda,
+                version,
+                trace_sample: 1,
+            },
+            3,
+        );
+        let opencl = run(
+            EnvironmentKind::Gpu {
+                system: GpuSystem::B,
+                frontend: ApiFrontend::OpenCl,
+                version,
+                trace_sample: 1,
+            },
+            3,
+        );
+        assert_eq!(cuda, opencl, "{version:?} frontends must be bit-identical");
+    }
+}
+
+#[test]
+fn both_systems_compute_identical_physics() {
+    // Table I's systems differ only in performance; the simulation
+    // trajectory must not depend on which device is simulated.
+    let a = run(
+        EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V2Sorted,
+            trace_sample: 1,
+        },
+        3,
+    );
+    let b = run(
+        EnvironmentKind::Gpu {
+            system: GpuSystem::B,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V2Sorted,
+            trace_sample: 1,
+        },
+        3,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_sampling_does_not_change_physics() {
+    let full = run(
+        EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V2Sorted,
+            trace_sample: 1,
+        },
+        3,
+    );
+    let sampled = run(
+        EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version: KernelVersion::V2Sorted,
+            trace_sample: 7,
+        },
+        3,
+    );
+    assert_eq!(full, sampled, "tracing is observation only");
+}
