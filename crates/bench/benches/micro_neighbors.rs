@@ -3,7 +3,7 @@
 //! sort, and the Eq. 1 force evaluation — the building blocks whose
 //! relative costs drive the paper's Figs. 8/9.
 
-use bdm_grid::UniformGrid;
+use bdm_grid::{CsrGrid, UniformGrid};
 use bdm_kdtree::KdTree;
 use bdm_math::interaction::{collision_force, MechParams};
 use bdm_math::{Aabb, SplitMix64, Vec3};
@@ -36,6 +36,22 @@ fn bench_build(c: &mut Criterion) {
     g.bench_function("unigrid_parallel", |b| {
         b.iter(|| black_box(UniformGrid::build_parallel(&xs, &ys, &zs, space, RADIUS)))
     });
+    g.bench_function("csr_serial", |b| {
+        b.iter(|| black_box(CsrGrid::build_serial(&xs, &ys, &zs, space, RADIUS)))
+    });
+    g.bench_function("csr_parallel", |b| {
+        b.iter(|| black_box(CsrGrid::build_parallel(&xs, &ys, &zs, space, RADIUS)))
+    });
+    g.bench_function("csr_rebuild_serial", |b| {
+        // Steady-state rebuild: buffers and scratch reused across steps,
+        // the shape the simulation actually runs.
+        let mut grid = CsrGrid::build_serial(&xs, &ys, &zs, space, RADIUS);
+        let mut scratch = bdm_grid::CsrBuildScratch::default();
+        b.iter(|| {
+            grid.rebuild_serial(&xs, &ys, &zs, space, RADIUS, &mut scratch);
+            black_box(grid.cell_agents().len())
+        })
+    });
     g.finish();
 }
 
@@ -61,6 +77,17 @@ fn bench_query(c: &mut Criterion) {
             for i in (0..N).step_by(N / 1000) {
                 let q = Vec3::new(xs[i], ys[i], zs[i]);
                 grid.radius_search(&xs, &ys, &zs, q, RADIUS, Some(AgentId(i as u32)), &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    let csr = CsrGrid::build_serial(&xs, &ys, &zs, space, RADIUS);
+    g.bench_function("csr", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for i in (0..N).step_by(N / 1000) {
+                let q = Vec3::new(xs[i], ys[i], zs[i]);
+                csr.radius_search(&xs, &ys, &zs, q, RADIUS, Some(AgentId(i as u32)), &mut out);
                 black_box(out.len());
             }
         })

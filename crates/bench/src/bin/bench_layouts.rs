@@ -1,0 +1,118 @@
+//! Wall-clock comparison of the two CPU grid layouts: the paper's
+//! linked-list uniform grid vs the post-paper CSR counting-sort layout.
+//!
+//! Prints one table of raw substrate costs (build + 1k radius queries on
+//! a uniform cloud) and one of full mechanical-step times on the
+//! benchmark-A scene, per environment. Median of five repetitions.
+
+use bdm_bench::BenchScale;
+use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
+use bdm_math::{Aabb, SplitMix64, Vec3};
+use bdm_sim::workload::benchmark_a;
+use bdm_sim::EnvironmentKind;
+use bdm_soa::AgentId;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[REPS / 2]
+}
+
+fn cloud(n: usize, extent: f64, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let xs = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+    let ys = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+    let zs = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+    (xs, ys, zs)
+}
+
+fn substrate_table(n: usize) {
+    // ~2 agents per voxel at radius 4 — the benchmark regime.
+    let extent = (n as f64 / 2.0).cbrt() * 4.0;
+    let radius = 4.0;
+    let (xs, ys, zs) = cloud(n, extent, 0x1a);
+    let space = Aabb::new(Vec3::zero(), Vec3::splat(extent));
+
+    let query_ms = |search: &dyn Fn(Vec3<f64>, &mut Vec<AgentId>)| {
+        let mut out = Vec::new();
+        median_ms(|| {
+            for i in (0..n).step_by((n / 1000).max(1)) {
+                search(Vec3::new(xs[i], ys[i], zs[i]), &mut out);
+                black_box(out.len());
+            }
+        })
+    };
+
+    println!("\n== substrate: n={n}, ~2 agents/voxel, 1k queries ==");
+    println!("{:<22} {:>10} {:>10}", "layout", "build ms", "query ms");
+
+    let linked = UniformGrid::build_serial(&xs, &ys, &zs, space, radius);
+    let lq = query_ms(&|q, out| {
+        linked.radius_search(&xs, &ys, &zs, q, radius, None, out);
+    });
+    let lb = median_ms(|| {
+        black_box(UniformGrid::build_serial(&xs, &ys, &zs, space, radius));
+    });
+    println!("{:<22} {:>10.3} {:>10.3}", "linked-list serial", lb, lq);
+    let lbp = median_ms(|| {
+        black_box(UniformGrid::build_parallel(&xs, &ys, &zs, space, radius));
+    });
+    println!("{:<22} {:>10.3} {:>10}", "linked-list parallel", lbp, "-");
+
+    let csr = CsrGrid::build_serial(&xs, &ys, &zs, space, radius);
+    let cq = query_ms(&|q, out| {
+        csr.radius_search(&xs, &ys, &zs, q, radius, None, out);
+    });
+    let cb = median_ms(|| {
+        black_box(CsrGrid::build_serial(&xs, &ys, &zs, space, radius));
+    });
+    println!("{:<22} {:>10.3} {:>10.3}", "CSR serial", cb, cq);
+    let cbp = median_ms(|| {
+        black_box(CsrGrid::build_parallel(&xs, &ys, &zs, space, radius));
+    });
+    println!("{:<22} {:>10.3} {:>10}", "CSR parallel", cbp, "-");
+    let mut grid = CsrGrid::build_serial(&xs, &ys, &zs, space, radius);
+    let mut scratch = CsrBuildScratch::default();
+    let crb = median_ms(|| {
+        grid.rebuild_parallel(&xs, &ys, &zs, space, radius, &mut scratch);
+        black_box(grid.cell_agents().len());
+    });
+    println!("{:<22} {:>10.3} {:>10}", "CSR rebuild (steady)", crb, "-");
+}
+
+fn step_table(cells_per_dim: usize) {
+    let envs = [
+        EnvironmentKind::uniform_grid_serial(),
+        EnvironmentKind::uniform_grid_parallel(),
+        EnvironmentKind::uniform_grid_csr_serial(),
+        EnvironmentKind::uniform_grid_csr_parallel(),
+    ];
+    let n = cells_per_dim * cells_per_dim * cells_per_dim;
+    println!("\n== mechanical step: benchmark A, {n} cells ==");
+    println!("{:<28} {:>10}", "environment", "step ms");
+    for env in envs {
+        let mut sim = benchmark_a(cells_per_dim, 0x8);
+        sim.set_environment(env);
+        sim.step(); // warm caches + scratch
+        let ms = median_ms(|| sim.step());
+        println!("{:<28} {:>10.3}", env.label(), ms);
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    for n in [20_000, 100_000] {
+        substrate_table(n);
+    }
+    step_table(scale.a_cells_per_dim);
+}

@@ -3,7 +3,7 @@ use bdm_sim::workload::benchmark_a;
 use bdm_sim::EnvironmentKind;
 
 fn main() {
-    for env in [EnvironmentKind::KdTree, EnvironmentKind::UniformGridParallel] {
+    for env in [EnvironmentKind::KdTree, EnvironmentKind::uniform_grid_parallel()] {
         let mut sim = benchmark_a(24, 0xA);
         sim.set_environment(env);
         sim.simulate(1);

@@ -147,7 +147,7 @@ pub fn run(scale: &BenchScale) -> Fig8Report {
         wall_s: Some(kd_wall),
         paper_ms: None,
     });
-    let (ugs_phases, ugs_wall) = run_cpu(scale, EnvironmentKind::UniformGridSerial);
+    let (ugs_phases, ugs_wall) = run_cpu(scale, EnvironmentKind::uniform_grid_serial());
     rows.push(Fig8Row {
         label: "uniform grid (serial)".into(),
         modeled_s: model.total_time(&ugs_phases, 1),
@@ -162,7 +162,7 @@ pub fn run(scale: &BenchScale) -> Fig8Report {
         wall_s: None,
         paper_ms: Some(paper::fig8::PARALLEL_KDTREE_MS),
     });
-    let (ugp_phases, ugp_wall) = run_cpu(scale, EnvironmentKind::UniformGridParallel);
+    let (ugp_phases, ugp_wall) = run_cpu(scale, EnvironmentKind::uniform_grid_parallel());
     rows.push(Fig8Row {
         label: "uniform grid (20 threads)".into(),
         modeled_s: model.total_time(&ugp_phases, 20),

@@ -97,6 +97,35 @@ impl<R: Scalar> GridGeom<R> {
         }
         n
     }
+
+    /// The same stencil as [`Self::neighbor_boxes_of`], collapsed into
+    /// ≤ 9 runs of x-adjacent voxels: `(first_flat, voxel_count)` pairs.
+    ///
+    /// Voxels adjacent in x are adjacent in the x-major flat order, so in
+    /// a CSR grid each run's agents occupy one contiguous `cell_agents`
+    /// slice bounded by `cell_starts[first]` and
+    /// `cell_starts[first + count]` — two boundary loads per run instead
+    /// of one head pointer per voxel, and a longer stream per loop.
+    /// Linked-list storage cannot merge voxels this way.
+    #[inline]
+    pub fn x_runs_of(&self, c: [u32; 3], out: &mut [(usize, u32); 9]) -> usize {
+        let mut n = 0;
+        let range = |v: u32, d: u32| {
+            let lo = v.saturating_sub(1);
+            let hi = (v + 1).min(d - 1);
+            (lo, hi)
+        };
+        let (x_lo, x_hi) = range(c[0], self.dims[0]);
+        let (y_lo, y_hi) = range(c[1], self.dims[1]);
+        let (z_lo, z_hi) = range(c[2], self.dims[2]);
+        for z in z_lo..=z_hi {
+            for y in y_lo..=y_hi {
+                out[n] = (self.flat_index([x_lo, y, z]), x_hi - x_lo + 1);
+                n += 1;
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +161,35 @@ mod tests {
         for flat in 0..geom.num_boxes() {
             let c = geom.coords_of(flat);
             assert_eq!(geom.flat_index(c), flat);
+        }
+    }
+
+    #[test]
+    fn x_runs_cover_exactly_the_stencil() {
+        let geom = GridGeom::<f64> {
+            dims: [4, 5, 3],
+            min: Vec3::zero(),
+            box_len: 1.0,
+        };
+        for z in 0..3 {
+            for y in 0..5 {
+                for x in 0..4 {
+                    let c = [x, y, z];
+                    let mut boxes = [0usize; 27];
+                    let nb = geom.neighbor_boxes_of(c, &mut boxes);
+                    let stencil: std::collections::BTreeSet<usize> =
+                        boxes[..nb].iter().copied().collect();
+                    let mut runs = [(0usize, 0u32); 9];
+                    let nr = geom.x_runs_of(c, &mut runs);
+                    let mut covered = std::collections::BTreeSet::new();
+                    for &(first, len) in &runs[..nr] {
+                        for b in first..first + len as usize {
+                            assert!(covered.insert(b), "run overlap at {b}");
+                        }
+                    }
+                    assert_eq!(covered, stencil, "at {c:?}");
+                }
+            }
         }
     }
 

@@ -17,7 +17,11 @@
 //! * [`dynpar::{ParentKernel, ChildKernel, FinishKernel}`] — the §VI
 //!   future-work dynamic-parallelism experiment: oversubscribed cells
 //!   fan their neighbor loop out to child work-items.
+//! * [`csr::{CsrCountKernel, CsrScatterKernel, MechCsrKernel}`] — the
+//!   post-paper version IV: counting-sort CSR grid, force kernel streams
+//!   contiguous candidate slices instead of chasing successor links.
 
+pub mod csr;
 pub mod dynpar;
 pub mod geom;
 pub mod grid_build;

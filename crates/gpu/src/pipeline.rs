@@ -6,7 +6,7 @@
 //! displacements. Only "a subset of the agents' state data" crosses the
 //! bus (paper §II): positions, diameters, adherence in; displacements out.
 //!
-//! The four paper versions plus the future-work experiment:
+//! The four paper versions plus the post-paper experiments:
 //!
 //! | version | precision | input order | kernel |
 //! |---|---|---|---|
@@ -15,10 +15,12 @@
 //! | `V2Sorted` | FP32 | Morton-sorted | [`MechKernel`] |
 //! | `V3Shared` | FP32 | Morton-sorted | [`SharedMechKernel`] |
 //! | `DynPar`   | FP32 | Morton-sorted | [`ParentKernel`]+[`ChildKernel`]+[`FinishKernel`] |
+//! | `V4Csr`    | FP32 | Morton-sorted | [`CsrCountKernel`]+[`CsrScatterKernel`]+[`MechCsrKernel`] |
 
 use crate::counters::KernelCounters;
 use crate::engine::FromWord;
 use crate::frontend::{ApiFrontend, Runtime};
+use crate::kernels::csr::{exclusive_scan, CsrCountKernel, CsrScatterKernel, MechCsrKernel};
 use crate::kernels::dynpar::{ChildKernel, FinishKernel, ParentKernel};
 use crate::kernels::geom::GridGeom;
 use crate::kernels::grid_build::{reset_grid_buffers, GridBuildKernel};
@@ -45,6 +47,10 @@ pub enum KernelVersion {
     /// FP32 + sorted + dynamic-parallelism neighbor-loop fan-out
     /// (the paper's §VI future-work hypothesis).
     DynPar,
+    /// FP32 + sorted + CSR counting-sort grid (post-paper): the force
+    /// kernel streams contiguous `cell_agents` slices instead of chasing
+    /// per-agent successor links.
+    V4Csr,
 }
 
 impl KernelVersion {
@@ -56,16 +62,19 @@ impl KernelVersion {
             KernelVersion::V2Sorted => "GPU version II (+zorder)",
             KernelVersion::V3Shared => "GPU version III (+shared)",
             KernelVersion::DynPar => "GPU dynpar (future work)",
+            KernelVersion::V4Csr => "GPU version IV (+CSR)",
         }
     }
 
-    /// All versions, in the order the paper introduces them.
-    pub const ALL: [KernelVersion; 5] = [
+    /// All versions, in the order the paper introduces them (the
+    /// post-paper CSR experiment last).
+    pub const ALL: [KernelVersion; 6] = [
         KernelVersion::V0,
         KernelVersion::V1Fp32,
         KernelVersion::V2Sorted,
         KernelVersion::V3Shared,
         KernelVersion::DynPar,
+        KernelVersion::V4Csr,
     ];
 
     /// Whether this version sorts agents along the Z-order curve.
@@ -240,7 +249,13 @@ impl MechanicalPipeline {
         let box_start = alloc.alloc::<u32>(num_boxes);
         let box_length = alloc.alloc::<u32>(num_boxes);
         let successors = alloc.alloc::<u32>(n);
-        reset_grid_buffers(&box_start, &box_length);
+        // Version IV's CSR grid (unused by the linked-list versions;
+        // allocation alone costs nothing in the model). The cursor is
+        // pre-loaded with the scanned start offsets and, once the scatter
+        // exhausts it, doubles as the end-offset array the force kernel
+        // reads.
+        let csr_cursor = alloc.alloc::<u32>(num_boxes);
+        let csr_agents = alloc.alloc::<u32>(n);
         let ox = alloc.alloc::<R>(n);
         let oy = alloc.alloc::<R>(n);
         let oz = alloc.alloc::<R>(n);
@@ -250,22 +265,77 @@ impl MechanicalPipeline {
         let mut d2h_bytes = 3 * n as u64 * <R as DeviceWord>::BYTES as u64;
         let mut d2h_transfers = 3;
 
-        // Device grid build.
-        let build = self.runtime.dispatch(
-            &GridBuildKernel {
+        // Device grid build: atomic list insertion for the paper
+        // versions; for version IV, the two-pass counting sort with a
+        // host-side prefix sum in between. The scan is a grid-wide
+        // dependency, so it reads the counts back and re-uploads the
+        // offsets — a PCIe round trip charged the same way version III's
+        // occupancy readback is.
+        let mut build_counters = KernelCounters::default();
+        let mut build_s = 0.0;
+        if self.version == KernelVersion::V4Csr {
+            let counts = alloc.alloc::<u32>(num_boxes);
+            let count = self.runtime.dispatch(
+                &CsrCountKernel {
+                    n,
+                    geom,
+                    pos_x: &px,
+                    pos_y: &py,
+                    pos_z: &pz,
+                    counts: &counts,
+                },
                 n,
-                geom,
-                pos_x: &px,
-                pos_y: &py,
-                pos_z: &pz,
-                box_start: &box_start,
-                box_length: &box_length,
-                successors: &successors,
-            },
-            n,
-            128,
-            0,
-        );
+                128,
+                0,
+            );
+            build_counters.merge(&count.counters);
+            build_s += count.timing.total_s;
+
+            let mut host_counts = vec![0u32; num_boxes];
+            counts.download(&mut host_counts);
+            d2h_bytes += 4 * num_boxes as u64;
+            d2h_transfers += 1;
+            let starts = exclusive_scan(&host_counts);
+            csr_cursor.upload(&starts[..num_boxes]);
+            h2d_bytes += 4 * num_boxes as u64;
+            h2d_transfers += 1;
+
+            let scatter = self.runtime.dispatch(
+                &CsrScatterKernel {
+                    n,
+                    geom,
+                    pos_x: &px,
+                    pos_y: &py,
+                    pos_z: &pz,
+                    cursor: &csr_cursor,
+                    cell_agents: &csr_agents,
+                },
+                n,
+                128,
+                0,
+            );
+            build_counters.merge(&scatter.counters);
+            build_s += scatter.timing.total_s;
+        } else {
+            reset_grid_buffers(&box_start, &box_length);
+            let build = self.runtime.dispatch(
+                &GridBuildKernel {
+                    n,
+                    geom,
+                    pos_x: &px,
+                    pos_y: &py,
+                    pos_z: &pz,
+                    box_start: &box_start,
+                    box_length: &box_length,
+                    successors: &successors,
+                },
+                n,
+                128,
+                0,
+            );
+            build_counters.merge(&build.counters);
+            build_s += build.timing.total_s;
+        }
 
         // Mechanical kernel(s).
         let mut mech_counters = KernelCounters::default();
@@ -283,6 +353,30 @@ impl MechanicalPipeline {
                         adherence: &da,
                         box_start: &box_start,
                         successors: &successors,
+                        out_x: &ox,
+                        out_y: &oy,
+                        out_z: &oz,
+                        params: params_r,
+                    },
+                    n,
+                    128,
+                    0,
+                );
+                mech_counters.merge(&r.counters);
+                mech_s += r.timing.total_s;
+            }
+            KernelVersion::V4Csr => {
+                let r = self.runtime.dispatch(
+                    &MechCsrKernel {
+                        n,
+                        geom,
+                        pos_x: &px,
+                        pos_y: &py,
+                        pos_z: &pz,
+                        diameter: &dd,
+                        adherence: &da,
+                        cell_ends: &csr_cursor,
+                        cell_agents: &csr_agents,
                         out_x: &ox,
                         out_y: &oy,
                         out_z: &oz,
@@ -441,14 +535,14 @@ impl MechanicalPipeline {
 
         let h2d_s = self.pcie.transfers_time(h2d_transfers, h2d_bytes);
         let d2h_s = self.pcie.transfers_time(d2h_transfers, d2h_bytes);
-        let mut counters = build.counters.clone();
+        let mut counters = build_counters.clone();
         counters.merge(&mech_counters);
         let report = GpuStepReport {
             h2d_s,
             d2h_s,
-            build_s: build.timing.total_s,
+            build_s,
             mech_s,
-            total_s: h2d_s + build.timing.total_s + mech_s + d2h_s,
+            total_s: h2d_s + build_s + mech_s + d2h_s,
             counters,
             mech_counters,
         };
@@ -498,6 +592,7 @@ mod tests {
             KernelVersion::V2Sorted,
             KernelVersion::V3Shared,
             KernelVersion::DynPar,
+            KernelVersion::V4Csr,
         ] {
             let (got, _) = run_version(v, ApiFrontend::Cuda);
             let mut max_err = 0.0f64;
@@ -545,7 +640,12 @@ mod tests {
         assert!(!KernelVersion::V0.sorts());
         assert!(KernelVersion::V1Fp32.fp32());
         assert!(!KernelVersion::V1Fp32.sorts());
-        for v in [KernelVersion::V2Sorted, KernelVersion::V3Shared, KernelVersion::DynPar] {
+        for v in [
+            KernelVersion::V2Sorted,
+            KernelVersion::V3Shared,
+            KernelVersion::DynPar,
+            KernelVersion::V4Csr,
+        ] {
             assert!(v.fp32() && v.sorts(), "{v:?}");
         }
         // Labels are unique (the benchmark tables key on them).
@@ -580,6 +680,61 @@ mod tests {
             max_err = max_err.max((dz[i] - dh[i]).norm());
         }
         assert!(max_err < 1e-4, "curves disagree by {max_err}");
+    }
+
+    /// Version IV's claim: streaming CSR slices coalesces where the
+    /// linked-list successor chases cannot, so the step moves fewer
+    /// 128-byte transactions through the L2 and DRAM than version II —
+    /// even after paying for the extra build pass and scan round trip.
+    #[test]
+    fn v4_csr_reduces_memory_transactions_vs_v2() {
+        let n = 3000;
+        let extent = 10.0;
+        let (xs, ys, zs, dm, ad) = scene(n, extent, 42);
+        let sr = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space: Aabb::new(Vec3::zero(), Vec3::splat(extent)),
+            box_len: 1.0,
+        };
+        let params = MechParams::default_params();
+        let run = |v: KernelVersion| {
+            MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1)
+                .step(&sr, &params)
+                .1
+        };
+        let r2 = run(KernelVersion::V2Sorted);
+        let r4 = run(KernelVersion::V4Csr);
+        // The force kernel alone: strictly fewer global transactions and
+        // fewer DRAM lines.
+        assert!(
+            r4.mech_counters.global_transactions < r2.mech_counters.global_transactions,
+            "CSR mech transactions {} !< linked {}",
+            r4.mech_counters.global_transactions,
+            r2.mech_counters.global_transactions
+        );
+        assert!(
+            r4.mech_counters.l2_misses <= r2.mech_counters.l2_misses,
+            "CSR mech DRAM lines {} !<= linked {}",
+            r4.mech_counters.l2_misses,
+            r2.mech_counters.l2_misses
+        );
+        // Whole step (build included): still ahead.
+        assert!(
+            r4.counters.global_transactions < r2.counters.global_transactions,
+            "CSR step transactions {} !< linked {}",
+            r4.counters.global_transactions,
+            r2.counters.global_transactions
+        );
+        assert!(
+            r4.counters.l2_misses <= r2.counters.l2_misses,
+            "CSR step DRAM lines {} !<= linked {}",
+            r4.counters.l2_misses,
+            r2.counters.l2_misses
+        );
     }
 
     #[test]

@@ -6,21 +6,32 @@
 //! particular agent can be done by only taking into account the voxels
 //! surrounding that particular agent" — 27 voxels in 3-D.
 //!
-//! The data structure mirrors the paper's UML (Fig. 5) exactly:
+//! Two storage layouts share one voxel geometry ([`GridGeometry`]):
 //!
-//! * [`GridBox`] (the paper's `Box`) stores `start` — the last agent added
-//!   to the voxel — and `length`, the number of agents inside.
-//! * [`UniformGrid`] (the paper's `Grid`) owns `boxes_` plus `successors_`,
-//!   a per-agent linked list: `successors_[a]` is the agent added to `a`'s
-//!   voxel immediately before `a`. Walking `start → successors_[start] → …`
-//!   enumerates a voxel's agents.
+//! * [`UniformGrid`] — the paper-faithful linked list mirroring the UML of
+//!   Fig. 5: [`GridBox`] (the paper's `Box`) stores `start` — the last
+//!   agent added to the voxel — and `length`; `successors_` links each
+//!   agent to the one added before it. Walking
+//!   `start → successors_[start] → …` enumerates a voxel's agents, one
+//!   dependent random access per step.
+//! * [`CsrGrid`] — the post-paper CSR counting-sort layout: agent ids of
+//!   each voxel stored contiguously, indexed by exclusive prefix sums, so
+//!   queries stream 27 slices instead of chasing 27 lists. See the
+//!   `csr` module docs for the layout and its determinism guarantee.
 //!
 //! The grid is rebuilt every timestep "to take into account the addition,
-//! deletion, and movement of agents". Construction comes in two flavors:
-//! [`UniformGrid::build_serial`] (the apples-to-apples comparison against
-//! the serial kd-tree build) and [`UniformGrid::build_parallel`], a
-//! lock-free rayon build using atomic head-insertion — the parallelism the
-//! paper credits for the 4.3× multithreaded advantage over the kd-tree.
+//! deletion, and movement of agents". Construction comes in two flavors
+//! for either layout: serial (the apples-to-apples comparison against the
+//! serial kd-tree build) and rayon-parallel — for [`UniformGrid`] the
+//! lock-free atomic head-insertion the paper credits for the 4.3×
+//! multithreaded advantage over the kd-tree, for [`CsrGrid`] a
+//! chunked counting sort that is deterministic by construction.
+
+mod csr;
+mod geometry;
+
+pub use csr::{CsrBuildScratch, CsrGrid};
+pub use geometry::{GridGeometry, NeighborBoxes};
 
 use bdm_math::{Aabb, Scalar, Vec3};
 use bdm_soa::AgentId;
@@ -65,7 +76,8 @@ impl QueryCounters {
     }
 }
 
-/// The uniform grid — the paper's `Grid` class (Fig. 5).
+/// The uniform grid — the paper's `Grid` class (Fig. 5), linked-list
+/// layout.
 ///
 /// ```
 /// use bdm_grid::UniformGrid;
@@ -87,13 +99,8 @@ impl QueryCounters {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UniformGrid<R> {
-    /// Edge length of a cubic voxel. Must be ≥ the largest interaction
-    /// radius for the 27-voxel query to be exhaustive.
-    box_length: R,
-    /// Number of voxels along each axis.
-    dims: [u32; 3],
-    /// The (inflated) space the grid covers.
-    space: Aabb<R>,
+    /// Voxel partitioning shared with the CSR layout.
+    geom: GridGeometry<R>,
     /// `boxes_` in the paper: one [`GridBox`] per voxel, x-major layout.
     boxes: Vec<GridBox>,
     /// `successors_` in the paper: per-agent link to the previous head.
@@ -103,34 +110,18 @@ pub struct UniformGrid<R> {
 }
 
 impl<R: Scalar> UniformGrid<R> {
-    /// Compute grid dimensions for `space` and voxel edge `box_length`.
-    fn layout(space: &Aabb<R>, box_length: R) -> [u32; 3] {
-        assert!(box_length > R::ZERO, "box length must be positive");
-        let e = space.extents();
-        let dim = |len: R| -> u32 { ((len / box_length).ceil().to_f64() as u32).max(1) };
-        [dim(e.x), dim(e.y), dim(e.z)]
-    }
-
     /// Serial construction (one pass of head-insertions).
-    pub fn build_serial(
-        xs: &[R],
-        ys: &[R],
-        zs: &[R],
-        space: Aabb<R>,
-        box_length: R,
-    ) -> Self {
-        let dims = Self::layout(&space, box_length);
-        let num_boxes = dims[0] as usize * dims[1] as usize * dims[2] as usize;
+    pub fn build_serial(xs: &[R], ys: &[R], zs: &[R], space: Aabb<R>, box_length: R) -> Self {
+        let geom = GridGeometry::new(space, box_length);
+        let num_boxes = geom.num_boxes();
         let mut grid = Self {
-            box_length,
-            dims,
-            space,
+            geom,
             boxes: vec![GridBox::EMPTY; num_boxes],
             successors: vec![AgentId::NULL; xs.len()],
             num_agents: xs.len(),
         };
         for i in 0..xs.len() {
-            let b = grid.box_index(Vec3::new(xs[i], ys[i], zs[i]));
+            let b = grid.geom.box_index(Vec3::new(xs[i], ys[i], zs[i]));
             let id = AgentId::from_index(i);
             grid.successors[i] = grid.boxes[b].start;
             grid.boxes[b].start = id;
@@ -147,34 +138,24 @@ impl<R: Scalar> UniformGrid<R> {
     /// The resulting per-voxel list *order* depends on the interleaving of
     /// insertions and is therefore nondeterministic across runs; the set of
     /// agents per voxel is always exact. Force accumulation sums over the
-    /// set, so only floating-point summation order differs.
-    pub fn build_parallel(
-        xs: &[R],
-        ys: &[R],
-        zs: &[R],
-        space: Aabb<R>,
-        box_length: R,
-    ) -> Self {
-        let dims = Self::layout(&space, box_length);
-        let num_boxes = dims[0] as usize * dims[1] as usize * dims[2] as usize;
+    /// set, so only floating-point summation order differs. (For
+    /// deterministic parallel builds, use [`CsrGrid::build_parallel`],
+    /// whose counting sort is stable by construction.)
+    pub fn build_parallel(xs: &[R], ys: &[R], zs: &[R], space: Aabb<R>, box_length: R) -> Self {
+        let geom = GridGeometry::new(space, box_length);
+        let num_boxes = geom.num_boxes();
         let n = xs.len();
 
-        let heads: Vec<AtomicU32> = (0..num_boxes).map(|_| AtomicU32::new(u32::MAX)).collect();
+        let heads: Vec<AtomicU32> = (0..num_boxes)
+            .map(|_| AtomicU32::new(AgentId::NULL.0))
+            .collect();
         let counts: Vec<AtomicU32> = (0..num_boxes).map(|_| AtomicU32::new(0)).collect();
-        let successors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-
-        // Immutable probe grid for box_index computation.
-        let probe = Self {
-            box_length,
-            dims,
-            space,
-            boxes: Vec::new(),
-            successors: Vec::new(),
-            num_agents: 0,
-        };
+        let successors: Vec<AtomicU32> = (0..n)
+            .map(|_| AtomicU32::new(AgentId::NULL.0))
+            .collect();
 
         (0..n).into_par_iter().for_each(|i| {
-            let b = probe.box_index(Vec3::new(xs[i], ys[i], zs[i]));
+            let b = geom.box_index(Vec3::new(xs[i], ys[i], zs[i]));
             // Lock-free push-front: publish the old head as our successor,
             // then swap ourselves in. Relaxed suffices for the counter;
             // the head swap is AcqRel so readers of `start` see the
@@ -189,33 +170,36 @@ impl<R: Scalar> UniformGrid<R> {
             .iter()
             .zip(counts.iter())
             .map(|(h, c)| GridBox {
-                start: AgentId(h.load(Ordering::Acquire)),
+                start: AgentId::from_raw(h.load(Ordering::Acquire)),
                 length: c.load(Ordering::Acquire),
             })
             .collect();
         let successors: Vec<AgentId> = successors
             .into_iter()
-            .map(|a| AgentId(a.into_inner()))
+            .map(|a| AgentId::from_raw(a.into_inner()))
             .collect();
 
         Self {
-            box_length,
-            dims,
-            space,
+            geom,
             boxes,
             successors,
             num_agents: n,
         }
     }
 
+    /// The shared voxel geometry.
+    pub fn geometry(&self) -> &GridGeometry<R> {
+        &self.geom
+    }
+
     /// Voxel edge length.
     pub fn box_length(&self) -> R {
-        self.box_length
+        self.geom.box_length()
     }
 
     /// Voxels per axis.
     pub fn dims(&self) -> [u32; 3] {
-        self.dims
+        self.geom.dims()
     }
 
     /// Total number of voxels.
@@ -230,7 +214,7 @@ impl<R: Scalar> UniformGrid<R> {
 
     /// The covered space.
     pub fn space(&self) -> &Aabb<R> {
-        &self.space
+        self.geom.space()
     }
 
     /// All voxels (the GPU environment uploads these as flat buffers).
@@ -243,36 +227,23 @@ impl<R: Scalar> UniformGrid<R> {
         &self.successors
     }
 
-    /// Integer voxel coordinates of a position (clamped into the grid).
+    /// Integer voxel coordinates of a position (see
+    /// [`GridGeometry::box_coords`] for the clamp semantics).
     #[inline]
     pub fn box_coords(&self, p: Vec3<R>) -> [u32; 3] {
-        let rel = p - self.space.min;
-        let coord = |v: R, d: u32| -> u32 {
-            let idx = (v / self.box_length).floor().to_f64();
-            if idx < 0.0 {
-                0
-            } else {
-                (idx as u64).min(d as u64 - 1) as u32
-            }
-        };
-        [
-            coord(rel.x, self.dims[0]),
-            coord(rel.y, self.dims[1]),
-            coord(rel.z, self.dims[2]),
-        ]
+        self.geom.box_coords(p)
     }
 
     /// Flat voxel index of a position (x-major).
     #[inline]
     pub fn box_index(&self, p: Vec3<R>) -> usize {
-        let [cx, cy, cz] = self.box_coords(p);
-        self.flat_index(cx, cy, cz)
+        self.geom.box_index(p)
     }
 
     /// Flat index of voxel coordinates.
     #[inline]
     pub fn flat_index(&self, cx: u32, cy: u32, cz: u32) -> usize {
-        (cz as usize * self.dims[1] as usize + cy as usize) * self.dims[0] as usize + cx as usize
+        self.geom.flat_index(cx, cy, cz)
     }
 
     /// Walk the agents of one voxel (via the successor list).
@@ -287,8 +258,7 @@ impl<R: Scalar> UniformGrid<R> {
     /// Enumerate the flat indices of the ≤ 27 voxels around `p` (clamped
     /// at the grid boundary, deduplicated).
     pub fn neighbor_boxes(&self, p: Vec3<R>) -> NeighborBoxes {
-        let [cx, cy, cz] = self.box_coords(p);
-        NeighborBoxes::new(self, cx, cy, cz)
+        self.geom.neighbor_boxes(p)
     }
 
     /// Visit every agent within `radius` of `q`, excluding `exclude`.
@@ -307,12 +277,12 @@ impl<R: Scalar> UniformGrid<R> {
         mut visit: F,
     ) -> QueryCounters {
         debug_assert!(
-            radius <= self.box_length,
+            radius <= self.geom.box_length(),
             "query radius exceeds the voxel edge; the 27-box stencil would miss neighbors"
         );
         let mut counters = QueryCounters::default();
         let r2 = radius * radius;
-        for flat in self.neighbor_boxes(q) {
+        for flat in self.geom.neighbor_boxes(q) {
             counters.boxes_scanned += 1;
             let mut cur = self.boxes[flat].start;
             while !cur.is_null() {
@@ -355,57 +325,6 @@ impl<R: Scalar> UniformGrid<R> {
             *counts.entry(b.length).or_default() += 1;
         }
         counts.into_iter().collect()
-    }
-}
-
-/// Iterator over the flat indices of the ≤ 27 voxels surrounding a point.
-pub struct NeighborBoxes {
-    indices: [usize; 27],
-    len: usize,
-    next: usize,
-}
-
-impl NeighborBoxes {
-    fn new<R: Scalar>(grid: &UniformGrid<R>, cx: u32, cy: u32, cz: u32) -> Self {
-        let mut indices = [0usize; 27];
-        let mut len = 0;
-        let range = |c: u32, d: u32| {
-            let lo = c.saturating_sub(1);
-            let hi = (c + 1).min(d - 1);
-            lo..=hi
-        };
-        for z in range(cz, grid.dims[2]) {
-            for y in range(cy, grid.dims[1]) {
-                for x in range(cx, grid.dims[0]) {
-                    indices[len] = grid.flat_index(x, y, z);
-                    len += 1;
-                }
-            }
-        }
-        Self {
-            indices,
-            len,
-            next: 0,
-        }
-    }
-}
-
-impl Iterator for NeighborBoxes {
-    type Item = usize;
-    fn next(&mut self) -> Option<usize> {
-        if self.next < self.len {
-            let v = self.indices[self.next];
-            self.next += 1;
-            Some(v)
-        } else {
-            None
-        }
-    }
-}
-
-impl ExactSizeIterator for NeighborBoxes {
-    fn len(&self) -> usize {
-        self.len - self.next
     }
 }
 

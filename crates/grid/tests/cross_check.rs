@@ -3,7 +3,7 @@
 //! inputs they must return identical neighbor sets (paper §IV-A replaces
 //! one with the other *without changing simulation results*).
 
-use bdm_grid::UniformGrid;
+use bdm_grid::{CsrGrid, UniformGrid};
 use bdm_kdtree::KdTree;
 use bdm_math::{Aabb, SplitMix64, Vec3};
 use bdm_soa::AgentId;
@@ -71,11 +71,28 @@ fn parallel_grid_equals_kdtree() {
     }
 }
 
+fn csr_ids(
+    g: &CsrGrid<f64>,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    q: Vec3<f64>,
+    r: f64,
+    exclude: Option<AgentId>,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    g.radius_search(xs, ys, zs, q, r, exclude, &mut out);
+    let mut ids: Vec<u32> = out.iter().map(|a| a.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Grid radius query ≡ brute force on arbitrary lattice-snapped clouds
-    /// (ties included), for any radius up to the voxel edge.
+    /// (ties included), for any radius up to the voxel edge — and the CSR
+    /// layout returns the identical set.
     #[test]
     fn grid_equals_brute_force(
         points in proptest::collection::vec((0i32..40, 0i32..40, 0i32..40), 1..300),
@@ -89,8 +106,10 @@ proptest! {
         let box_len = 4.0;
         let r = r_q as f64 * 0.5; // ≤ 4.0 = box_len
         let grid = UniformGrid::build_serial(&xs, &ys, &zs, space, box_len);
+        let csr = CsrGrid::build_serial(&xs, &ys, &zs, space, box_len);
         let q = Vec3::new(qi.0 as f64 * 0.5, qi.1 as f64 * 0.5, qi.2 as f64 * 0.5);
         let got = grid_ids(&grid, &xs, &ys, &zs, q, r, None);
+        let got_csr = csr_ids(&csr, &xs, &ys, &zs, q, r, None);
         let r2 = r * r;
         let expected: Vec<u32> = (0..xs.len() as u32)
             .filter(|&i| {
@@ -98,6 +117,42 @@ proptest! {
                 d.norm_squared() <= r2
             })
             .collect();
-        prop_assert_eq!(got, expected);
+        prop_assert_eq!(got, expected.clone());
+        prop_assert_eq!(got_csr, expected);
+    }
+
+    /// The three layouts answer arbitrary (non-lattice) clouds with the
+    /// same neighbor sets, and the deterministic parallel CSR build is
+    /// structurally identical to the serial one.
+    #[test]
+    fn csr_equals_linked_list_and_kdtree(
+        seed in 0u64..1000,
+        n in 50usize..400,
+        extent_q in 8u32..24,
+    ) {
+        let extent = extent_q as f64;
+        let mut rng = SplitMix64::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, extent)).collect();
+        let space = Aabb::new(Vec3::zero(), Vec3::splat(extent));
+        let radius = 2.0;
+        let linked = UniformGrid::build_serial(&xs, &ys, &zs, space, radius);
+        let csr = CsrGrid::build_serial(&xs, &ys, &zs, space, radius);
+        let csr_par = CsrGrid::build_parallel(&xs, &ys, &zs, space, radius);
+        prop_assert_eq!(csr.cell_starts(), csr_par.cell_starts());
+        prop_assert_eq!(csr.cell_agents(), csr_par.cell_agents());
+        let tree = KdTree::build(&xs, &ys, &zs);
+        for i in (0..n).step_by(13) {
+            let q = Vec3::new(xs[i], ys[i], zs[i]);
+            let ex = Some(AgentId(i as u32));
+            let from_linked = grid_ids(&linked, &xs, &ys, &zs, q, radius, ex);
+            let from_csr = csr_ids(&csr, &xs, &ys, &zs, q, radius, ex);
+            let mut from_tree = Vec::new();
+            tree.radius_search(q, radius, Some(i as u32), &mut from_tree);
+            from_tree.sort_unstable();
+            prop_assert_eq!(&from_csr, &from_linked, "csr vs linked, query {}", i);
+            prop_assert_eq!(&from_csr, &from_tree, "csr vs kd-tree, query {}", i);
+        }
     }
 }

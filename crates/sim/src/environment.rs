@@ -6,9 +6,10 @@
 //!
 //! * [`EnvironmentKind::KdTree`] — the v0.0.9 baseline: serial kd-tree
 //!   build + per-agent radius search;
-//! * [`EnvironmentKind::UniformGridSerial`] /
-//!   [`EnvironmentKind::UniformGridParallel`] — the paper's §IV-A
-//!   replacement (Fig. 5), with serial or lock-free parallel build;
+//! * [`EnvironmentKind::UniformGrid`] — the paper's §IV-A replacement
+//!   (Fig. 5), with serial or lock-free parallel build, in either the
+//!   paper-faithful linked-list storage or the post-paper CSR
+//!   counting-sort layout (see [`GridLayout`]);
 //! * [`EnvironmentKind::Gpu`] — the §IV-B offload: grid build and force
 //!   computation on the (simulated) device, in any kernel version and
 //!   either API frontend.
@@ -36,16 +37,34 @@ impl GpuSystem {
     }
 }
 
+/// Storage layout of the CPU uniform grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridLayout {
+    /// The paper's Fig. 5 structure: per-voxel `start` head plus a
+    /// `successors` link per agent — one dependent random access per
+    /// candidate visit.
+    LinkedList,
+    /// CSR counting-sort layout (`cell_starts` prefix sums + contiguous
+    /// `cell_agents`): queries stream 27 slices, and the parallel build
+    /// is deterministic. Post-paper optimization; see
+    /// `bdm_grid::CsrGrid`.
+    Csr,
+}
+
 /// The neighborhood method a simulation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnvironmentKind {
     /// Serial kd-tree build + radius search (the replaced baseline).
     KdTree,
-    /// Uniform grid, serial construction.
-    UniformGridSerial,
-    /// Uniform grid, rayon-parallel construction (the multithreaded
-    /// winner of §VI).
-    UniformGridParallel,
+    /// Uniform grid on the CPU, in either storage layout, with serial or
+    /// rayon-parallel construction (the parallel linked-list build is
+    /// the multithreaded winner of §VI).
+    UniformGrid {
+        /// Linked-list (paper-faithful) or CSR storage.
+        layout: GridLayout,
+        /// Parallel grid construction.
+        parallel: bool,
+    },
     /// GPU offload of grid build + mechanical forces.
     Gpu {
         /// Simulated system.
@@ -60,6 +79,39 @@ pub enum EnvironmentKind {
 }
 
 impl EnvironmentKind {
+    /// Uniform grid, linked-list layout, serial construction.
+    pub fn uniform_grid_serial() -> Self {
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::LinkedList,
+            parallel: false,
+        }
+    }
+
+    /// Uniform grid, linked-list layout, parallel construction (the
+    /// paper's multithreaded CPU winner).
+    pub fn uniform_grid_parallel() -> Self {
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::LinkedList,
+            parallel: true,
+        }
+    }
+
+    /// Uniform grid, CSR layout, serial construction.
+    pub fn uniform_grid_csr_serial() -> Self {
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::Csr,
+            parallel: false,
+        }
+    }
+
+    /// Uniform grid, CSR layout, deterministic parallel construction.
+    pub fn uniform_grid_csr_parallel() -> Self {
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::Csr,
+            parallel: true,
+        }
+    }
+
     /// Default GPU environment: System A, CUDA, best kernel (version II),
     /// full tracing.
     pub fn gpu_default() -> Self {
@@ -75,8 +127,13 @@ impl EnvironmentKind {
     pub fn label(&self) -> String {
         match self {
             EnvironmentKind::KdTree => "kd-tree".into(),
-            EnvironmentKind::UniformGridSerial => "uniform grid (serial)".into(),
-            EnvironmentKind::UniformGridParallel => "uniform grid (parallel)".into(),
+            EnvironmentKind::UniformGrid { layout, parallel } => {
+                let mode = if *parallel { "parallel" } else { "serial" };
+                match layout {
+                    GridLayout::LinkedList => format!("uniform grid ({mode})"),
+                    GridLayout::Csr => format!("uniform grid CSR ({mode})"),
+                }
+            }
             EnvironmentKind::Gpu {
                 system,
                 frontend,
@@ -105,8 +162,10 @@ mod tests {
     fn labels_are_distinct() {
         let kinds = [
             EnvironmentKind::KdTree,
-            EnvironmentKind::UniformGridSerial,
-            EnvironmentKind::UniformGridParallel,
+            EnvironmentKind::uniform_grid_serial(),
+            EnvironmentKind::uniform_grid_parallel(),
+            EnvironmentKind::uniform_grid_csr_serial(),
+            EnvironmentKind::uniform_grid_csr_parallel(),
             EnvironmentKind::gpu_default(),
         ];
         let labels: std::collections::HashSet<String> =

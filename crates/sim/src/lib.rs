@@ -7,8 +7,9 @@
 //!   diameter, adherence, tractor force, behaviors);
 //! * an [`EnvironmentKind`] — the pluggable neighborhood method: kd-tree
 //!   (the baseline the paper replaces), uniform grid (serial or
-//!   rayon-parallel), or the simulated-GPU offload pipeline in any of the
-//!   paper's kernel versions;
+//!   rayon-parallel, linked-list or CSR storage — see [`GridLayout`]),
+//!   or the simulated-GPU offload pipeline in any of the paper's kernel
+//!   versions;
 //! * zero or more [`DiffusionGrid`]s — extracellular substances evolved by
 //!   explicit-Euler reaction–diffusion on the CPU ("operations that are
 //!   independent of the agents, such as extracellular substance diffusion,
@@ -39,7 +40,7 @@ pub mod workload;
 pub use behavior::Behavior;
 pub use cell::CellBuilder;
 pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
-pub use environment::EnvironmentKind;
+pub use environment::{EnvironmentKind, GridLayout};
 pub use io::Snapshot;
 pub use param::SimParams;
 pub use profiler::{OpRecord, Profiler, StepProfile};

@@ -19,12 +19,12 @@
 //! input to the Table I CPU timing model. The mapping constants are
 //! documented on [`work_model`].
 
-use crate::environment::EnvironmentKind;
+use crate::environment::{EnvironmentKind, GridLayout};
 use crate::param::SimParams;
 use crate::rm::ResourceManager;
 use bdm_device::cpu::Phase;
 use bdm_gpu::pipeline::{GpuStepReport, MechanicalPipeline, SceneRef};
-use bdm_grid::UniformGrid;
+use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_kdtree::KdTree;
 use bdm_math::interaction::{self};
 use bdm_math::{Vec3};
@@ -86,6 +86,35 @@ pub mod work_model {
     pub const UG_FIXED_FLOPS_PER_AGENT: f64 = 15.0;
     /// Fixed per-agent bytes of the fused pass (own state + output).
     pub const UG_FIXED_BYTES_PER_AGENT: f64 = 80.0;
+
+    // ----- CSR uniform-grid pipeline (post-paper layout) -----
+    // The counting-sort build streams the agents twice (position read +
+    // voxel-id write, then voxel-id read + id scatter) instead of doing
+    // one scattered list-head update per agent, and queries read each
+    // voxel's ids as one contiguous slice instead of chasing successor
+    // links — so the CSR constants shift cost out of the
+    // `random_accesses` term and into streaming bytes.
+
+    /// Bytes per agent of the CSR counting-sort build: pass 1 reads the
+    /// position (24 B) and writes the voxel id (4 B); pass 2 re-reads the
+    /// voxel id (4 B), reads a cursor (4 B), and writes the agent id
+    /// (4 B); prefix-scan traffic amortizes to ~4 B.
+    pub const CSR_BUILD_BYTES_PER_AGENT: f64 = 44.0;
+    /// Scattered accesses per agent during the build: the histogram and
+    /// cursor updates hit a `num_boxes`-sized array that is mostly
+    /// cache-resident, so only a fraction goes to memory.
+    pub const CSR_BUILD_RANDOM_PER_AGENT: f64 = 0.125;
+    /// FLOPs per tested candidate (the same distance test as the
+    /// linked-list pass).
+    pub const CSR_FLOPS_PER_CANDIDATE: f64 = 12.0;
+    /// Bytes per tested candidate: streamed id (4 B) + gathered position
+    /// (24 B) + diameter (8 B). No successor link.
+    pub const CSR_BYTES_PER_CANDIDATE: f64 = 36.0;
+    /// Dependent accesses per scanned stencil voxel: the 27-voxel stencil
+    /// is 9 contiguous x-runs of 3 voxels, so only every third voxel
+    /// starts a new stream (vs. one list-head chase per voxel for the
+    /// linked list).
+    pub const CSR_RANDOM_PER_BOX: f64 = 1.0 / 3.0;
 }
 
 /// Outcome of one mechanical step.
@@ -125,13 +154,43 @@ pub fn interaction_radius(rm: &ResourceManager, params: &SimParams) -> f64 {
         .max(1e-9)
 }
 
+/// Reusable per-step working memory for the CSR mechanical path: the
+/// grid's CSR arrays, the counting-sort build scratch, and the per-agent
+/// displacement buffer all persist across steps, so a steady-state step
+/// allocates nothing. The [`crate::Simulation`] owns one of these for
+/// its lifetime; one-shot callers can pass a fresh default.
+#[derive(Default)]
+pub struct MechScratch {
+    /// CSR grid, rebuilt in place every step.
+    csr: Option<CsrGrid<f64>>,
+    /// Counting-sort working memory (voxel ids + chunk histograms).
+    build: CsrBuildScratch,
+    /// Per-agent displacements of the fused pass.
+    disp: Vec<Vec3<f64>>,
+}
+
 /// Execute one mechanical interactions step with the chosen environment,
 /// applying the resulting displacements to the agents.
+///
+/// Convenience wrapper over [`mechanical_step_with_scratch`] that pays
+/// the CSR path's buffer allocations every call; loops should hold a
+/// [`MechScratch`] instead.
 pub fn mechanical_step(
     rm: &mut ResourceManager,
     params: &SimParams,
     env: &EnvironmentKind,
     pipeline: Option<&MechanicalPipeline>,
+) -> MechWork {
+    mechanical_step_with_scratch(rm, params, env, pipeline, &mut MechScratch::default())
+}
+
+/// [`mechanical_step`] with caller-owned reusable buffers.
+pub fn mechanical_step_with_scratch(
+    rm: &mut ResourceManager,
+    params: &SimParams,
+    env: &EnvironmentKind,
+    pipeline: Option<&MechanicalPipeline>,
+    scratch: &mut MechScratch,
 ) -> MechWork {
     if rm.is_empty() {
         return MechWork {
@@ -145,8 +204,14 @@ pub fn mechanical_step(
     }
     match env {
         EnvironmentKind::KdTree => cpu_kdtree_step(rm, params),
-        EnvironmentKind::UniformGridSerial => cpu_grid_step(rm, params, false),
-        EnvironmentKind::UniformGridParallel => cpu_grid_step(rm, params, true),
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::LinkedList,
+            parallel,
+        } => cpu_grid_step(rm, params, *parallel),
+        EnvironmentKind::UniformGrid {
+            layout: GridLayout::Csr,
+            parallel,
+        } => cpu_grid_csr_step(rm, params, *parallel, scratch),
         EnvironmentKind::Gpu { .. } => {
             let pipeline = pipeline.expect("GPU environment requires a pipeline");
             gpu_step(rm, params, pipeline)
@@ -386,6 +451,134 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
     }
 }
 
+/// Agents per work item of the fused CSR pass. Fixed (not derived from
+/// the thread count) so the pass is chunked identically no matter how
+/// rayon schedules it; each agent's FP64 accumulation is independent, so
+/// the displacements are bitwise reproducible across serial and parallel
+/// runs.
+const CSR_PASS_CHUNK: usize = 4 * 1024;
+
+fn cpu_grid_csr_step(
+    rm: &mut ResourceManager,
+    params: &SimParams,
+    parallel: bool,
+    scratch: &mut MechScratch,
+) -> MechWork {
+    let n = rm.len();
+    let radius = interaction_radius(rm, params);
+    let space = params.space;
+
+    // Phase 1: counting-sort CSR build, reusing the scratch arrays.
+    let t0 = Instant::now();
+    let (xs, ys, zs) = rm.position_columns();
+    let grid = scratch
+        .csr
+        .get_or_insert_with(|| CsrGrid::build_serial(&[], &[], &[], space, radius));
+    if parallel {
+        grid.rebuild_parallel(xs, ys, zs, space, radius, &mut scratch.build);
+    } else {
+        grid.rebuild_serial(xs, ys, zs, space, radius, &mut scratch.build);
+    }
+    let wall_build = t0.elapsed().as_secs_f64();
+
+    // Phase 2: fused neighbor scan + force computation, streaming the
+    // stencil as ≤ 9 contiguous id slices (x-adjacent voxels concatenate
+    // in the x-major CSR order). Same structure as the linked-list fused
+    // pass, minus the successor chases and two thirds of the per-voxel
+    // head lookups.
+    let t1 = Instant::now();
+    let diam = rm.diameter_column();
+    let adh = rm.adherence_column();
+    let mech = &params.mech;
+    let r2 = radius * radius;
+    let grid = &*grid;
+    scratch.disp.clear();
+    scratch.disp.resize(n, Vec3::zero());
+    let chunk_stats: Vec<(bdm_grid::QueryCounters, u64)> = scratch
+        .disp
+        .par_chunks_mut(CSR_PASS_CHUNK)
+        .enumerate()
+        .map(|(c, out)| {
+            let base = c * CSR_PASS_CHUNK;
+            let mut counters = bdm_grid::QueryCounters::default();
+            let mut contacts = 0u64;
+            for (k, slot) in out.iter_mut().enumerate() {
+                let i = base + k;
+                let p1 = Vec3::new(xs[i], ys[i], zs[i]);
+                let r1 = diam[i] * 0.5;
+                let mut force = Vec3::zero();
+                for (first, count) in grid.geometry().x_runs(p1) {
+                    counters.boxes_scanned += count as u64;
+                    for &id in grid.run_range(first, count) {
+                        let j = id.index();
+                        if j == i {
+                            continue;
+                        }
+                        counters.points_tested += 1;
+                        let p2 = Vec3::new(xs[j], ys[j], zs[j]);
+                        if (p2 - p1).norm_squared() <= r2 {
+                            counters.neighbors_found += 1;
+                            if let Some(f) = interaction::collision_force(
+                                p1,
+                                r1,
+                                p2,
+                                diam[j] * 0.5,
+                                mech.repulsion,
+                                mech.attraction,
+                            ) {
+                                force += f;
+                                contacts += 1;
+                            }
+                        }
+                    }
+                }
+                *slot = interaction::displacement(force, adh[i], mech);
+            }
+            (counters, contacts)
+        })
+        .collect();
+    let wall_fused = t1.elapsed().as_secs_f64();
+
+    let mut counters = bdm_grid::QueryCounters::default();
+    let mut contacts = 0u64;
+    for (c, k) in &chunk_stats {
+        counters.merge(c);
+        contacts += k;
+    }
+    let disp = std::mem::take(&mut scratch.disp);
+    apply_displacements(rm, &disp);
+    scratch.disp = disp;
+
+    let neighbors = counters.neighbors_found;
+    let phases = vec![
+        Phase {
+            name: "neighborhood build",
+            flops: 0.0,
+            bytes: work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64,
+            random_accesses: work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64,
+            parallel,
+            fp64: true,
+        },
+        Phase::parallel_fp64(
+            "mechanical forces",
+            work_model::CSR_FLOPS_PER_CANDIDATE * counters.points_tested as f64
+                + work_model::UG_FLOPS_PER_CONTACT * contacts as f64
+                + work_model::UG_FIXED_FLOPS_PER_AGENT * n as f64,
+            work_model::CSR_BYTES_PER_CANDIDATE * counters.points_tested as f64
+                + work_model::UG_FIXED_BYTES_PER_AGENT * n as f64,
+            work_model::CSR_RANDOM_PER_BOX * counters.boxes_scanned as f64,
+        ),
+    ];
+    MechWork {
+        phases,
+        wall_s: vec![wall_build, wall_fused],
+        gpu: None,
+        candidates: counters.points_tested,
+        contacts,
+        neighbors,
+    }
+}
+
 fn gpu_step(
     rm: &mut ResourceManager,
     params: &SimParams,
@@ -447,7 +640,7 @@ mod tests {
         let mut a = random_population(300, 5.5, 3);
         let mut b = a.clone();
         let wa = mechanical_step(&mut a, &params, &EnvironmentKind::KdTree, None);
-        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::UniformGridSerial, None);
+        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::uniform_grid_serial(), None);
         assert_eq!(wa.neighbors, wb.neighbors, "same neighbor sets expected");
         let pa = positions(&a);
         let pb = positions(&b);
@@ -466,8 +659,8 @@ mod tests {
         let params = SimParams::cube(6.0);
         let mut a = random_population(400, 5.5, 9);
         let mut b = a.clone();
-        let wa = mechanical_step(&mut a, &params, &EnvironmentKind::UniformGridSerial, None);
-        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::UniformGridParallel, None);
+        let wa = mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
+        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::uniform_grid_parallel(), None);
         assert_eq!(wa.neighbors, wb.neighbors);
         let pa = positions(&a);
         let pb = positions(&b);
@@ -477,11 +670,71 @@ mod tests {
     }
 
     #[test]
+    fn csr_grid_matches_linked_list_grid() {
+        let params = SimParams::cube(6.0);
+        let mut a = random_population(400, 5.5, 9);
+        let mut b = a.clone();
+        let wa = mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
+        let wb = mechanical_step(
+            &mut b,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_serial(),
+            None,
+        );
+        // Identical stencil and acceptance test ⇒ identical work counters.
+        assert_eq!(wa.neighbors, wb.neighbors);
+        assert_eq!(wa.candidates, wb.candidates);
+        assert_eq!(wa.contacts, wb.contacts);
+        let pa = positions(&a);
+        let pb = positions(&b);
+        for i in 0..pa.len() {
+            // Per-voxel visit order differs (reverse-insertion list vs
+            // ascending id): tiny FP summation skew only.
+            assert!((pa[i] - pb[i]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_serial_and_parallel_are_bitwise_identical() {
+        let params = SimParams::cube(6.0);
+        let mut a = random_population(500, 5.5, 21);
+        let mut b = a.clone();
+        mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_csr_serial(), None);
+        mechanical_step(
+            &mut b,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_parallel(),
+            None,
+        );
+        // The parallel counting sort is deterministic and the fused pass
+        // accumulates per agent in CSR order either way: every FP64
+        // displacement must be bit-for-bit equal, not merely close.
+        assert_eq!(positions(&a), positions(&b));
+    }
+
+    #[test]
+    fn csr_scratch_is_reused_across_steps() {
+        let params = SimParams::cube(6.0);
+        let mut rm = random_population(300, 5.5, 23);
+        let mut scratch = MechScratch::default();
+        let env = EnvironmentKind::uniform_grid_csr_parallel();
+        let w1 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        let w2 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        assert!(w1.neighbors > 0);
+        assert!(w2.neighbors > 0);
+        // A second step through the same scratch matches a fresh run.
+        let mut fresh = random_population(300, 5.5, 23);
+        mechanical_step(&mut fresh, &params, &env, None);
+        mechanical_step(&mut fresh, &params, &env, None);
+        assert_eq!(positions(&rm), positions(&fresh));
+    }
+
+    #[test]
     fn gpu_environment_matches_cpu() {
         let params = SimParams::cube(6.0);
         let mut a = random_population(250, 5.5, 7);
         let mut b = a.clone();
-        mechanical_step(&mut a, &params, &EnvironmentKind::UniformGridSerial, None);
+        mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
         let env = EnvironmentKind::gpu_default();
         let pipeline = match env {
             EnvironmentKind::Gpu {
@@ -510,7 +763,7 @@ mod tests {
         params.mech.max_displacement = 0.0;
         let mut rm = random_population(200, 5.5, 5);
         let before = positions(&rm);
-        let w = mechanical_step(&mut rm, &params, &EnvironmentKind::UniformGridParallel, None);
+        let w = mechanical_step(&mut rm, &params, &EnvironmentKind::uniform_grid_parallel(), None);
         assert_eq!(before, positions(&rm));
         assert!(w.neighbors > 0, "still counts neighbors");
     }
@@ -525,10 +778,23 @@ mod tests {
         assert!(w.phases[1].parallel);
         assert!(w.phases[1].flops > 0.0);
         assert!(w.phases[2].flops > 0.0);
-        let wg = mechanical_step(&mut rm, &params, &EnvironmentKind::UniformGridParallel, None);
+        let wg = mechanical_step(&mut rm, &params, &EnvironmentKind::uniform_grid_parallel(), None);
         assert_eq!(wg.phases.len(), 2, "grid pipeline is build + fused pass");
         assert!(wg.phases[0].parallel, "parallel grid build");
         assert_eq!(wg.phases[1].name, "mechanical forces");
+        let wc = mechanical_step(
+            &mut rm,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_parallel(),
+            None,
+        );
+        assert_eq!(wc.phases.len(), 2, "CSR pipeline is build + fused pass");
+        assert!(wc.phases[0].parallel);
+        // The CSR layout's whole point: per unit of work it charges less
+        // dependent random access than the linked list (build: no
+        // scattered head update per agent; query: streamed slices).
+        assert!(wc.phases[0].random_accesses < wg.phases[0].random_accesses);
+        assert!(wc.phases[1].random_accesses < wg.phases[1].random_accesses);
     }
 
     #[test]
@@ -550,8 +816,8 @@ mod tests {
         let params_large = SimParams::cube(6.0).with_interaction_radius(3.0);
         let mut a = random_population(300, 5.5, 17);
         let mut b = a.clone();
-        let ws = mechanical_step(&mut a, &params_small, &EnvironmentKind::UniformGridSerial, None);
-        let wl = mechanical_step(&mut b, &params_large, &EnvironmentKind::UniformGridSerial, None);
+        let ws = mechanical_step(&mut a, &params_small, &EnvironmentKind::uniform_grid_serial(), None);
+        let wl = mechanical_step(&mut b, &params_large, &EnvironmentKind::uniform_grid_serial(), None);
         assert!(wl.neighbors > ws.neighbors);
         assert!(wl.candidates > ws.candidates);
     }

@@ -4,7 +4,7 @@ use crate::behavior::{diameter_of, volume_of, Behavior};
 use crate::cell::CellBuilder;
 use crate::diffusion::{DiffusionGrid, DiffusionParams};
 use crate::environment::EnvironmentKind;
-use crate::mech::{self, MechWork};
+use crate::mech::{self, MechScratch, MechWork};
 use crate::param::SimParams;
 use crate::profiler::{OpRecord, Profiler, StepProfile};
 use crate::rm::ResourceManager;
@@ -35,6 +35,7 @@ pub struct Simulation {
     diffusion: Vec<DiffusionGrid>,
     profiler: Profiler,
     pipeline: Option<MechanicalPipeline>,
+    mech_scratch: MechScratch,
     steps_executed: u64,
     /// Density measured by the last mechanical step (paper's `n`).
     last_mech: Option<MechWork>,
@@ -48,10 +49,11 @@ impl Simulation {
         Self {
             params,
             rm: ResourceManager::new(),
-            env: EnvironmentKind::UniformGridParallel,
+            env: EnvironmentKind::uniform_grid_parallel(),
             diffusion: Vec::new(),
             profiler: Profiler::new(),
             pipeline: None,
+            mech_scratch: MechScratch::default(),
             steps_executed: 0,
             last_mech: None,
             custom_ops: Vec::new(),
@@ -170,11 +172,12 @@ impl Simulation {
 
         // --- Mechanical interactions (environment-dependent) ---
         let t = Instant::now();
-        let work = mech::mechanical_step(
+        let work = mech::mechanical_step_with_scratch(
             &mut self.rm,
             &self.params,
             &self.env,
             self.pipeline.as_ref(),
+            &mut self.mech_scratch,
         );
         let wall = t.elapsed().as_secs_f64();
         // Record the three sub-phases under names matching Fig. 3.
@@ -489,7 +492,7 @@ mod tests {
             fn run(&mut self, step: u64, rm: &mut ResourceManager, _s: &mut [DiffusionGrid]) {
                 self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 // Mutating access works: nudge agent 0 each step.
-                if rm.len() > 0 {
+                if !rm.is_empty() {
                     rm.translate(0, Vec3::new(0.1, 0.0, 0.0));
                 }
                 assert_eq!(step + 1, self.runs.load(std::sync::atomic::Ordering::Relaxed));

@@ -130,7 +130,7 @@ mod tests {
     fn benchmark_b_hits_target_density() {
         for target in [6.0, 27.0] {
             let mut sim = benchmark_b(4000, target, 3);
-            sim.set_environment(EnvironmentKind::UniformGridParallel);
+            sim.set_environment(EnvironmentKind::uniform_grid_parallel());
             sim.simulate(1);
             let measured = sim
                 .last_mech_work()

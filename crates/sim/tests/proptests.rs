@@ -150,7 +150,7 @@ proptest! {
         a.set_environment(EnvironmentKind::KdTree);
         a.simulate(2);
         let mut b = build();
-        b.set_environment(EnvironmentKind::UniformGridParallel);
+        b.set_environment(EnvironmentKind::uniform_grid_parallel());
         b.simulate(2);
         for i in 0..a.rm().len() {
             let d = (a.rm().position(i) - b.rm().position(i)).norm();

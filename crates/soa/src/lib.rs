@@ -42,7 +42,18 @@ impl AgentId {
     /// `true` when this id is the list terminator.
     #[inline(always)]
     pub fn is_null(self) -> bool {
-        self.0 == u32::MAX
+        self == Self::NULL
+    }
+
+    /// Reinterpret a raw `u32` as an id, mapping the sentinel bit pattern
+    /// onto [`AgentId::NULL`]. This is the one place where the raw
+    /// encoding (`u32::MAX` = null) meets code that stores ids in plain
+    /// `u32` cells — atomics in the parallel grid build, GPU-side
+    /// buffers — so the sentinel value is defined here and in
+    /// [`AgentId::NULL`] only, never at call sites.
+    #[inline(always)]
+    pub const fn from_raw(raw: u32) -> Self {
+        AgentId(raw)
     }
 
     /// The index as a `usize` for column access.

@@ -51,7 +51,7 @@ impl CustomOp for Starvation {
 
 fn main() {
     let mut sim = Simulation::new(SimParams::cube(40.0).with_seed(12));
-    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    sim.set_environment(EnvironmentKind::uniform_grid_parallel());
     let o2 = sim.add_diffusion_grid(DiffusionParams {
         name: "oxygen",
         coefficient: 1.5,

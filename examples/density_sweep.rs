@@ -28,7 +28,7 @@ fn main() {
     for &target in &DENSITY_SWEEP {
         // CPU side: parallel uniform grid (wall time on this host).
         let mut cpu = benchmark_b(agents, target, 7);
-        cpu.set_environment(EnvironmentKind::UniformGridParallel);
+        cpu.set_environment(EnvironmentKind::uniform_grid_parallel());
         let t = std::time::Instant::now();
         cpu.simulate(1);
         let wall = t.elapsed().as_secs_f64();

@@ -40,8 +40,9 @@ fn main() {
     println!("quickstart: 216 overlapping cells relaxing for 10 steps\n");
     for env in [
         EnvironmentKind::KdTree,
-        EnvironmentKind::UniformGridSerial,
-        EnvironmentKind::UniformGridParallel,
+        EnvironmentKind::uniform_grid_serial(),
+        EnvironmentKind::uniform_grid_parallel(),
+        EnvironmentKind::uniform_grid_csr_parallel(),
         EnvironmentKind::gpu_default(),
     ] {
         let mut sim = build_simulation();
@@ -63,6 +64,6 @@ fn main() {
             after,
         );
     }
-    println!("\nAll four environments produce the same physics — the paper's");
+    println!("\nAll five environments produce the same physics — the paper's");
     println!("point is that only their *performance* differs (see bdm-bench).");
 }

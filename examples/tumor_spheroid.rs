@@ -23,7 +23,7 @@ const WASTE: usize = 1;
 
 fn main() {
     let mut sim = Simulation::new(SimParams::cube(60.0).with_seed(2026));
-    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    sim.set_environment(EnvironmentKind::uniform_grid_parallel());
 
     // Substance 0: oxygen diffusing through the tissue (kept topped up
     // near the boundary each step below).

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint — the gate every PR must pass.
+# Fully offline: all third-party crates are vendored under crates/vendor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

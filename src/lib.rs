@@ -27,7 +27,7 @@
 //!
 //! // Pick a neighborhood method — the paper's contribution is making
 //! // this swappable: kd-tree, uniform grid, or the GPU offload.
-//! sim.set_environment(EnvironmentKind::UniformGridParallel);
+//! sim.set_environment(EnvironmentKind::uniform_grid_parallel());
 //! sim.simulate(5);
 //! assert_eq!(sim.steps_executed(), 5);
 //! ```

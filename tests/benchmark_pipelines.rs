@@ -12,7 +12,7 @@ fn benchmark_a_population_is_environment_independent() {
     let mut counts = Vec::new();
     for env in [
         EnvironmentKind::KdTree,
-        EnvironmentKind::UniformGridParallel,
+        EnvironmentKind::uniform_grid_parallel(),
         EnvironmentKind::gpu_default(),
     ] {
         let mut sim = benchmark_a(6, 5);
@@ -28,7 +28,7 @@ fn benchmark_a_population_is_environment_independent() {
 #[test]
 fn benchmark_a_total_volume_is_conserved_by_division() {
     let mut sim = benchmark_a(4, 9);
-    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    sim.set_environment(EnvironmentKind::uniform_grid_parallel());
     let growth_per_step = 45.0 * 64.0; // growth_rate × initial population
     let v0 = sim.rm().total_volume();
     sim.simulate(1);
@@ -67,7 +67,7 @@ fn benchmark_a_profile_is_mechanics_dominated() {
 fn benchmark_b_realizes_the_density_sweep() {
     for &target in &DENSITY_SWEEP {
         let mut sim = benchmark_b(6_000, target, 21);
-        sim.set_environment(EnvironmentKind::UniformGridParallel);
+        sim.set_environment(EnvironmentKind::uniform_grid_parallel());
         sim.simulate(1);
         let measured = sim
             .last_mech_work()
@@ -84,7 +84,7 @@ fn benchmark_b_realizes_the_density_sweep() {
 #[test]
 fn benchmark_b_is_static_by_construction() {
     let mut sim = benchmark_b(3_000, 27.0, 8);
-    sim.set_environment(EnvironmentKind::UniformGridParallel);
+    sim.set_environment(EnvironmentKind::uniform_grid_parallel());
     let before: Vec<Vec3<f64>> = (0..100).map(|i| sim.rm().position(i)).collect();
     sim.simulate(3);
     let after: Vec<Vec3<f64>> = (0..100).map(|i| sim.rm().position(i)).collect();
@@ -124,7 +124,7 @@ fn gpu_offload_reports_are_complete_in_benchmarks() {
 fn deterministic_across_identical_runs() {
     let run = || {
         let mut sim = benchmark_a(5, 77);
-        sim.set_environment(EnvironmentKind::UniformGridParallel);
+        sim.set_environment(EnvironmentKind::uniform_grid_parallel());
         sim.simulate(6);
         (0..sim.rm().len())
             .map(|i| sim.rm().position(i))

@@ -1,6 +1,7 @@
 //! Cross-crate integration: every neighborhood environment — kd-tree,
-//! serial/parallel uniform grid, and all five simulated-GPU kernel
-//! versions on both API frontends — must produce the *same simulation*.
+//! serial/parallel uniform grid in both storage layouts (linked-list and
+//! CSR), and all six simulated-GPU kernel versions on both API frontends
+//! — must produce the *same simulation*.
 //!
 //! This is the property the paper leans on when swapping methods: "We
 //! verified that the correctness of the simulations was not affected"
@@ -46,8 +47,10 @@ fn max_divergence(a: &[Vec3<f64>], b: &[Vec3<f64>]) -> f64 {
 fn fp64_environments_are_equivalent() {
     let reference = run(EnvironmentKind::KdTree, 5);
     for env in [
-        EnvironmentKind::UniformGridSerial,
-        EnvironmentKind::UniformGridParallel,
+        EnvironmentKind::uniform_grid_serial(),
+        EnvironmentKind::uniform_grid_parallel(),
+        EnvironmentKind::uniform_grid_csr_serial(),
+        EnvironmentKind::uniform_grid_csr_parallel(),
         EnvironmentKind::Gpu {
             system: GpuSystem::A,
             frontend: ApiFrontend::Cuda,
@@ -69,6 +72,7 @@ fn fp32_gpu_versions_track_the_fp64_reference() {
         KernelVersion::V2Sorted,
         KernelVersion::V3Shared,
         KernelVersion::DynPar,
+        KernelVersion::V4Csr,
     ] {
         let got = run(
             EnvironmentKind::Gpu {

@@ -1,0 +1,192 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use. The harness shape (`criterion_group!` / `criterion_main!`, groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) is preserved so
+//! bench sources compile unchanged; measurement is a plain adaptive timer
+//! (warm up, then run until ~25 ms or 10k iterations) reporting the mean
+//! per-iteration time. No statistical analysis, outlier rejection, or HTML
+//! reports — read the numbers as indicative, not publication-grade.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean per-iteration time of the last `iter` call.
+    last: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`: one warmup call, then batches until the total
+    /// measured time passes ~25 ms (or 10k iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(25);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget && iters < 10_000 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.last = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+fn report(group: Option<&str>, label: &str, time: Duration) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    println!("bench {full:<48} {:>12.3} µs/iter", time.as_secs_f64() * 1e6);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; accepted for API compatibility, ignored by the
+    /// adaptive timer.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run `f` under `id` and report it.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { last: Duration::ZERO };
+        f(&mut b);
+        report(Some(&self.name), &id.label, b.last);
+        self
+    }
+
+    /// Run `f` with `input` under `id` and report it.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { last: Duration::ZERO };
+        f(&mut b, input);
+        report(Some(&self.name), &id.label, b.last);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirror of criterion's CLI hookup; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { last: Duration::ZERO };
+        f(&mut b);
+        report(None, &id.label, b.last);
+        self
+    }
+}
+
+/// Re-export for sources that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 1, "adaptive timer never re-ran the closure");
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("a", 3).label, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for the subset of `rand` this workspace's tests use:
+//! `rngs::StdRng` seeded via `SeedableRng::seed_from_u64`, and
+//! `seq::SliceRandom::shuffle`. The generator is SplitMix64 — statistically
+//! fine for test shuffles, deterministic across platforms, and emphatically
+//! not cryptographic (neither caller needs it to be).
+
+/// Core generator interface: a source of `u64`s (and derived widths).
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform `usize` in `[0, bound)`. Uses the multiply-shift reduction;
+    /// the modulo bias at 64 bits is far below anything a test can observe.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Named generator types.
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: SplitMix64 under the hood.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling/shuffling, mirroring `rand::seq`.
+    use super::{Rng, RngCore};
+
+    /// `shuffle` extension for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_index(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `rand::prelude`.
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::seq::SliceRandom;
+    use crate::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_and_nontrivial() {
+        let mut a = crate::rngs::StdRng::seed_from_u64(7);
+        let mut b = crate::rngs::StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}

@@ -1,0 +1,176 @@
+//! Sequential stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the exact API surface it calls — `into_par_iter`, `par_iter`,
+//! `par_chunks_mut`, `par_sort_by_key` and the usual adapter chain — and
+//! executes it on the calling thread. Every `par_*` call site keeps the
+//! same types and the same (deterministic) results; only the actual
+//! fork-join execution is elided. Wall-clock parallel speedups in this
+//! repo are modeled analytically (see `bdm-device::cpu`), so the shim
+//! does not invalidate any reported numbers.
+//!
+//! Correctness note: sequential execution is a legal schedule of every
+//! data-parallel loop written against rayon, so code that is correct under
+//! rayon is correct under this shim (the converse — catching races — is
+//! what the real dependency would add).
+
+/// Sequential adapter wrapping a standard iterator; provides the rayon
+/// combinator names so `use rayon::prelude::*` call sites compile as-is.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `map`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// rayon's `filter`.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter(self.0.filter(p))
+    }
+
+    /// rayon's `enumerate`.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// rayon's `for_each` (runs in iterator order here, which is a legal
+    /// rayon schedule).
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `collect`.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon's `sum`.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// rayon's `reduce` (sequential fold from the identity).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon's `zip`.
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+}
+
+/// Anything iterable gains `into_par_iter` (covers ranges and `Vec`).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// rayon's `into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Shared-reference iteration over slices (`par_iter`).
+pub trait IntoParallelRefIterator {
+    /// Element type.
+    type Item;
+    /// rayon's `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, Self::Item>>;
+}
+impl<T> IntoParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// Mutable-reference iteration over slices (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator {
+    /// Element type.
+    type Item;
+    /// rayon's `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, Self::Item>>;
+}
+impl<T> IntoParallelRefMutIterator for [T] {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// Slice chunking (`par_chunks`).
+pub trait ParallelSlice<T> {
+    /// rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable slice chunking and sorting (`par_chunks_mut`, `par_sort_by_key`).
+pub trait ParallelSliceMut<T> {
+    /// rayon's `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// rayon's `par_sort_by_key` — stable, like the original.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+}
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_by_key(f)
+    }
+}
+
+/// Number of worker threads the "pool" would use (1: this shim runs on the
+/// calling thread).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! Mirror of `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_and_sort() {
+        let data = [3u32, 1, 2];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let mut keys = vec![2u32, 0, 1, 0];
+        keys.par_sort_by_key(|&k| k);
+        assert_eq!(keys, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut buf = vec![0u32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for v in c {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(buf, vec![0, 0, 1, 1, 2, 2]);
+    }
+}
