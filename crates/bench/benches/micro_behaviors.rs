@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks of the scheduled behaviors operation:
+//! serial vs rayon-parallel chunk execution on the benchmark-A scene
+//! (the trajectories are bitwise identical — this measures only the
+//! scheduling overhead / speedup of the execution-context architecture).
+
+use bdm_sim::workload::benchmark_a;
+use bdm_sim::ExecMode;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_behaviors_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("behaviors_step_bench_a");
+    g.sample_size(10);
+    for cells_per_dim in [16usize, 24] {
+        let n = cells_per_dim * cells_per_dim * cells_per_dim;
+        for (label, mode) in [
+            ("serial", ExecMode::Serial),
+            ("parallel", ExecMode::Parallel),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &cells_per_dim, |b, &cpd| {
+                b.iter(|| {
+                    // Fresh scene per iteration: three steps cover
+                    // growth, the division wave, and post-division
+                    // growth of the doubled population.
+                    let mut sim = benchmark_a(cpd, 9);
+                    sim.set_exec_mode(mode);
+                    // Mechanics and diffusion are pipeline stages
+                    // too; disabling them isolates the behaviors
+                    // operation under the scheduler.
+                    sim.scheduler_mut()
+                        .set_enabled("mechanical interactions", false);
+                    sim.scheduler_mut().set_enabled("bound space", false);
+                    sim.scheduler_mut().set_enabled("diffusion", false);
+                    sim.simulate(3);
+                    black_box(sim.rm().len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_behaviors_step);
+criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! trace-driven engine executes kernels (simulation throughput), and the
 //! relative cost of tracing vs. functional-only execution.
 
+use bdm_device::specs::SYSTEM_A;
 use bdm_gpu::engine::{GpuDevice, Kernel, LaunchConfig, ThreadCtx, ThreadId};
 use bdm_gpu::frontend::ApiFrontend;
 use bdm_gpu::mem::{DeviceAllocator, DeviceBuffer};
 use bdm_gpu::pipeline::{KernelVersion, MechanicalPipeline, SceneRef};
-use bdm_device::specs::SYSTEM_A;
 use bdm_math::interaction::MechParams;
 use bdm_math::{Aabb, SplitMix64, Vec3};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -9,7 +9,7 @@ use bdm_bench::BenchScale;
 use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_math::{Aabb, SplitMix64, Vec3};
 use bdm_sim::workload::benchmark_a;
-use bdm_sim::EnvironmentKind;
+use bdm_sim::{EnvironmentKind, ExecMode};
 use bdm_soa::AgentId;
 use std::hint::black_box;
 use std::time::Instant;
@@ -109,10 +109,44 @@ fn step_table(cells_per_dim: usize) {
     }
 }
 
+fn behaviors_table(cells_per_dim: usize) {
+    let n = cells_per_dim * cells_per_dim * cells_per_dim;
+    println!("\n== behaviors operation: benchmark A, {n} cells (growing) ==");
+    println!("{:<28} {:>14}", "execution mode", "behaviors ms");
+    for (label, mode) in [
+        ("serial chunks", ExecMode::Serial),
+        ("rayon chunks", ExecMode::Parallel),
+    ] {
+        let mut sim = benchmark_a(cells_per_dim, 0x8);
+        sim.set_exec_mode(mode);
+        sim.step(); // warm caches + scratch
+                    // Median of the per-step "behaviors" record walls — the op's own
+                    // profiler entry, so mechanics/diffusion don't pollute the number.
+        let mut walls: Vec<f64> = (0..REPS)
+            .map(|_| {
+                sim.step();
+                sim.profiler()
+                    .steps()
+                    .last()
+                    .unwrap()
+                    .records
+                    .iter()
+                    .find(|r| r.name == "behaviors")
+                    .expect("behaviors record present")
+                    .wall_s
+                    * 1e3
+            })
+            .collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        println!("{:<28} {:>14.3}", label, walls[REPS / 2]);
+    }
+}
+
 fn main() {
     let scale = BenchScale::from_env();
     for n in [20_000, 100_000] {
         substrate_table(n);
     }
     step_table(scale.a_cells_per_dim);
+    behaviors_table(scale.a_cells_per_dim);
 }

@@ -3,7 +3,10 @@ use bdm_sim::workload::benchmark_a;
 use bdm_sim::EnvironmentKind;
 
 fn main() {
-    for env in [EnvironmentKind::KdTree, EnvironmentKind::uniform_grid_parallel()] {
+    for env in [
+        EnvironmentKind::KdTree,
+        EnvironmentKind::uniform_grid_parallel(),
+    ] {
         let mut sim = benchmark_a(24, 0xA);
         sim.set_environment(env);
         sim.simulate(1);
@@ -11,7 +14,11 @@ fn main() {
         let n = sim.rm().len() as f64;
         println!(
             "{:?}: n={} candidates/agent={:.1} neighbors/agent={:.1} contacts/agent={:.1}",
-            env, n, w.candidates as f64 / n, w.neighbors as f64 / n, w.contacts as f64 / n
+            env,
+            n,
+            w.candidates as f64 / n,
+            w.neighbors as f64 / n,
+            w.contacts as f64 / n
         );
         for (k, p) in w.phases.iter().enumerate() {
             println!(

@@ -24,7 +24,12 @@ fn main() {
         let g = last.records.iter().find_map(|r| r.gpu.as_ref()).unwrap();
         println!(
             "{:<28} total={:>7.1}ms last: h2d={:.2}ms build={:.2}ms mech={:.2}ms d2h={:.2}ms",
-            version.label(), total * 1e3, g.h2d_s * 1e3, g.build_s * 1e3, mech_s * 1e3, g.d2h_s * 1e3
+            version.label(),
+            total * 1e3,
+            g.h2d_s * 1e3,
+            g.build_s * 1e3,
+            mech_s * 1e3,
+            g.d2h_s * 1e3
         );
         println!(
             "   mech: txns={:.2e} l2_share={:.2} dram={:.1}MB flops={:.2e} cyc={:.2e} atomics_cyc={:.2e} AI={:.2}",

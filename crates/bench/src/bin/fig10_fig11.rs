@@ -10,7 +10,10 @@ fn main() {
     );
     let r = fig10::run(&scale);
     println!("Fig. 10 — per-step runtime:\n{}", r.render_runtimes());
-    println!("Fig. 11 — GPU speedup over the multithreaded baseline:\n{}", r.render_speedups());
+    println!(
+        "Fig. 11 — GPU speedup over the multithreaded baseline:\n{}",
+        r.render_speedups()
+    );
     println!("paper bands: 160–232x vs 4 threads, 71–113x vs 64 threads,");
     println!("with the speedup stagnating as density rises (serial neighbor loop)");
 }

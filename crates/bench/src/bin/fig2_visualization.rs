@@ -18,7 +18,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
     let f = std::fs::File::create(&out).expect("create ppm");
-    img.write_ppm(std::io::BufWriter::new(f)).expect("write ppm");
+    img.write_ppm(std::io::BufWriter::new(f))
+        .expect("write ppm");
     println!(
         "Fig. 2: rendered {} cells ({}x{} px, colored by diameter) to {}",
         sim.rm().len(),

@@ -18,7 +18,5 @@ fn main() {
         r.forces_share * 100.0,
         r.neighborhood_share * 100.0
     );
-    println!(
-        "paper reports: forces 51%, neighborhood update 36% (sum 87%)"
-    );
+    println!("paper reports: forces 51%, neighborhood update 36% (sum 87%)");
 }

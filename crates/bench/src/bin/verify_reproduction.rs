@@ -31,7 +31,10 @@ fn main() {
     });
     checks.push(Check {
         claim: "Fig. 3: forces outweigh the neighborhood update",
-        paper: format!("{:.2}x", paper::fig3::FORCES_SHARE / paper::fig3::NEIGHBORHOOD_SHARE),
+        paper: format!(
+            "{:.2}x",
+            paper::fig3::FORCES_SHARE / paper::fig3::NEIGHBORHOOD_SHARE
+        ),
         ours: format!("{:.2}x", f3.forces_share / f3.neighborhood_share),
         pass: f3.forces_share > f3.neighborhood_share,
     });
@@ -93,22 +96,27 @@ fn main() {
     checks.push(Check {
         claim: "Fig. 10: CPU thread scaling is marginal (16T → 64T)",
         paper: "marginal".into(),
-        ours: format!(
-            "{:.1}x from 4x the threads",
-            lo.cpu_s[2].1 / lo.cpu_s[4].1
-        ),
+        ours: format!("{:.1}x from 4x the threads", lo.cpu_s[2].1 / lo.cpu_s[4].1),
         pass: lo.cpu_s[2].1 / lo.cpu_s[4].1 < 2.0,
     });
     checks.push(Check {
         claim: "Fig. 11: GPU wins by orders of magnitude vs 4 threads",
         paper: "160-232x".into(),
-        ours: format!("{:.0}x / {:.0}x (n=6/47)", lo.speedup_vs(4), hi.speedup_vs(4)),
+        ours: format!(
+            "{:.0}x / {:.0}x (n=6/47)",
+            lo.speedup_vs(4),
+            hi.speedup_vs(4)
+        ),
         pass: lo.speedup_vs(4) > 10.0 && hi.speedup_vs(4) > 10.0,
     });
     checks.push(Check {
         claim: "Fig. 11: GPU still wins vs 64 threads",
         paper: "71-113x".into(),
-        ours: format!("{:.0}x / {:.0}x (n=6/47)", lo.speedup_vs(64), hi.speedup_vs(64)),
+        ours: format!(
+            "{:.0}x / {:.0}x (n=6/47)",
+            lo.speedup_vs(64),
+            hi.speedup_vs(64)
+        ),
         pass: lo.speedup_vs(64) > 2.0 && hi.speedup_vs(64) > 2.0,
     });
 
@@ -125,7 +133,10 @@ fn main() {
         ours: format!(
             "{:.0}% of the roof at n=27",
             f12.roofline.points[1].gflops * 1e9
-                / f12.roofline.model.attainable(f12.roofline.points[1].arithmetic_intensity, false)
+                / f12
+                    .roofline
+                    .model
+                    .attainable(f12.roofline.points[1].arithmetic_intensity, false)
                 * 100.0
         ),
         pass: near_roof,

@@ -58,7 +58,10 @@ impl DynParReport {
                 ]
             })
             .collect();
-        table::render(&["density n", "version II", "dynpar", "dynpar speedup"], &rows)
+        table::render(
+            &["density n", "version II", "dynpar", "dynpar speedup"],
+            &rows,
+        )
     }
 }
 
@@ -87,10 +90,7 @@ pub fn run_point(scale: &BenchScale, density: f64) -> DynParPoint {
 /// Run the whole sweep.
 pub fn run(scale: &BenchScale) -> DynParReport {
     DynParReport {
-        points: DENSITY_SWEEP
-            .iter()
-            .map(|&n| run_point(scale, n))
-            .collect(),
+        points: DENSITY_SWEEP.iter().map(|&n| run_point(scale, n)).collect(),
     }
 }
 

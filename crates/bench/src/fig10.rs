@@ -142,10 +142,7 @@ pub fn run_point(scale: &BenchScale, target_n: f64) -> DensityPoint {
 
 /// Run the whole density sweep.
 pub fn run(scale: &BenchScale) -> Fig10Report {
-    let points = DENSITY_SWEEP
-        .iter()
-        .map(|&n| run_point(scale, n))
-        .collect();
+    let points = DENSITY_SWEEP.iter().map(|&n| run_point(scale, n)).collect();
     Fig10Report {
         points,
         agents: scale.b_agents,
@@ -162,7 +159,11 @@ mod tests {
         let lo = run_point(&scale, 6.0);
         let hi = run_point(&scale, 47.0);
         // Density realized within a sane band.
-        assert!(lo.measured_n > 2.0 && lo.measured_n < 12.0, "{}", lo.measured_n);
+        assert!(
+            lo.measured_n > 2.0 && lo.measured_n < 12.0,
+            "{}",
+            lo.measured_n
+        );
         assert!(hi.measured_n > 25.0, "{}", hi.measured_n);
         // GPU beats every CPU row at both densities.
         for p in [&lo, &hi] {

@@ -220,7 +220,10 @@ mod tests {
         assert!(v0 < par_ug, "GPU v0 should beat the best CPU row");
         assert!(v1 < v0, "fp32 should beat fp64");
         assert!(v2 < v1, "z-order should beat unsorted");
-        assert!(v3 > v2, "shared-memory version should regress (paper: +28%)");
+        assert!(
+            v3 > v2,
+            "shared-memory version should regress (paper: +28%)"
+        );
         assert!(r.final_population > 0);
         assert!(r.render().contains("GPU version II"));
     }

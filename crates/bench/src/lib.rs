@@ -40,8 +40,11 @@ use bdm_sim::profiler::Profiler;
 
 /// Names of the profiler records that make up the mechanical
 /// interactions operation on the CPU paths.
-pub const MECH_OP_RECORDS: [&str; 3] =
-    ["neighborhood build", "neighborhood search", "mechanical forces"];
+pub const MECH_OP_RECORDS: [&str; 3] = [
+    "neighborhood build",
+    "neighborhood search",
+    "mechanical forces",
+];
 
 /// Collect the work phases of the mechanical op across all recorded
 /// steps (the quantity Figs. 8–11 time).
@@ -82,9 +85,7 @@ pub fn gpu_kernel_total(profiler: &Profiler) -> f64 {
 
 /// Total modeled GPU time (transfers + kernels) across steps, plus the
 /// merged mechanical-kernel counters of the last step (roofline input).
-pub fn gpu_totals(
-    profiler: &Profiler,
-) -> (f64, Option<bdm_gpu::counters::KernelCounters>, f64) {
+pub fn gpu_totals(profiler: &Profiler) -> (f64, Option<bdm_gpu::counters::KernelCounters>, f64) {
     let mut total = 0.0;
     let mut last_counters = None;
     let mut last_mech_s = 0.0;

@@ -58,8 +58,6 @@ mod tests {
         // 527 / 199 ≈ 2.6.
         assert!((super::fig8::GPU_V1_MS / super::fig8::GPU_V2_MS - 2.6).abs() < 0.05);
         // 8226 / 1910 ≈ 4.3.
-        assert!(
-            (super::fig8::PARALLEL_KDTREE_MS / super::fig8::PARALLEL_UG_MS - 4.3).abs() < 0.05
-        );
+        assert!((super::fig8::PARALLEL_KDTREE_MS / super::fig8::PARALLEL_UG_MS - 4.3).abs() < 0.05);
     }
 }

@@ -208,11 +208,7 @@ mod tests {
             Phase::parallel_fp64("force", 1e9, 5e8, 1e7),
         ];
         let total = m.total_time(&phases, 16);
-        let sum: f64 = m
-            .breakdown(&phases, 16)
-            .iter()
-            .map(|p| p.seconds)
-            .sum();
+        let sum: f64 = m.breakdown(&phases, 16).iter().map(|p| p.seconds).sum();
         assert!((total - sum).abs() < 1e-15);
     }
 
@@ -236,10 +232,7 @@ mod tests {
     fn fp32_compute_phase_is_faster() {
         let m = CpuModel::new(SYSTEM_A.cpu);
         let p64 = Phase::parallel_fp64("f", 1e9, 0.0, 0.0);
-        let p32 = Phase {
-            fp64: false,
-            ..p64
-        };
+        let p32 = Phase { fp64: false, ..p64 };
         let t64 = m.phase_time(&p64, 4).seconds;
         let t32 = m.phase_time(&p32, 4).seconds;
         assert!(t64 / t32 > 1.9);

@@ -115,9 +115,7 @@ impl CpuSpec {
     /// given precision (FP32 sustains ~2× FP64 on these Xeons thanks to
     /// double SIMD width).
     pub fn sustained_flops(&self, threads: u32, fp64: bool) -> f64 {
-        let per_core = self.sustained_gflops_per_core_fp64
-            * 1e9
-            * if fp64 { 1.0 } else { 2.0 };
+        let per_core = self.sustained_gflops_per_core_fp64 * 1e9 * if fp64 { 1.0 } else { 2.0 };
         // Hyper-threads beyond the physical core count add ~25% each, a
         // typical SMT yield for compute-heavy loops.
         let physical = threads.min(self.total_cores()) as f64;

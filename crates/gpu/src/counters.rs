@@ -143,7 +143,8 @@ impl KernelCounters {
         } else if other.occupancy_warps_per_sm == 0.0 {
             self.occupancy_warps_per_sm
         } else {
-            self.occupancy_warps_per_sm.min(other.occupancy_warps_per_sm)
+            self.occupancy_warps_per_sm
+                .min(other.occupancy_warps_per_sm)
         };
         self.barriers += other.barriers;
         self.child_launches += other.child_launches;

@@ -373,8 +373,8 @@ impl GpuDevice {
     /// simulation.
     pub fn with_trace_sampling(spec: GpuSpec, sample: u64) -> Self {
         let sample = sample.max(1);
-        let capacity = (spec.l2_bytes / sample)
-            .max(spec.l2_line_bytes as u64 * spec.l2_ways as u64 * 16);
+        let capacity =
+            (spec.l2_bytes / sample).max(spec.l2_line_bytes as u64 * spec.l2_ways as u64 * 16);
         let l2 = ShardedCache::new(capacity, spec.l2_ways, spec.l2_line_bytes, 16);
         Self {
             spec,
@@ -431,12 +431,13 @@ impl GpuDevice {
         // perfect temporal locality, so traced warps are buffered and
         // their transactions drained round-robin per slot across a batch
         // of this width (scaled down by the trace sampling stride).
-        let resident_warps =
-            self.spec.sm_count as u64 * resident_blocks as u64 * warps_per_block;
+        let resident_warps = self.spec.sm_count as u64 * resident_blocks as u64 * warps_per_block;
         let batch_width = (resident_warps / self.trace_sample).max(1) as usize;
         let mut batch: Vec<Vec<(u32, Vec<u64>)>> = Vec::new();
 
-        let mut lanes: Vec<LaneRecord> = (0..self.spec.warp_size).map(|_| LaneRecord::default()).collect();
+        let mut lanes: Vec<LaneRecord> = (0..self.spec.warp_size)
+            .map(|_| LaneRecord::default())
+            .collect();
 
         for block in 0..cfg.grid_dim {
             let shared = BlockShared::new(cfg.shared_words);
@@ -561,7 +562,11 @@ impl GpuDevice {
         batch.push(warp_txns);
 
         // Shared-memory atomic conflicts, slot-aligned by per-lane order.
-        let max_sh = lanes.iter().map(|l| l.shared_atomics.len()).max().unwrap_or(0);
+        let max_sh = lanes
+            .iter()
+            .map(|l| l.shared_atomics.len())
+            .max()
+            .unwrap_or(0);
         let mut sh_addrs: Vec<u64> = Vec::with_capacity(32);
         for slot in 0..max_sh {
             sh_addrs.clear();
@@ -572,8 +577,7 @@ impl GpuDevice {
             }
             if sh_addrs.len() > 1 {
                 sh_addrs.sort_unstable();
-                counters.atomic_serial_cycles +=
-                    conflict_cycles(&sh_addrs) * ATOMIC_SERIAL_CYCLES;
+                counters.atomic_serial_cycles += conflict_cycles(&sh_addrs) * ATOMIC_SERIAL_CYCLES;
             }
         }
     }
@@ -581,11 +585,7 @@ impl GpuDevice {
     /// Drain the traced-warp batch: interleave all warps' transactions
     /// round-robin by slot key (modeling concurrent residency) and run
     /// them through the L2 model.
-    fn drain_batch(
-        &self,
-        batch: &mut Vec<Vec<(u32, Vec<u64>)>>,
-        counters: &mut KernelCounters,
-    ) {
+    fn drain_batch(&self, batch: &mut Vec<Vec<(u32, Vec<u64>)>>, counters: &mut KernelCounters) {
         if batch.is_empty() {
             return;
         }
@@ -782,7 +782,10 @@ mod tests {
         // Functional: 64 increments landed.
         assert_eq!(r.counters.atomic_ops, 64.0);
         // 31 conflicts per warp × 2 warps × 32 cycles.
-        assert_eq!(r.counters.atomic_serial_cycles, 2.0 * 31.0 * ATOMIC_SERIAL_CYCLES);
+        assert_eq!(
+            r.counters.atomic_serial_cycles,
+            2.0 * 31.0 * ATOMIC_SERIAL_CYCLES
+        );
     }
 
     /// Two phases with shared memory: phase 0 stores, phase 1 reads after
@@ -873,7 +876,10 @@ mod tests {
         // Exact quantities match.
         assert_eq!(full.counters.flops_fp32, sampled.counters.flops_fp32);
         assert_eq!(full.counters.warps_run, sampled.counters.warps_run);
-        assert_eq!(sampled.counters.warps_traced, sampled.counters.warps_run / 4);
+        assert_eq!(
+            sampled.counters.warps_traced,
+            sampled.counters.warps_run / 4
+        );
         // Scaled transaction estimate lands on the exact value for this
         // homogeneous workload.
         assert!(

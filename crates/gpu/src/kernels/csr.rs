@@ -307,8 +307,7 @@ mod tests {
             let (lo, hi) = (starts[b] as usize, starts[b + 1] as usize);
             let mut dev_ids: Vec<u32> = got[lo..hi].to_vec();
             dev_ids.sort_unstable();
-            let mut host_ids: Vec<u32> =
-                host.cell_range(b).iter().map(|id| id.0).collect();
+            let mut host_ids: Vec<u32> = host.cell_range(b).iter().map(|id| id.0).collect();
             host_ids.sort_unstable();
             assert_eq!(dev_ids, host_ids, "voxel {b}");
         }
@@ -388,7 +387,15 @@ mod tests {
             let p1 = Vec3::new(xs[i], ys[i], zs[i]);
             let mut force = Vec3::zero();
             let mut ids = Vec::new();
-            host.radius_search(&xs, &ys, &zs, p1, box_len, Some(bdm_soa::AgentId(i as u32)), &mut ids);
+            host.radius_search(
+                &xs,
+                &ys,
+                &zs,
+                p1,
+                box_len,
+                Some(bdm_soa::AgentId(i as u32)),
+                &mut ids,
+            );
             ids.sort_unstable();
             for id in ids {
                 let j = id.index();

@@ -75,7 +75,9 @@ impl<R: Scalar + DeviceWord> Kernel for ParentKernel<'_, R> {
         );
         ctx.iops(12);
         let mut boxes = [0usize; 27];
-        let nb = self.geom.neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
+        let nb = self
+            .geom
+            .neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
         // Cheap candidate count via voxel populations.
         let mut count = 0u32;
         for &b in boxes.iter().take(nb) {
@@ -175,7 +177,9 @@ impl<R: Scalar + DeviceWord> Kernel for ChildKernel<'_, R> {
         ctx.flops::<R>(1);
         ctx.iops(14);
         let mut boxes = [0usize; 27];
-        let nb = self.geom.neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
+        let nb = self
+            .geom
+            .neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
         if box_rank >= nb {
             return; // edge voxels have fewer than 27 neighbor boxes
         }

@@ -58,10 +58,7 @@ impl<R: Scalar + crate::mem::DeviceWord> Kernel for GridBuildKernel<'_, R> {
 /// Reset the grid buffers for a fresh build (host-side helper; the cost
 /// of the device-side memset is folded into the build launch, it is
 /// bandwidth-trivial next to the position reads).
-pub fn reset_grid_buffers(
-    box_start: &DeviceBuffer<u32>,
-    box_length: &DeviceBuffer<u32>,
-) {
+pub fn reset_grid_buffers(box_start: &DeviceBuffer<u32>, box_length: &DeviceBuffer<u32>) {
     box_start.fill(NULL_ID);
     box_length.fill(0);
 }

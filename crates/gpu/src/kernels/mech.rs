@@ -120,7 +120,9 @@ impl<R: Scalar + DeviceWord> Kernel for MechKernel<'_, R> {
         ctx.iops(12);
 
         let mut boxes = [0usize; 27];
-        let nb = self.geom.neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
+        let nb = self
+            .geom
+            .neighbor_boxes_of(self.geom.box_coords(p1), &mut boxes);
         let mut force = Vec3::zero();
         for &b in boxes.iter().take(nb) {
             ctx.iops(2);
@@ -252,7 +254,15 @@ mod tests {
             let p1 = Vec3::new(xs[i], ys[i], zs[i]);
             let mut force = Vec3::zero();
             let mut ids = Vec::new();
-            host_grid.radius_search(&xs, &ys, &zs, p1, box_len, Some(AgentId(i as u32)), &mut ids);
+            host_grid.radius_search(
+                &xs,
+                &ys,
+                &zs,
+                p1,
+                box_len,
+                Some(AgentId(i as u32)),
+                &mut ids,
+            );
             // Sum in a canonical order (ids ascending) to sidestep FP
             // association differences; tolerance below covers the rest.
             ids.sort_unstable();

@@ -309,7 +309,10 @@ mod tests {
             },
         );
         assert!(r.counters.barriers as usize >= non_empty.len());
-        assert!(r.counters.atomic_serial_cycles > 0.0, "tile atomics must conflict");
+        assert!(
+            r.counters.atomic_serial_cycles > 0.0,
+            "tile atomics must conflict"
+        );
 
         let mut want = vec![0.0; n];
         let mut got = vec![0.0; n];

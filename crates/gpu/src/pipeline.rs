@@ -179,7 +179,11 @@ impl MechanicalPipeline {
 
     /// Execute one mechanical-interaction step. Returns per-agent
     /// displacements (in the caller's original agent order) and a report.
-    pub fn step(&self, scene: &SceneRef<'_>, params: &MechParams<f64>) -> (Vec<Vec3<f64>>, GpuStepReport) {
+    pub fn step(
+        &self,
+        scene: &SceneRef<'_>,
+        params: &MechParams<f64>,
+    ) -> (Vec<Vec3<f64>>, GpuStepReport) {
         // Invalidate the L2 between steps: each step re-uploads fresh
         // state, so cross-step line reuse would be an artifact.
         self.runtime.device().reset_l2();
@@ -211,7 +215,8 @@ impl MechanicalPipeline {
         // Improvement II: host-side space-filling-curve sort of the SoA
         // columns (Z-order by default; see `sort_curve`).
         let perm = if self.version.sorts() {
-            let p = bdm_morton::sort_permutation_with(&xs, &ys, &zs, &space, box_len, self.sort_curve);
+            let p =
+                bdm_morton::sort_permutation_with(&xs, &ys, &zs, &space, box_len, self.sort_curve);
             let mut scratch = Vec::new();
             for col in [&mut xs, &mut ys, &mut zs, &mut diam, &mut adh] {
                 p.apply_in_place(col, &mut scratch);
@@ -670,7 +675,8 @@ mod tests {
         };
         let params = MechParams::default_params();
         let z = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
-        let mut h = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
+        let mut h =
+            MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
         h.sort_curve = bdm_morton::Curve::Hilbert;
         let (dz, _) = z.step(&sr, &params);
         let (dh, _) = h.step(&sr, &params);
@@ -740,9 +746,7 @@ mod tests {
     #[test]
     fn report_totals_are_consistent() {
         let (_, r) = run_version(KernelVersion::V2Sorted, ApiFrontend::Cuda);
-        assert!(
-            (r.total_s - (r.h2d_s + r.build_s + r.mech_s + r.d2h_s)).abs() < 1e-15
-        );
+        assert!((r.total_s - (r.h2d_s + r.build_s + r.mech_s + r.d2h_s)).abs() < 1e-15);
         assert!(r.mech_counters.total_flops() > 0.0);
         assert!(r.counters.total_flops() >= r.mech_counters.total_flops());
     }

@@ -103,10 +103,7 @@ mod tests {
     #[test]
     fn profile_renders_all_columns() {
         let (c, t) = sample();
-        let text = render_profile(
-            &SYSTEM_B.gpu,
-            &[ProfileEntry::new("mech_v2", c, t)],
-        );
+        let text = render_profile(&SYSTEM_B.gpu, &[ProfileEntry::new("mech_v2", c, t)]);
         assert!(text.contains("mech_v2"));
         assert!(text.contains("Tesla V100"));
         assert!(text.contains("memory") || text.contains("compute"));

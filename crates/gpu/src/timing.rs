@@ -140,7 +140,9 @@ mod tests {
         c.global_transactions = 1e6;
         let t = KernelTiming::model(&c, &SYSTEM_B.gpu);
         let achieved_bw = c.dram_bytes() / t.memory_s;
-        assert!((achieved_bw - SYSTEM_B.gpu.dram_bandwidth).abs() / SYSTEM_B.gpu.dram_bandwidth < 1e-9);
+        assert!(
+            (achieved_bw - SYSTEM_B.gpu.dram_bandwidth).abs() / SYSTEM_B.gpu.dram_bandwidth < 1e-9
+        );
         assert_eq!(t.bound, KernelBound::Memory);
     }
 

@@ -97,7 +97,14 @@ impl<R: Scalar> CsrGrid<R> {
     /// Serial two-pass counting-sort build.
     pub fn build_serial(xs: &[R], ys: &[R], zs: &[R], space: Aabb<R>, box_length: R) -> Self {
         let mut grid = Self::empty(space, box_length);
-        grid.rebuild_serial(xs, ys, zs, space, box_length, &mut CsrBuildScratch::default());
+        grid.rebuild_serial(
+            xs,
+            ys,
+            zs,
+            space,
+            box_length,
+            &mut CsrBuildScratch::default(),
+        );
         grid
     }
 
@@ -113,7 +120,14 @@ impl<R: Scalar> CsrGrid<R> {
     /// CSR ranges bit-identical to serial accumulation.
     pub fn build_parallel(xs: &[R], ys: &[R], zs: &[R], space: Aabb<R>, box_length: R) -> Self {
         let mut grid = Self::empty(space, box_length);
-        grid.rebuild_parallel(xs, ys, zs, space, box_length, &mut CsrBuildScratch::default());
+        grid.rebuild_parallel(
+            xs,
+            ys,
+            zs,
+            space,
+            box_length,
+            &mut CsrBuildScratch::default(),
+        );
         grid
     }
 
@@ -154,7 +168,9 @@ impl<R: Scalar> CsrGrid<R> {
         }
 
         // Pass 2: stable scatter (ascending i ⇒ ascending id per voxel).
-        scratch.hists.resize_with(1.max(scratch.hists.len()), Vec::new);
+        scratch
+            .hists
+            .resize_with(1.max(scratch.hists.len()), Vec::new);
         let cursor = &mut scratch.hists[0];
         cursor.clear();
         cursor.extend_from_slice(&self.cell_starts[..num_boxes]);

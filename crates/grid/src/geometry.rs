@@ -140,11 +140,7 @@ impl<R: Scalar> GridGeometry<R> {
                 len += 1;
             }
         }
-        XRuns {
-            runs,
-            len,
-            next: 0,
-        }
+        XRuns { runs, len, next: 0 }
     }
 }
 

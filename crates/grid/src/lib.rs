@@ -150,9 +150,7 @@ impl<R: Scalar> UniformGrid<R> {
             .map(|_| AtomicU32::new(AgentId::NULL.0))
             .collect();
         let counts: Vec<AtomicU32> = (0..num_boxes).map(|_| AtomicU32::new(0)).collect();
-        let successors: Vec<AtomicU32> = (0..n)
-            .map(|_| AtomicU32::new(AgentId::NULL.0))
-            .collect();
+        let successors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(AgentId::NULL.0)).collect();
 
         (0..n).into_par_iter().for_each(|i| {
             let b = geom.box_index(Vec3::new(xs[i], ys[i], zs[i]));

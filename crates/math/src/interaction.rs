@@ -142,14 +142,19 @@ mod tests {
     #[test]
     fn no_force_when_separated() {
         // Radii 1+1, centers 3 apart: δ = -1.
-        assert!(collision_force(p(0.0, 0.0, 0.0), 1.0, p(3.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none());
+        assert!(
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(3.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none()
+        );
         // Exactly touching: δ = 0 → no force.
-        assert!(collision_force(p(0.0, 0.0, 0.0), 1.0, p(2.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none());
+        assert!(
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(2.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).is_none()
+        );
     }
 
     #[test]
     fn overlapping_spheres_repel() {
-        let f = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        let f =
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
         // Force on sphere 1 points away from sphere 2 (−x side pushes −x).
         assert!(f.x < 0.0, "repulsion should push sphere 1 in −x, got {f:?}");
         assert_eq!(f.y, 0.0);
@@ -160,7 +165,8 @@ mod tests {
     fn matches_equation_by_hand() {
         // r1 = r2 = 1, distance 1 ⇒ δ = 1, r_eff = 0.5.
         // |F| = κ·1 − γ·√0.5, direction −x.
-        let f = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        let f =
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.0, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
         let expected = -(KAPPA - GAMMA * 0.5f64.sqrt());
         assert!((f.x - expected).abs() < 1e-12, "{} vs {}", f.x, expected);
     }
@@ -176,13 +182,17 @@ mod tests {
 
     #[test]
     fn concentric_spheres_yield_no_force() {
-        assert!(collision_force(p(1.0, 1.0, 1.0), 1.0, p(1.0, 1.0, 1.0), 1.0, KAPPA, GAMMA).is_none());
+        assert!(
+            collision_force(p(1.0, 1.0, 1.0), 1.0, p(1.0, 1.0, 1.0), 1.0, KAPPA, GAMMA).is_none()
+        );
     }
 
     #[test]
     fn attraction_term_reduces_magnitude() {
-        let with = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
-        let without = collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, 0.0).unwrap();
+        let with =
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, GAMMA).unwrap();
+        let without =
+            collision_force(p(0.0, 0.0, 0.0), 1.0, p(1.5, 0.0, 0.0), 1.0, KAPPA, 0.0).unwrap();
         assert!(with.norm() < without.norm());
     }
 
@@ -220,7 +230,8 @@ mod tests {
 
     #[test]
     fn fp32_force_close_to_fp64() {
-        let f64v = collision_force(p(0.0, 0.1, 0.2), 1.1, p(1.2, 0.4, 0.3), 0.8, KAPPA, GAMMA).unwrap();
+        let f64v =
+            collision_force(p(0.0, 0.1, 0.2), 1.1, p(1.2, 0.4, 0.3), 0.8, KAPPA, GAMMA).unwrap();
         let f32v = collision_force(
             Vec3::<f32>::new(0.0, 0.1, 0.2),
             1.1f32,

@@ -7,7 +7,9 @@
 //! as flat scalar buffers for the simulated device transfers.
 
 use crate::scalar::Scalar;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-component vector at precision `R`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

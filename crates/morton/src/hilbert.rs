@@ -163,7 +163,8 @@ mod tests {
                 + (ay as i64 - by as i64).abs()
                 + (az as i64 - bz as i64).abs();
             assert_eq!(
-                d, 1,
+                d,
+                1,
                 "Hilbert step must be a unit move: {:?} → {:?}",
                 (ax, ay, az),
                 (bx, by, bz)

@@ -153,13 +153,7 @@ pub fn zvalue<R: Scalar>(p: Vec3<R>, space: &Aabb<R>, cell_len: R) -> u64 {
 /// `xs`, `ys`, `zs` are the SoA position columns; `cell_len` is normally
 /// the uniform-grid box length, so agents in the same grid voxel share a
 /// key (the stable argsort then keeps them adjacent).
-pub fn zvalues<R: Scalar>(
-    xs: &[R],
-    ys: &[R],
-    zs: &[R],
-    space: &Aabb<R>,
-    cell_len: R,
-) -> Vec<u64> {
+pub fn zvalues<R: Scalar>(xs: &[R], ys: &[R], zs: &[R], space: &Aabb<R>, cell_len: R) -> Vec<u64> {
     assert_eq!(xs.len(), ys.len());
     assert_eq!(xs.len(), zs.len());
     let compute = |i: usize| zvalue(Vec3::new(xs[i], ys[i], zs[i]), space, cell_len);
@@ -258,7 +252,12 @@ mod tests {
 
     #[test]
     fn decode_inverts_encode() {
-        for (x, y, z) in [(0, 0, 0), (1, 2, 3), (100, 2000, 30000), (COORD_MAX, 0, COORD_MAX)] {
+        for (x, y, z) in [
+            (0, 0, 0),
+            (1, 2, 3),
+            (100, 2000, 30000),
+            (COORD_MAX, 0, COORD_MAX),
+        ] {
             assert_eq!(decode3(encode3(x, y, z)), (x, y, z));
         }
     }
@@ -329,8 +328,7 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
         let ys: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
         let zs: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 32.0)).collect();
-        let unsorted: Vec<(f64, f64, f64)> =
-            (0..n).map(|i| (xs[i], ys[i], zs[i])).collect();
+        let unsorted: Vec<(f64, f64, f64)> = (0..n).map(|i| (xs[i], ys[i], zs[i])).collect();
         let perm = sort_permutation(&xs, &ys, &zs, &space, 2.0);
         let g = perm.gather_indices();
         let sorted: Vec<(f64, f64, f64)> = g

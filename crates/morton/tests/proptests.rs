@@ -1,7 +1,7 @@
 //! Property-based tests for the Z-order curve.
 
-use bdm_morton::{compact, decode3, encode2, encode3, quantize, spread, COORD_MAX};
 use bdm_math::{Aabb, Vec3};
+use bdm_morton::{compact, decode3, encode2, encode3, quantize, spread, COORD_MAX};
 use proptest::prelude::*;
 
 proptest! {

@@ -36,14 +36,22 @@ impl RooflineModel {
 
     /// Attainable FLOP/s at arithmetic intensity `ai` for a precision.
     pub fn attainable(&self, ai: f64, fp64: bool) -> f64 {
-        let peak = if fp64 { self.fp64_flops } else { self.fp32_flops };
+        let peak = if fp64 {
+            self.fp64_flops
+        } else {
+            self.fp32_flops
+        };
         peak.min(ai * self.bandwidth)
     }
 
     /// The ridge point: the intensity where the bandwidth roof meets the
     /// compute roof.
     pub fn ridge(&self, fp64: bool) -> f64 {
-        let peak = if fp64 { self.fp64_flops } else { self.fp32_flops };
+        let peak = if fp64 {
+            self.fp64_flops
+        } else {
+            self.fp32_flops
+        };
         peak / self.bandwidth
     }
 }

@@ -54,10 +54,13 @@ mod tests {
         let c = CellBuilder::new(Vec3::zero());
         assert_eq!(c.diameter, 10.0);
         assert_eq!(c.adherence, 0.4);
-        let c = c.diameter(5.0).adherence(0.1).behavior(Behavior::GrowthDivision {
-            growth_rate: 100.0,
-            division_threshold: 12.0,
-        });
+        let c = c
+            .diameter(5.0)
+            .adherence(0.1)
+            .behavior(Behavior::GrowthDivision {
+                growth_rate: 100.0,
+                division_threshold: 12.0,
+            });
         assert_eq!(c.diameter, 5.0);
         assert_eq!(c.adherence, 0.1);
         assert_eq!(c.behaviors.len(), 1);

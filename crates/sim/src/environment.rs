@@ -168,8 +168,7 @@ mod tests {
             EnvironmentKind::uniform_grid_csr_parallel(),
             EnvironmentKind::gpu_default(),
         ];
-        let labels: std::collections::HashSet<String> =
-            kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
     }
 

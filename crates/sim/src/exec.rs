@@ -1,0 +1,243 @@
+//! Per-thread execution contexts for parallel agent operations.
+//!
+//! BioDynaMo's follow-up platform paper ("High-Performance and Scalable
+//! Agent-Based Simulation with BioDynaMo", 2023) makes agent loops
+//! embarrassingly parallel by giving every worker an *execution context*
+//! that buffers the mutations an agent may not apply directly while
+//! other agents are being processed: births (division), deaths
+//! (apoptosis), and writes to shared state (substance secretion). We
+//! adopt the same architecture with the determinism recipe of the CSR
+//! grid build: the agent range is cut into **fixed-size chunks**, one
+//! context per chunk, and contexts are merged **in chunk order** — so
+//! the trajectory is bitwise identical no matter how many threads ran
+//! the chunks, and identical to a serial chunk-by-chunk execution.
+//!
+//! Semantics note: deferring secretions means every gradient read inside
+//! one behaviors pass sees the substance field as of the *start* of the
+//! step (a consistent snapshot), rather than a state that depends on how
+//! many lower-indexed agents already secreted. That snapshot semantics
+//! is what makes the loop order-independent — and therefore
+//! parallelizable — in the first place.
+
+use crate::cell::CellBuilder;
+use crate::diffusion::DiffusionGrid;
+use crate::rm::ResourceManager;
+use bdm_math::Vec3;
+
+/// One buffered secretion: (substance index, position, amount).
+#[derive(Debug, Clone, Copy)]
+struct Secretion {
+    substance: usize,
+    position: Vec3<f64>,
+    rate: f64,
+}
+
+/// Deferred mutations recorded by one chunk of an agent loop.
+///
+/// The loop body gets direct mutable access to its *own* agent's columns
+/// (through [`crate::rm::AgentChunkMut`]) and records everything else
+/// here; [`ExecutionContext::merge_in_order`] applies the buffers to the
+/// shared state after the loop, in chunk order.
+#[derive(Debug, Default)]
+pub struct ExecutionContext {
+    /// Daughters to append (in discovery order — ascending mother index).
+    births: Vec<CellBuilder>,
+    /// Global indices of agents that die this step (ascending).
+    deaths: Vec<usize>,
+    /// Buffered substance writes (in discovery order).
+    secretions: Vec<Secretion>,
+    /// Behavior executions counted (profiling).
+    pub behaviors_run: u64,
+    /// Divisions performed (profiling).
+    pub divisions: u64,
+    /// `true` when the chunk wrote any diameter through the raw views —
+    /// the merge then invalidates the largest-diameter cache.
+    diameters_written: bool,
+}
+
+/// Counters produced by merging all chunk contexts of one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Total behavior executions.
+    pub behaviors_run: u64,
+    /// Total divisions (== births).
+    pub divisions: u64,
+    /// Total deaths applied.
+    pub deaths: u64,
+}
+
+impl ExecutionContext {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer a new agent (division daughter).
+    pub fn push_birth(&mut self, cell: CellBuilder) {
+        self.births.push(cell);
+    }
+
+    /// Buffer the death of global agent `i`.
+    pub fn push_death(&mut self, i: usize) {
+        self.deaths.push(i);
+    }
+
+    /// Buffer a substance deposition at `position`.
+    pub fn push_secretion(&mut self, substance: usize, position: Vec3<f64>, rate: f64) {
+        self.secretions.push(Secretion {
+            substance,
+            position,
+            rate,
+        });
+    }
+
+    /// Record that this chunk wrote diameters through the raw views.
+    pub fn mark_diameter_write(&mut self) {
+        self.diameters_written = true;
+    }
+
+    /// Apply every chunk's deferred mutations to the shared state, in
+    /// chunk order:
+    ///
+    /// 1. secretions (substance fields),
+    /// 2. births (appended — daughters take ascending indices past the
+    ///    pre-pass population, exactly like the serial loop produced),
+    /// 3. deaths (swap-removed highest-index-first so no pending death
+    ///    index is invalidated by an earlier removal).
+    ///
+    /// Because the chunk partition is fixed and this merge is ordered,
+    /// the post-merge state is identical whether the chunks were
+    /// processed serially or in parallel.
+    pub fn merge_in_order(
+        contexts: Vec<ExecutionContext>,
+        rm: &mut ResourceManager,
+        substances: &mut [DiffusionGrid],
+    ) -> MergeOutcome {
+        let mut out = MergeOutcome::default();
+        let mut deaths: Vec<usize> = Vec::new();
+        let mut any_diameters = false;
+        for ctx in &contexts {
+            out.behaviors_run += ctx.behaviors_run;
+            out.divisions += ctx.divisions;
+            any_diameters |= ctx.diameters_written;
+            for s in &ctx.secretions {
+                substances[s.substance].secrete(s.position, s.rate);
+            }
+            debug_assert!(ctx.deaths.windows(2).all(|w| w[0] <= w[1]));
+            deaths.extend_from_slice(&ctx.deaths);
+        }
+        if any_diameters {
+            rm.invalidate_largest_diameter();
+        }
+        for ctx in contexts {
+            for cell in ctx.births {
+                rm.add(cell);
+            }
+        }
+        // Chunks contribute ascending, disjoint index ranges, so the
+        // concatenation is already globally sorted; dedup guards against
+        // an agent carrying several death-producing behaviors.
+        debug_assert!(deaths.windows(2).all(|w| w[0] <= w[1]));
+        deaths.dedup();
+        out.deaths = deaths.len() as u64;
+        for &i in deaths.iter().rev() {
+            rm.remove(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusion::{BoundaryCondition, DiffusionParams};
+    use bdm_math::Aabb;
+
+    fn cell(x: f64, d: f64) -> CellBuilder {
+        CellBuilder::new(Vec3::new(x, 0.0, 0.0)).diameter(d)
+    }
+
+    #[test]
+    fn merge_applies_births_then_deaths() {
+        let mut rm = ResourceManager::new();
+        for i in 0..6 {
+            rm.add(cell(i as f64, 1.0));
+        }
+        // Chunk 0 (agents 0..3): agent 1 dies, one birth.
+        let mut c0 = ExecutionContext::new();
+        c0.push_death(1);
+        c0.push_birth(cell(100.0, 2.0));
+        c0.divisions = 1;
+        c0.behaviors_run = 3;
+        // Chunk 1 (agents 3..6): agents 4 and 5 die.
+        let mut c1 = ExecutionContext::new();
+        c1.push_death(4);
+        c1.push_death(5);
+        c1.behaviors_run = 3;
+        let out = ExecutionContext::merge_in_order(vec![c0, c1], &mut rm, &mut []);
+        assert_eq!(out.behaviors_run, 6);
+        assert_eq!(out.divisions, 1);
+        assert_eq!(out.deaths, 3);
+        // 6 agents + 1 birth − 3 deaths.
+        assert_eq!(rm.len(), 4);
+        // The birth was appended (index 6) *before* deaths were applied,
+        // exactly like the serial loop: removing 5 swaps the daughter in.
+        let xs: Vec<f64> = (0..rm.len()).map(|i| rm.position(i).x).collect();
+        assert!(xs.contains(&100.0), "daughter survived the death sweep");
+        assert!(!xs.contains(&1.0) && !xs.contains(&4.0) && !xs.contains(&5.0));
+    }
+
+    #[test]
+    fn merge_dedups_double_deaths() {
+        let mut rm = ResourceManager::new();
+        rm.add(cell(0.0, 1.0));
+        rm.add(cell(1.0, 1.0));
+        let mut c = ExecutionContext::new();
+        // Two death-producing behaviors on the same agent.
+        c.push_death(0);
+        c.push_death(0);
+        let out = ExecutionContext::merge_in_order(vec![c], &mut rm, &mut []);
+        assert_eq!(out.deaths, 1);
+        assert_eq!(rm.len(), 1);
+    }
+
+    #[test]
+    fn merge_applies_secretions_in_chunk_order() {
+        let mut rm = ResourceManager::new();
+        let space = Aabb::cube(10.0);
+        let mut grids = [DiffusionGrid::new(
+            DiffusionParams {
+                name: "s",
+                coefficient: 0.1,
+                decay: 0.0,
+                resolution: 4,
+                boundary: BoundaryCondition::Closed,
+            },
+            space,
+        )];
+        let mut c0 = ExecutionContext::new();
+        c0.push_secretion(0, Vec3::zero(), 2.0);
+        let mut c1 = ExecutionContext::new();
+        c1.push_secretion(0, Vec3::new(5.0, 5.0, 5.0), 3.0);
+        ExecutionContext::merge_in_order(vec![c0, c1], &mut rm, &mut grids);
+        assert!((grids[0].total_mass() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_invalidates_diameter_cache_only_when_written() {
+        let mut rm = ResourceManager::new();
+        rm.add(cell(0.0, 3.0));
+        assert_eq!(rm.largest_diameter(), 3.0);
+        // No diameter writes: the cache survives the merge.
+        ExecutionContext::merge_in_order(vec![ExecutionContext::new()], &mut rm, &mut []);
+        assert_eq!(rm.largest_diameter(), 3.0);
+        // A chunk that wrote diameters forces invalidation.
+        let (mut chunks, _shared) = rm.behavior_chunks(8);
+        chunks[0].set_diameter(0, 5.0);
+        drop(chunks);
+        let mut c = ExecutionContext::new();
+        c.mark_diameter_write();
+        ExecutionContext::merge_in_order(vec![c], &mut rm, &mut []);
+        assert_eq!(rm.largest_diameter(), 5.0);
+    }
+}

@@ -122,7 +122,11 @@ impl Snapshot {
         if self.rows.is_empty() {
             return Vec::new();
         }
-        let lo = self.rows.iter().map(|r| r.diameter).fold(f64::INFINITY, f64::min);
+        let lo = self
+            .rows
+            .iter()
+            .map(|r| r.diameter)
+            .fold(f64::INFINITY, f64::min);
         let hi = self
             .rows
             .iter()

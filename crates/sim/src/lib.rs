@@ -18,21 +18,29 @@
 //!   time on this host and the *work counters* that feed the Table I
 //!   machine models (see `bdm-device`).
 //!
-//! Each [`Simulation::step`] runs the operation pipeline:
-//! behaviors (growth/division/chemotaxis/secretion) → mechanical
-//! interactions (environment build + neighbor search + Eq. 1 forces +
-//! displacement) → bound space → diffusion.
+//! Each [`Simulation::step`] runs the [`Scheduler`]'s operation
+//! pipeline — by default behaviors (growth/division/chemotaxis/
+//! secretion) → mechanical interactions (environment build + neighbor
+//! search + Eq. 1 forces + displacement) → bound space → diffusion —
+//! where every stage is a first-class [`Operation`] with per-op
+//! frequency and enable/disable, and the agent loops run chunked under
+//! rayon with per-thread execution contexts ([`exec`]) that merge in
+//! chunk order: parallel and serial scheduling produce bitwise-identical
+//! trajectories.
 
 pub mod behavior;
 pub mod cell;
 pub mod diffusion;
 pub mod environment;
+pub mod exec;
 pub mod io;
 pub mod mech;
+pub mod operation;
 pub mod param;
 pub mod profiler;
 pub mod render;
 pub mod rm;
+pub mod scheduler;
 pub mod simulation;
 pub mod timeseries;
 pub mod workload;
@@ -41,9 +49,12 @@ pub use behavior::Behavior;
 pub use cell::CellBuilder;
 pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
 pub use environment::{EnvironmentKind, GridLayout};
+pub use exec::ExecutionContext;
 pub use io::Snapshot;
+pub use operation::{OpContext, Operation};
 pub use param::SimParams;
 pub use profiler::{OpRecord, Profiler, StepProfile};
 pub use rm::ResourceManager;
-pub use simulation::{CustomOp, Simulation};
+pub use scheduler::{ExecMode, OpStats, Scheduler};
+pub use simulation::Simulation;
 pub use timeseries::TimeSeries;

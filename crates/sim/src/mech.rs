@@ -27,7 +27,7 @@ use bdm_gpu::pipeline::{GpuStepReport, MechanicalPipeline, SceneRef};
 use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_kdtree::KdTree;
 use bdm_math::interaction::{self};
-use bdm_math::{Vec3};
+use bdm_math::Vec3;
 use bdm_soa::AgentId;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -378,14 +378,8 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
             let r1 = diam[i] * 0.5;
             let mut force = Vec3::zero();
             let mut contacts = 0u64;
-            let counters = grid.for_each_within(
-                xs,
-                ys,
-                zs,
-                p1,
-                radius,
-                Some(AgentId(i as u32)),
-                |id| {
+            let counters =
+                grid.for_each_within(xs, ys, zs, p1, radius, Some(AgentId(i as u32)), |id| {
                     let j = id.index();
                     if let Some(f) = interaction::collision_force(
                         p1,
@@ -398,8 +392,7 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
                         force += f;
                         contacts += 1;
                     }
-                },
-            );
+                });
             PerAgent {
                 disp: interaction::displacement(force, adh[i], mech),
                 counters,
@@ -640,7 +633,12 @@ mod tests {
         let mut a = random_population(300, 5.5, 3);
         let mut b = a.clone();
         let wa = mechanical_step(&mut a, &params, &EnvironmentKind::KdTree, None);
-        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::uniform_grid_serial(), None);
+        let wb = mechanical_step(
+            &mut b,
+            &params,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
         assert_eq!(wa.neighbors, wb.neighbors, "same neighbor sets expected");
         let pa = positions(&a);
         let pb = positions(&b);
@@ -659,8 +657,18 @@ mod tests {
         let params = SimParams::cube(6.0);
         let mut a = random_population(400, 5.5, 9);
         let mut b = a.clone();
-        let wa = mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
-        let wb = mechanical_step(&mut b, &params, &EnvironmentKind::uniform_grid_parallel(), None);
+        let wa = mechanical_step(
+            &mut a,
+            &params,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
+        let wb = mechanical_step(
+            &mut b,
+            &params,
+            &EnvironmentKind::uniform_grid_parallel(),
+            None,
+        );
         assert_eq!(wa.neighbors, wb.neighbors);
         let pa = positions(&a);
         let pb = positions(&b);
@@ -674,7 +682,12 @@ mod tests {
         let params = SimParams::cube(6.0);
         let mut a = random_population(400, 5.5, 9);
         let mut b = a.clone();
-        let wa = mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
+        let wa = mechanical_step(
+            &mut a,
+            &params,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
         let wb = mechanical_step(
             &mut b,
             &params,
@@ -699,7 +712,12 @@ mod tests {
         let params = SimParams::cube(6.0);
         let mut a = random_population(500, 5.5, 21);
         let mut b = a.clone();
-        mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_csr_serial(), None);
+        mechanical_step(
+            &mut a,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_serial(),
+            None,
+        );
         mechanical_step(
             &mut b,
             &params,
@@ -734,7 +752,12 @@ mod tests {
         let params = SimParams::cube(6.0);
         let mut a = random_population(250, 5.5, 7);
         let mut b = a.clone();
-        mechanical_step(&mut a, &params, &EnvironmentKind::uniform_grid_serial(), None);
+        mechanical_step(
+            &mut a,
+            &params,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
         let env = EnvironmentKind::gpu_default();
         let pipeline = match env {
             EnvironmentKind::Gpu {
@@ -763,7 +786,12 @@ mod tests {
         params.mech.max_displacement = 0.0;
         let mut rm = random_population(200, 5.5, 5);
         let before = positions(&rm);
-        let w = mechanical_step(&mut rm, &params, &EnvironmentKind::uniform_grid_parallel(), None);
+        let w = mechanical_step(
+            &mut rm,
+            &params,
+            &EnvironmentKind::uniform_grid_parallel(),
+            None,
+        );
         assert_eq!(before, positions(&rm));
         assert!(w.neighbors > 0, "still counts neighbors");
     }
@@ -778,7 +806,12 @@ mod tests {
         assert!(w.phases[1].parallel);
         assert!(w.phases[1].flops > 0.0);
         assert!(w.phases[2].flops > 0.0);
-        let wg = mechanical_step(&mut rm, &params, &EnvironmentKind::uniform_grid_parallel(), None);
+        let wg = mechanical_step(
+            &mut rm,
+            &params,
+            &EnvironmentKind::uniform_grid_parallel(),
+            None,
+        );
         assert_eq!(wg.phases.len(), 2, "grid pipeline is build + fused pass");
         assert!(wg.phases[0].parallel, "parallel grid build");
         assert_eq!(wg.phases[1].name, "mechanical forces");
@@ -816,8 +849,18 @@ mod tests {
         let params_large = SimParams::cube(6.0).with_interaction_radius(3.0);
         let mut a = random_population(300, 5.5, 17);
         let mut b = a.clone();
-        let ws = mechanical_step(&mut a, &params_small, &EnvironmentKind::uniform_grid_serial(), None);
-        let wl = mechanical_step(&mut b, &params_large, &EnvironmentKind::uniform_grid_serial(), None);
+        let ws = mechanical_step(
+            &mut a,
+            &params_small,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
+        let wl = mechanical_step(
+            &mut b,
+            &params_large,
+            &EnvironmentKind::uniform_grid_serial(),
+            None,
+        );
         assert!(wl.neighbors > ws.neighbors);
         assert!(wl.candidates > ws.candidates);
     }

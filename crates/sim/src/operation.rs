@@ -1,0 +1,354 @@
+//! First-class scheduled operations.
+//!
+//! BioDynaMo models a simulation step as a sequence of *operations* the
+//! scheduler runs over the agent population ("BioDynaMo schedules
+//! operations — behaviors, mechanical interactions, substance diffusion
+//! — for every simulation step"). This module makes that concept a
+//! trait: the built-in pipeline stages (behaviors, mechanical
+//! interactions, bound space, diffusion) and user-defined operations all
+//! implement [`Operation`] and run through the
+//! [`crate::scheduler::Scheduler`] with uniform profiling, per-op
+//! frequency, and enable/disable.
+//!
+//! The behaviors and bound-space operations are parallelized with the
+//! execution-context architecture of [`crate::exec`]: fixed-size agent
+//! chunks, one rayon task per chunk, chunk-ordered merge — bitwise
+//! identical to serial execution by construction, because the parallel
+//! and serial paths run the *same* closure over the *same* partition and
+//! only the (deterministically ordered) merge touches shared state.
+
+use crate::behavior::{diameter_of, volume_of, Behavior};
+use crate::cell::CellBuilder;
+use crate::diffusion::DiffusionGrid;
+use crate::environment::EnvironmentKind;
+use crate::exec::ExecutionContext;
+use crate::mech::{self, MechScratch, MechWork};
+use crate::param::SimParams;
+use crate::profiler::OpRecord;
+use crate::rm::{AgentChunkMut, AgentShared, ResourceManager};
+use bdm_device::cpu::Phase;
+use bdm_gpu::pipeline::MechanicalPipeline;
+use bdm_math::{SplitMix64, Vec3};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Fixed agent-chunk size for parallel operations. Independent of the
+/// worker count (like `CSR_PASS_CHUNK` in the grid build) so the chunk
+/// partition — and therefore every chunk-ordered merge — is identical
+/// whether one thread or sixty-four execute the chunks.
+pub const AGENT_CHUNK: usize = 4 * 1024;
+
+/// Everything an operation may touch during one step.
+///
+/// Built from disjoint borrows of the [`crate::simulation::Simulation`]
+/// fields; the `pub(crate)` members carry the mechanical pipeline's
+/// plumbing so [`MechanicalOp`] stays a plain scheduled operation.
+pub struct OpContext<'a> {
+    /// Step counter (0-based; the step currently executing).
+    pub step: u64,
+    /// Simulation parameters.
+    pub params: &'a SimParams,
+    /// Active neighborhood environment.
+    pub env: &'a EnvironmentKind,
+    /// Agent storage.
+    pub rm: &'a mut ResourceManager,
+    /// Substance grids (order of `add_diffusion_grid` calls).
+    pub substances: &'a mut [DiffusionGrid],
+    /// `true` when the scheduler runs chunked agent loops under rayon.
+    pub parallel: bool,
+    pub(crate) pipeline: Option<&'a MechanicalPipeline>,
+    pub(crate) mech_scratch: &'a mut MechScratch,
+    pub(crate) last_mech: &'a mut Option<MechWork>,
+}
+
+/// One schedulable unit of per-step work.
+///
+/// Implementors return the profiler records for the work they did (most
+/// return exactly one; the CPU mechanical operation returns one per
+/// sub-phase, and diffusion returns none when no substances exist).
+/// Returning the records — instead of the scheduler synthesizing one —
+/// keeps the profile identical to the pre-scheduler step loop.
+pub trait Operation: Send {
+    /// Name shown in the profiler and used to address the operation in
+    /// the scheduler (`set_frequency`, `set_enabled`).
+    fn name(&self) -> &str;
+
+    /// Execute for the step described by `ctx`.
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord>;
+}
+
+/// A minimal `OpRecord`: wall time only, no work model, no GPU report.
+/// What user-defined operations typically return.
+pub fn wall_record(name: &str, wall_s: f64) -> OpRecord {
+    OpRecord {
+        name: name.to_string(),
+        wall_s,
+        phases: Vec::new(),
+        gpu: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Behaviors
+// ---------------------------------------------------------------------
+
+/// Runs every agent's behavior list: growth/division, chemotaxis,
+/// secretion, apoptosis.
+///
+/// The agent loop is chunked ([`AGENT_CHUNK`]); each chunk owns its
+/// agents' position/diameter columns ([`AgentChunkMut`]) and buffers
+/// births, deaths, and secretions in an [`ExecutionContext`]. Chunks run
+/// under rayon when the scheduler is in parallel mode, serially
+/// otherwise — the same closure either way — and the contexts merge in
+/// chunk order, so both modes produce bitwise-identical trajectories.
+///
+/// Deferred-secretion semantics: substance deposits land at merge time,
+/// so every gradient read inside the pass sees the field as of the start
+/// of the step (a consistent snapshot), not a state dependent on how
+/// many lower-indexed agents already secreted.
+#[derive(Debug, Default)]
+pub struct BehaviorOp;
+
+fn run_behavior_chunk(
+    mut chunk: AgentChunkMut<'_>,
+    shared: &AgentShared<'_>,
+    substances: &[DiffusionGrid],
+    seed: u64,
+    step: u64,
+) -> ExecutionContext {
+    let mut ec = ExecutionContext::new();
+    for k in 0..chunk.len() {
+        let i = chunk.start() + k;
+        for &b in shared.behaviors(i) {
+            ec.behaviors_run += 1;
+            match b {
+                Behavior::GrowthDivision {
+                    growth_rate,
+                    division_threshold,
+                } => {
+                    let d = chunk.diameter(k);
+                    let vol = volume_of(d) + growth_rate;
+                    let new_d = diameter_of(vol);
+                    if new_d >= division_threshold {
+                        ec.divisions += 1;
+                        // Split into two equal daughters; the division
+                        // axis is deterministic per (seed, uid, step) so
+                        // every environment and execution mode
+                        // reproduces the same trajectory.
+                        let half_d = diameter_of(vol / 2.0);
+                        let mother_pos = chunk.position(k);
+                        let mut rng = SplitMix64::for_stream(seed ^ (step << 32), shared.uid(i));
+                        let dir = Vec3::new(rng.normal(), rng.normal(), rng.normal())
+                            .try_normalized(1e-12)
+                            .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+                        let offset = dir * (half_d * 0.5);
+                        chunk.set_diameter(k, half_d);
+                        chunk.set_position(k, mother_pos - offset);
+                        ec.push_birth(CellBuilder {
+                            position: mother_pos + offset,
+                            diameter: half_d,
+                            adherence: shared.adherence(i),
+                            behaviors: shared.behaviors(i).to_vec(),
+                        });
+                    } else {
+                        chunk.set_diameter(k, new_d);
+                    }
+                    ec.mark_diameter_write();
+                }
+                Behavior::Chemotaxis { substance, speed } => {
+                    let p = chunk.position(k);
+                    let grad = substances[substance].gradient_at(p);
+                    if let Some(dir) = grad.try_normalized(1e-12) {
+                        chunk.translate(k, dir * speed);
+                    }
+                }
+                Behavior::Secretion { substance, rate } => {
+                    ec.push_secretion(substance, chunk.position(k), rate);
+                }
+                Behavior::Apoptosis { probability } => {
+                    let mut rng =
+                        SplitMix64::for_stream(seed ^ (step << 32) ^ 0xDEAD, shared.uid(i));
+                    if rng.next_f64() < probability {
+                        ec.push_death(i);
+                    }
+                }
+            }
+        }
+    }
+    ec
+}
+
+impl Operation for BehaviorOp {
+    fn name(&self) -> &str {
+        "behaviors"
+    }
+
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        let t = Instant::now();
+        let (seed, step, parallel) = (ctx.params.seed, ctx.step, ctx.parallel);
+        let contexts: Vec<ExecutionContext> = {
+            let substances: &[DiffusionGrid] = ctx.substances;
+            let (chunks, shared) = ctx.rm.behavior_chunks(AGENT_CHUNK);
+            let run = |chunk| run_behavior_chunk(chunk, &shared, substances, seed, step);
+            if parallel {
+                chunks.into_par_iter().map(run).collect()
+            } else {
+                chunks.into_iter().map(run).collect()
+            }
+        };
+        let outcome = ExecutionContext::merge_in_order(contexts, ctx.rm, ctx.substances);
+        vec![OpRecord {
+            name: self.name().into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            phases: vec![Phase::parallel_fp64(
+                "behaviors",
+                20.0 * outcome.behaviors_run as f64 + 60.0 * outcome.divisions as f64,
+                64.0 * outcome.behaviors_run as f64,
+                outcome.divisions as f64,
+            )],
+            gpu: None,
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mechanical interactions
+// ---------------------------------------------------------------------
+
+/// The environment-dependent mechanical-interaction stage (neighborhood
+/// build + search + force computation, possibly offloaded to the
+/// simulated GPU). Thin scheduled wrapper around [`mech`]; records one
+/// profiler entry per sub-phase on the CPU path (the Fig. 3 names) or a
+/// single GPU entry on the offload path.
+#[derive(Debug, Default)]
+pub struct MechanicalOp;
+
+impl Operation for MechanicalOp {
+    fn name(&self) -> &str {
+        "mechanical interactions"
+    }
+
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        let t = Instant::now();
+        let work = mech::mechanical_step_with_scratch(
+            ctx.rm,
+            ctx.params,
+            ctx.env,
+            ctx.pipeline,
+            ctx.mech_scratch,
+        );
+        let wall = t.elapsed().as_secs_f64();
+        let mut records = Vec::new();
+        if work.gpu.is_some() {
+            records.push(OpRecord {
+                name: "mechanical interactions (GPU)".into(),
+                wall_s: wall,
+                phases: Vec::new(),
+                gpu: work.gpu.clone(),
+            });
+        } else {
+            for (k, phase) in work.phases.iter().enumerate() {
+                records.push(OpRecord {
+                    name: phase.name.into(),
+                    wall_s: work.wall_s[k],
+                    phases: vec![*phase],
+                    gpu: None,
+                });
+            }
+        }
+        *ctx.last_mech = Some(work);
+        records
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bound space
+// ---------------------------------------------------------------------
+
+/// Clamps every agent into the simulation space. Chunked and
+/// rayon-parallel like the behaviors pass (pure per-agent writes, no
+/// deferred mutations — only the clamp counter merges, in chunk order).
+#[derive(Debug, Default)]
+pub struct BoundSpaceOp;
+
+impl Operation for BoundSpaceOp {
+    fn name(&self) -> &str {
+        "bound space"
+    }
+
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        let t = Instant::now();
+        let n = ctx.rm.len();
+        let space = ctx.params.space;
+        let clamp_chunk = move |mut chunk: AgentChunkMut<'_>| -> u64 {
+            let mut clamped = 0u64;
+            for k in 0..chunk.len() {
+                let p = chunk.position(k);
+                let q = space.clamp_point(p);
+                if q != p {
+                    chunk.set_position(k, q);
+                    clamped += 1;
+                }
+            }
+            clamped
+        };
+        let (chunks, _shared) = ctx.rm.behavior_chunks(AGENT_CHUNK);
+        let counts: Vec<u64> = if ctx.parallel {
+            chunks.into_par_iter().map(clamp_chunk).collect()
+        } else {
+            chunks.into_iter().map(clamp_chunk).collect()
+        };
+        let clamped: u64 = counts.iter().sum();
+        vec![OpRecord {
+            name: self.name().into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            phases: vec![Phase::parallel_fp64(
+                "bound space",
+                6.0 * n as f64,
+                48.0 * n as f64,
+                clamped as f64,
+            )],
+            gpu: None,
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diffusion
+// ---------------------------------------------------------------------
+
+/// Steps every substance grid (explicit Euler, rayon over z-slices —
+/// the operation BioDynaMo keeps on the multi-core CPU while the GPU
+/// handles the mechanical interactions). Returns no record when the
+/// simulation has no substances, matching the pre-scheduler profile.
+#[derive(Debug, Default)]
+pub struct DiffusionOp;
+
+impl Operation for DiffusionOp {
+    fn name(&self) -> &str {
+        "diffusion"
+    }
+
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        if ctx.substances.is_empty() {
+            return Vec::new();
+        }
+        let t = Instant::now();
+        let dt = ctx.params.mech.timestep;
+        let mut voxels = 0u64;
+        for g in ctx.substances.iter_mut() {
+            voxels += g.step(dt);
+        }
+        vec![OpRecord {
+            name: self.name().into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            phases: vec![Phase::parallel_fp64(
+                "diffusion",
+                10.0 * voxels as f64,
+                16.0 * voxels as f64,
+                0.0,
+            )],
+            gpu: None,
+        }]
+    }
+}

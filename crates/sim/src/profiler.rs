@@ -195,7 +195,10 @@ mod tests {
     fn render_contains_ops_and_percentages() {
         let mut p = Profiler::new();
         p.push(StepProfile {
-            records: vec![record("mechanical forces", 0.0, 3e9), record("behaviors", 0.0, 1e9)],
+            records: vec![
+                record("mechanical forces", 0.0, 3e9),
+                record("behaviors", 0.0, 1e9),
+            ],
         });
         let m = CpuModel::new(SYSTEM_A.cpu);
         let text = p.render_breakdown(&m, 4);

@@ -7,7 +7,50 @@
 use crate::behavior::Behavior;
 use crate::cell::CellBuilder;
 use bdm_math::Vec3;
-use bdm_soa::{Column, SoaVec3};
+use bdm_soa::{Column, SoaVec3, Vec3ChunkMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cached population maximum diameter.
+///
+/// The uniform-grid box-length policy reads [`ResourceManager::largest_diameter`]
+/// on *every* grid build; re-scanning all agents each step is pure waste
+/// whenever no diameter changed (benchmark B never grows a cell). The
+/// cache is an `AtomicU64` holding the `f64` bit pattern so the read
+/// path works through `&self` (the resource manager is shared across
+/// rayon workers during the mechanical pass); `u64::MAX` — a NaN bit
+/// pattern no finite diameter produces — marks it invalid.
+#[derive(Debug)]
+struct MaxDiameterCache(AtomicU64);
+
+impl MaxDiameterCache {
+    const INVALID: u64 = u64::MAX;
+
+    fn get(&self) -> Option<f64> {
+        let bits = self.0.load(Ordering::Relaxed);
+        (bits != Self::INVALID).then(|| f64::from_bits(bits))
+    }
+
+    fn set(&self, v: f64) {
+        debug_assert!(v.to_bits() != Self::INVALID);
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn invalidate(&self) {
+        self.0.store(Self::INVALID, Ordering::Relaxed);
+    }
+}
+
+impl Default for MaxDiameterCache {
+    fn default() -> Self {
+        Self(AtomicU64::new(Self::INVALID))
+    }
+}
+
+impl Clone for MaxDiameterCache {
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.0.load(Ordering::Relaxed)))
+    }
+}
 
 /// SoA storage of the whole agent population (precision: `f64`,
 /// BioDynaMo's storage default; GPU versions narrow on upload).
@@ -21,6 +64,7 @@ pub struct ResourceManager {
     /// Stable unique ids (survive reordering; seed per-agent RNG streams).
     uids: Column<u64>,
     next_uid: u64,
+    largest: MaxDiameterCache,
 }
 
 impl ResourceManager {
@@ -42,6 +86,11 @@ impl ResourceManager {
     /// Add a cell; returns its index.
     pub fn add(&mut self, cell: CellBuilder) -> usize {
         let i = self.len();
+        if let Some(cur) = self.largest.get() {
+            if cell.diameter > cur {
+                self.largest.set(cell.diameter);
+            }
+        }
         self.positions.push(cell.position);
         self.diameters.push(cell.diameter);
         self.adherences.push(cell.adherence);
@@ -54,7 +103,11 @@ impl ResourceManager {
     /// Remove agent `i` (swap-remove across every column).
     pub fn remove(&mut self, i: usize) {
         self.positions.swap_remove(i);
-        self.diameters.swap_remove(i);
+        let d = self.diameters.swap_remove(i);
+        // The removed agent may have been the (sole) maximum holder.
+        if self.largest.get() == Some(d) {
+            self.largest.invalidate();
+        }
         self.adherences.swap_remove(i);
         self.behaviors.swap_remove(i);
         self.uids.swap_remove(i);
@@ -87,6 +140,14 @@ impl ResourceManager {
     /// Overwrite agent `i`'s diameter.
     #[inline]
     pub fn set_diameter(&mut self, i: usize, d: f64) {
+        if let Some(cur) = self.largest.get() {
+            if d >= cur {
+                self.largest.set(d);
+            } else if *self.diameters.get(i) == cur {
+                // Shrinking a (possible) maximum holder: rescan lazily.
+                self.largest.invalidate();
+            }
+        }
         self.diameters.set(i, d);
     }
 
@@ -110,14 +171,70 @@ impl ResourceManager {
 
     /// Largest diameter in the population — BioDynaMo's uniform-grid box
     /// length policy ("each voxel … determined by the largest agent").
+    ///
+    /// O(1) when the cache is valid; otherwise one rescan whose result is
+    /// memoized until the next diameter write invalidates it.
     pub fn largest_diameter(&self) -> f64 {
-        self.diameters.iter().copied().fold(0.0, f64::max)
+        if let Some(v) = self.largest.get() {
+            debug_assert_eq!(
+                v,
+                self.diameters.iter().copied().fold(0.0, f64::max),
+                "stale largest-diameter cache"
+            );
+            return v;
+        }
+        let v = self.diameters.iter().copied().fold(0.0, f64::max);
+        self.largest.set(v);
+        v
+    }
+
+    /// Drop the cached largest diameter. Must be called by anything that
+    /// writes diameters *around* [`ResourceManager::set_diameter`] — i.e.
+    /// through the raw chunk views of [`ResourceManager::behavior_chunks`].
+    pub fn invalidate_largest_diameter(&self) {
+        self.largest.invalidate();
     }
 
     /// The position columns `(x, y, z)` — what the environments index and
     /// the GPU pipeline uploads.
     pub fn position_columns(&self) -> (&[f64], &[f64], &[f64]) {
         self.positions.as_slices()
+    }
+
+    /// Split the per-agent *mutable* state (position, diameter) into
+    /// disjoint fixed-size chunk views, alongside one shared view of the
+    /// read-only columns (behaviors, uids, adherences).
+    ///
+    /// This is the substrate of the parallel agent operations: each rayon
+    /// task owns one [`AgentChunkMut`] (no aliasing, no locks), while the
+    /// [`AgentShared`] columns are read from every task. The fixed chunk
+    /// size keeps the partition identical no matter how many threads run,
+    /// which is what makes chunk-ordered merges bitwise deterministic.
+    ///
+    /// Writing diameters through the raw views bypasses the
+    /// [`ResourceManager::largest_diameter`] cache maintenance; callers
+    /// that do so must call
+    /// [`ResourceManager::invalidate_largest_diameter`] afterwards (the
+    /// behaviors operation does this in its merge phase).
+    pub fn behavior_chunks(&mut self, chunk: usize) -> (Vec<AgentChunkMut<'_>>, AgentShared<'_>) {
+        assert!(chunk > 0, "chunk size must be positive");
+        let views = self
+            .positions
+            .chunks_mut(chunk)
+            .zip(self.diameters.chunks_mut(chunk))
+            .enumerate()
+            .map(|(c, (pos, diam))| AgentChunkMut {
+                start: c * chunk,
+                pos,
+                diam,
+            })
+            .collect();
+        let shared = AgentShared {
+            behaviors: self.behaviors.as_slice(),
+            uids: self.uids.as_slice(),
+            adherences: self.adherences.as_slice(),
+        };
+        (views, shared)
     }
 
     /// Diameter column.
@@ -146,6 +263,97 @@ impl ResourceManager {
             sum += self.position(i);
         }
         sum / n
+    }
+}
+
+/// Disjoint mutable window over one chunk of agents' writable state
+/// (position + diameter). Indices are chunk-local; [`AgentChunkMut::start`]
+/// maps them back to global agent indices.
+pub struct AgentChunkMut<'a> {
+    start: usize,
+    pos: Vec3ChunkMut<'a, f64>,
+    diam: &'a mut [f64],
+}
+
+impl AgentChunkMut<'_> {
+    /// Global index of this chunk's first agent.
+    #[inline(always)]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Agents in this chunk.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.diam.len()
+    }
+
+    /// `true` when the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diam.is_empty()
+    }
+
+    /// Position of local agent `k`.
+    #[inline(always)]
+    pub fn position(&self, k: usize) -> Vec3<f64> {
+        self.pos.get(k)
+    }
+
+    /// Overwrite local agent `k`'s position.
+    #[inline(always)]
+    pub fn set_position(&mut self, k: usize, p: Vec3<f64>) {
+        self.pos.set(k, p);
+    }
+
+    /// Translate local agent `k`.
+    #[inline(always)]
+    pub fn translate(&mut self, k: usize, delta: Vec3<f64>) {
+        self.pos.add_assign(k, delta);
+    }
+
+    /// Diameter of local agent `k`.
+    #[inline(always)]
+    pub fn diameter(&self, k: usize) -> f64 {
+        self.diam[k]
+    }
+
+    /// Overwrite local agent `k`'s diameter (raw write — the owning
+    /// operation invalidates the largest-diameter cache at merge time).
+    #[inline(always)]
+    pub fn set_diameter(&mut self, k: usize, d: f64) {
+        self.diam[k] = d;
+    }
+}
+
+/// Shared (read-only) view of the agent columns a behavior pass never
+/// writes: behavior lists, uids, adherences. One instance is borrowed by
+/// every parallel chunk task, indexed by *global* agent index.
+pub struct AgentShared<'a> {
+    behaviors: &'a [Vec<Behavior>],
+    uids: &'a [u64],
+    adherences: &'a [f64],
+}
+
+impl AgentShared<'_> {
+    /// Behaviors of agent `i` — borrowed, not cloned: the per-agent
+    /// `to_vec()` the serial loop needed (to release the storage borrow
+    /// before mutating) is gone, because deferred mutations go through
+    /// the execution context instead.
+    #[inline(always)]
+    pub fn behaviors(&self, i: usize) -> &[Behavior] {
+        &self.behaviors[i]
+    }
+
+    /// Stable unique id of agent `i`.
+    #[inline(always)]
+    pub fn uid(&self, i: usize) -> u64 {
+        self.uids[i]
+    }
+
+    /// Adherence of agent `i`.
+    #[inline(always)]
+    pub fn adherence(&self, i: usize) -> f64 {
+        self.adherences[i]
     }
 }
 
@@ -188,6 +396,72 @@ mod tests {
         rm.add(cell_at(0.0).diameter(4.0));
         rm.add(cell_at(1.0).diameter(9.0));
         assert_eq!(rm.largest_diameter(), 9.0);
+    }
+
+    #[test]
+    fn largest_diameter_cache_survives_mutation_sequences() {
+        // Every mutation path (add / grow / shrink / remove / raw chunk
+        // write + invalidate) must leave the cache agreeing with a rescan.
+        let oracle =
+            |rm: &ResourceManager| (0..rm.len()).map(|i| rm.diameter(i)).fold(0.0, f64::max);
+        let mut rm = ResourceManager::new();
+        for d in [3.0, 8.0, 5.0] {
+            rm.add(cell_at(d).diameter(d));
+            assert_eq!(rm.largest_diameter(), oracle(&rm));
+        }
+        // Grow a non-max agent past the max.
+        rm.set_diameter(0, 9.5);
+        assert_eq!(rm.largest_diameter(), 9.5);
+        // Shrink the max holder: forces the lazy rescan.
+        rm.set_diameter(0, 1.0);
+        assert_eq!(rm.largest_diameter(), 8.0);
+        // Remove the max holder.
+        rm.remove(1);
+        assert_eq!(rm.largest_diameter(), oracle(&rm));
+        // Raw chunk write + explicit invalidation.
+        let (mut chunks, _shared) = rm.behavior_chunks(16);
+        chunks[0].set_diameter(0, 20.0);
+        drop(chunks);
+        rm.invalidate_largest_diameter();
+        assert_eq!(rm.largest_diameter(), 20.0);
+        // Ties: two max holders, removing one keeps the other.
+        let mut rm = ResourceManager::new();
+        rm.add(cell_at(0.0).diameter(7.0));
+        rm.add(cell_at(1.0).diameter(7.0));
+        assert_eq!(rm.largest_diameter(), 7.0);
+        rm.remove(0);
+        assert_eq!(rm.largest_diameter(), 7.0);
+    }
+
+    #[test]
+    fn behavior_chunks_split_writable_from_shared_state() {
+        let mut rm = ResourceManager::new();
+        for i in 0..10 {
+            rm.add(
+                cell_at(i as f64)
+                    .diameter(1.0 + i as f64)
+                    .behavior(Behavior::Apoptosis { probability: 0.0 }),
+            );
+        }
+        let (chunks, shared) = rm.behavior_chunks(4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[1].start(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        for mut chunk in chunks {
+            for k in 0..chunk.len() {
+                let i = chunk.start() + k;
+                assert_eq!(shared.behaviors(i).len(), 1);
+                assert_eq!(shared.uid(i), i as u64);
+                assert_eq!(shared.adherence(i), 0.4);
+                assert_eq!(chunk.diameter(k), 1.0 + i as f64);
+                chunk.translate(k, Vec3::new(0.0, 1.0, 0.0));
+                chunk.set_position(k, chunk.position(k) + Vec3::new(0.0, 0.0, 2.0));
+            }
+        }
+        rm.invalidate_largest_diameter();
+        for i in 0..10 {
+            assert_eq!(rm.position(i), Vec3::new(i as f64, 1.0, 2.0));
+        }
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! The operation scheduler.
+//!
+//! Owns the ordered list of [`Operation`]s a step executes and the
+//! execution mode for chunked agent loops. Each operation carries a
+//! frequency (run every k-th step, like BioDynaMo's operation frequency)
+//! and an enabled flag; the scheduler times every run and accumulates
+//! per-operation totals ([`Scheduler::stats`]) independently of the
+//! step-profile records the operations themselves emit.
+
+use crate::operation::{BehaviorOp, BoundSpaceOp, DiffusionOp, MechanicalOp, OpContext, Operation};
+use crate::profiler::StepProfile;
+use std::time::Instant;
+
+/// How chunked agent loops execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Chunks run one after another on the calling thread.
+    Serial,
+    /// Chunks run under rayon. Bitwise identical to [`ExecMode::Serial`]
+    /// by construction: the fixed chunk partition and the chunk-ordered
+    /// context merge make the trajectory independent of thread count.
+    #[default]
+    Parallel,
+}
+
+/// One scheduled operation plus its scheduling state.
+struct OpSlot {
+    op: Box<dyn Operation>,
+    /// Run every `frequency`-th step (1 = every step).
+    frequency: u64,
+    enabled: bool,
+    /// Times this operation actually ran.
+    runs: u64,
+    /// Accumulated wall seconds across runs.
+    wall_s: f64,
+}
+
+/// Per-operation scheduling statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Operation name.
+    pub name: String,
+    /// Configured frequency.
+    pub frequency: u64,
+    /// Whether the operation is currently enabled.
+    pub enabled: bool,
+    /// Times the operation ran.
+    pub runs: u64,
+    /// Total wall seconds spent in the operation.
+    pub wall_s: f64,
+}
+
+/// Ordered operation list + execution mode.
+pub struct Scheduler {
+    ops: Vec<OpSlot>,
+    mode: ExecMode,
+}
+
+impl Scheduler {
+    /// Empty scheduler (no operations at all; test use).
+    pub fn empty() -> Self {
+        Self {
+            ops: Vec::new(),
+            mode: ExecMode::default(),
+        }
+    }
+
+    /// The standard BioDynaMo step pipeline: behaviors → mechanical
+    /// interactions → bound space → diffusion.
+    pub fn default_pipeline() -> Self {
+        let mut s = Self::empty();
+        s.add(Box::new(BehaviorOp));
+        s.add(Box::new(MechanicalOp));
+        s.add(Box::new(BoundSpaceOp));
+        s.add(Box::new(DiffusionOp));
+        s
+    }
+
+    /// Append an operation to the end of the pipeline.
+    pub fn add(&mut self, op: Box<dyn Operation>) {
+        self.ops.push(OpSlot {
+            op,
+            frequency: 1,
+            enabled: true,
+            runs: 0,
+            wall_s: 0.0,
+        });
+    }
+
+    /// Execution mode for chunked agent loops.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Select the execution mode.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Run `name` only every `every`-th step (must be ≥ 1). Returns
+    /// `false` when no operation has that name.
+    pub fn set_frequency(&mut self, name: &str, every: u64) -> bool {
+        assert!(every >= 1, "operation frequency must be ≥ 1");
+        self.slot_mut(name).map(|s| s.frequency = every).is_some()
+    }
+
+    /// Enable or disable `name`. Returns `false` when no operation has
+    /// that name.
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        self.slot_mut(name).map(|s| s.enabled = enabled).is_some()
+    }
+
+    /// Names of the scheduled operations, in execution order.
+    pub fn op_names(&self) -> Vec<&str> {
+        self.ops.iter().map(|s| s.op.name()).collect()
+    }
+
+    /// Per-operation scheduling statistics, in execution order.
+    pub fn stats(&self) -> Vec<OpStats> {
+        self.ops
+            .iter()
+            .map(|s| OpStats {
+                name: s.op.name().to_string(),
+                frequency: s.frequency,
+                enabled: s.enabled,
+                runs: s.runs,
+                wall_s: s.wall_s,
+            })
+            .collect()
+    }
+
+    fn slot_mut(&mut self, name: &str) -> Option<&mut OpSlot> {
+        self.ops.iter_mut().find(|s| s.op.name() == name)
+    }
+
+    /// Execute one step: run every enabled, due operation in order and
+    /// collect the records they emit.
+    pub(crate) fn execute(&mut self, ctx: &mut OpContext<'_>) -> StepProfile {
+        ctx.parallel = self.mode == ExecMode::Parallel;
+        let mut profile = StepProfile::default();
+        for slot in &mut self.ops {
+            if !slot.enabled || !ctx.step.is_multiple_of(slot.frequency) {
+                continue;
+            }
+            let t = Instant::now();
+            let records = slot.op.run(ctx);
+            slot.wall_s += t.elapsed().as_secs_f64();
+            slot.runs += 1;
+            profile.records.extend(records);
+        }
+        profile
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::default_pipeline()
+    }
+}

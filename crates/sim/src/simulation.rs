@@ -1,31 +1,21 @@
-//! The simulation object and its operation scheduler.
+//! The simulation object.
+//!
+//! A [`Simulation`] is agents + environment + substances + a
+//! [`Scheduler`]: every per-step stage — the built-in pipeline
+//! (behaviors, mechanical interactions, bound space, diffusion) and any
+//! user-registered operation — is a scheduled [`Operation`] with uniform
+//! profiling, per-op frequency, and enable/disable.
 
-use crate::behavior::{diameter_of, volume_of, Behavior};
 use crate::cell::CellBuilder;
 use crate::diffusion::{DiffusionGrid, DiffusionParams};
 use crate::environment::EnvironmentKind;
-use crate::mech::{self, MechScratch, MechWork};
+use crate::mech::{MechScratch, MechWork};
+use crate::operation::{OpContext, Operation};
 use crate::param::SimParams;
-use crate::profiler::{OpRecord, Profiler, StepProfile};
+use crate::profiler::Profiler;
 use crate::rm::ResourceManager;
-use bdm_device::cpu::Phase;
+use crate::scheduler::{ExecMode, Scheduler};
 use bdm_gpu::pipeline::MechanicalPipeline;
-use bdm_math::{SplitMix64, Vec3};
-use std::time::Instant;
-
-/// A user-defined operation, run once per step after the built-in
-/// pipeline (BioDynaMo's extension point: "researchers can implement
-/// their models on top of BioDynaMo's … execution engine", abstract).
-///
-/// Implementors get mutable access to the agent storage and the
-/// substance grids. The scheduler profiles each custom operation under
-/// its [`CustomOp::name`].
-pub trait CustomOp: Send {
-    /// Name shown in the profiler.
-    fn name(&self) -> &str;
-    /// Execute for this step.
-    fn run(&mut self, step: u64, rm: &mut ResourceManager, substances: &mut [DiffusionGrid]);
-}
 
 /// A complete simulation: agents + environment + substances + scheduler.
 pub struct Simulation {
@@ -39,12 +29,13 @@ pub struct Simulation {
     steps_executed: u64,
     /// Density measured by the last mechanical step (paper's `n`).
     last_mech: Option<MechWork>,
-    custom_ops: Vec<Box<dyn CustomOp>>,
+    scheduler: Scheduler,
 }
 
 impl Simulation {
     /// New simulation with the default environment (parallel uniform
-    /// grid — BioDynaMo's production configuration after the paper).
+    /// grid — BioDynaMo's production configuration after the paper) and
+    /// the default operation pipeline.
     pub fn new(params: SimParams) -> Self {
         Self {
             params,
@@ -56,7 +47,7 @@ impl Simulation {
             mech_scratch: MechScratch::default(),
             steps_executed: 0,
             last_mech: None,
-            custom_ops: Vec::new(),
+            scheduler: Scheduler::default_pipeline(),
         }
     }
 
@@ -90,6 +81,22 @@ impl Simulation {
         self.last_mech.as_ref()
     }
 
+    /// The operation scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Mutable scheduler access (frequencies, enable/disable, mode).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Select how chunked agent loops execute (serial or rayon-parallel;
+    /// the trajectories are bitwise identical either way).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.scheduler.set_mode(mode);
+    }
+
     /// Select the neighborhood environment.
     pub fn set_environment(&mut self, env: EnvironmentKind) {
         if let EnvironmentKind::Gpu {
@@ -121,15 +128,16 @@ impl Simulation {
         self.rm.add(cell)
     }
 
-    /// Register a user-defined operation, appended to the per-step
-    /// pipeline after diffusion.
-    pub fn add_operation(&mut self, op: Box<dyn CustomOp>) {
-        self.custom_ops.push(op);
+    /// Register a user-defined operation, appended to the end of the
+    /// pipeline (after diffusion).
+    pub fn add_operation(&mut self, op: Box<dyn Operation>) {
+        self.scheduler.add(op);
     }
 
     /// Add a substance; returns its index (referenced by behaviors).
     pub fn add_diffusion_grid(&mut self, params: DiffusionParams) -> usize {
-        self.diffusion.push(DiffusionGrid::new(params, self.params.space));
+        self.diffusion
+            .push(DiffusionGrid::new(params, self.params.space));
         self.diffusion.len() - 1
     }
 
@@ -150,216 +158,35 @@ impl Simulation {
         }
     }
 
-    /// Execute one step of the operation pipeline:
-    /// behaviors → mechanical interactions → bound space → diffusion.
+    /// Execute one step: the scheduler runs every enabled, due operation
+    /// in pipeline order (default: behaviors → mechanical interactions →
+    /// bound space → diffusion → user operations) and the records they
+    /// emit become this step's profile.
     pub fn step(&mut self) {
-        let mut profile = StepProfile::default();
-
-        // --- Behaviors (growth/division, chemotaxis, secretion) ---
-        let t = Instant::now();
-        let (behaviors_run, divisions) = self.run_behaviors();
-        profile.records.push(OpRecord {
-            name: "behaviors".into(),
-            wall_s: t.elapsed().as_secs_f64(),
-            phases: vec![Phase::parallel_fp64(
-                "behaviors",
-                20.0 * behaviors_run as f64 + 60.0 * divisions as f64,
-                64.0 * behaviors_run as f64,
-                divisions as f64,
-            )],
-            gpu: None,
-        });
-
-        // --- Mechanical interactions (environment-dependent) ---
-        let t = Instant::now();
-        let work = mech::mechanical_step_with_scratch(
-            &mut self.rm,
-            &self.params,
-            &self.env,
-            self.pipeline.as_ref(),
-            &mut self.mech_scratch,
-        );
-        let wall = t.elapsed().as_secs_f64();
-        // Record the three sub-phases under names matching Fig. 3.
-        if work.gpu.is_some() {
-            profile.records.push(OpRecord {
-                name: "mechanical interactions (GPU)".into(),
-                wall_s: wall,
-                phases: Vec::new(),
-                gpu: work.gpu.clone(),
-            });
-        } else {
-            for (k, phase) in work.phases.iter().enumerate() {
-                profile.records.push(OpRecord {
-                    name: phase.name.into(),
-                    wall_s: work.wall_s[k],
-                    phases: vec![*phase],
-                    gpu: None,
-                });
-            }
-        }
-        self.last_mech = Some(work);
-
-        // --- Bound space ---
-        let t = Instant::now();
-        let clamped = self.bound_space();
-        profile.records.push(OpRecord {
-            name: "bound space".into(),
-            wall_s: t.elapsed().as_secs_f64(),
-            phases: vec![Phase::parallel_fp64(
-                "bound space",
-                6.0 * self.rm.len() as f64,
-                48.0 * self.rm.len() as f64,
-                clamped as f64,
-            )],
-            gpu: None,
-        });
-
-        // --- Diffusion ---
-        if !self.diffusion.is_empty() {
-            let t = Instant::now();
-            let mut voxels = 0u64;
-            let dt = self.params.mech.timestep;
-            for g in &mut self.diffusion {
-                voxels += g.step(dt);
-            }
-            profile.records.push(OpRecord {
-                name: "diffusion".into(),
-                wall_s: t.elapsed().as_secs_f64(),
-                phases: vec![Phase::parallel_fp64(
-                    "diffusion",
-                    10.0 * voxels as f64,
-                    16.0 * voxels as f64,
-                    0.0,
-                )],
-                gpu: None,
-            });
-        }
-
-        // --- Custom operations ---
-        for op in &mut self.custom_ops {
-            let t = Instant::now();
-            op.run(self.steps_executed, &mut self.rm, &mut self.diffusion);
-            profile.records.push(OpRecord {
-                name: op.name().to_string(),
-                wall_s: t.elapsed().as_secs_f64(),
-                phases: Vec::new(),
-                gpu: None,
-            });
-        }
-
+        let mut ctx = OpContext {
+            step: self.steps_executed,
+            params: &self.params,
+            env: &self.env,
+            rm: &mut self.rm,
+            substances: &mut self.diffusion,
+            parallel: false,
+            pipeline: self.pipeline.as_ref(),
+            mech_scratch: &mut self.mech_scratch,
+            last_mech: &mut self.last_mech,
+        };
+        let profile = self.scheduler.execute(&mut ctx);
         self.profiler.push(profile);
         self.steps_executed += 1;
-    }
-
-    /// Execute every agent's behaviors; returns (behaviors run,
-    /// divisions performed).
-    fn run_behaviors(&mut self) -> (u64, u64) {
-        let n0 = self.rm.len();
-        let mut behaviors_run = 0u64;
-        let mut divisions = 0u64;
-        let mut deaths: Vec<usize> = Vec::new();
-        let step = self.steps_executed;
-        for i in 0..n0 {
-            // Copy the behavior list (usually ≤ 2 entries) so the borrow
-            // of `rm` can be released for the mutations below.
-            let behaviors: Vec<Behavior> = self.rm.behaviors(i).to_vec();
-            for b in behaviors {
-                behaviors_run += 1;
-                match b {
-                    Behavior::GrowthDivision {
-                        growth_rate,
-                        division_threshold,
-                    } => {
-                        let d = self.rm.diameter(i);
-                        let vol = volume_of(d) + growth_rate;
-                        let new_d = diameter_of(vol);
-                        if new_d >= division_threshold {
-                            divisions += 1;
-                            self.divide(i, vol, step);
-                        } else {
-                            self.rm.set_diameter(i, new_d);
-                        }
-                    }
-                    Behavior::Chemotaxis { substance, speed } => {
-                        let p = self.rm.position(i);
-                        let grad = self.diffusion[substance].gradient_at(p);
-                        if let Some(dir) = grad.try_normalized(1e-12) {
-                            self.rm.translate(i, dir * speed);
-                        }
-                    }
-                    Behavior::Secretion { substance, rate } => {
-                        let p = self.rm.position(i);
-                        self.diffusion[substance].secrete(p, rate);
-                    }
-                    Behavior::Apoptosis { probability } => {
-                        let uid = self.rm.uid(i);
-                        let mut rng =
-                            SplitMix64::for_stream(self.params.seed ^ (step << 32) ^ 0xDEAD, uid);
-                        if rng.next_f64() < probability {
-                            deaths.push(i);
-                        }
-                    }
-                }
-            }
-        }
-        // Apply deaths after the loop, highest index first, so earlier
-        // swap-removes cannot move an agent that is still scheduled to
-        // die (swap_remove moves the *last* agent into the hole).
-        deaths.sort_unstable();
-        deaths.dedup();
-        for &i in deaths.iter().rev() {
-            self.rm.remove(i);
-        }
-        (behaviors_run, divisions)
-    }
-
-    /// Split mother `i` (with grown volume `vol`) into two equal
-    /// daughters. The division axis is deterministic per (seed, uid,
-    /// step) so every environment reproduces the same trajectory.
-    fn divide(&mut self, i: usize, vol: f64, step: u64) {
-        let half = vol / 2.0;
-        let new_d = diameter_of(half);
-        let mother_pos = self.rm.position(i);
-        let uid = self.rm.uid(i);
-        let mut rng = SplitMix64::for_stream(self.params.seed ^ (step << 32), uid);
-        // Random unit axis via normalized Gaussian triple.
-        let dir = Vec3::new(rng.normal(), rng.normal(), rng.normal())
-            .try_normalized(1e-12)
-            .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
-        let offset = dir * (new_d * 0.5);
-        self.rm.set_diameter(i, new_d);
-        self.rm.set_position(i, mother_pos - offset);
-        let daughter = CellBuilder {
-            position: mother_pos + offset,
-            diameter: new_d,
-            adherence: self.rm.adherence(i),
-            behaviors: self.rm.behaviors(i).to_vec(),
-        };
-        self.rm.add(daughter);
-    }
-
-    /// Clamp every agent into the simulation space; returns how many
-    /// needed clamping.
-    fn bound_space(&mut self) -> u64 {
-        let space = self.params.space;
-        let mut clamped = 0u64;
-        for i in 0..self.rm.len() {
-            let p = self.rm.position(i);
-            let q = space.clamp_point(p);
-            if q != p {
-                self.rm.set_position(i, q);
-                clamped += 1;
-            }
-        }
-        clamped
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::behavior::{volume_of, Behavior};
     use crate::diffusion::BoundaryCondition;
+    use crate::profiler::OpRecord;
+    use bdm_math::Vec3;
 
     fn growth_cell(pos: Vec3<f64>) -> CellBuilder {
         CellBuilder::new(pos)
@@ -440,7 +267,8 @@ mod tests {
             boundary: BoundaryCondition::Closed,
         });
         // Source on the +x side; cell starts at the center.
-        sim.diffusion_grid_mut(s).secrete(Vec3::new(8.0, 0.0, 0.0), 1000.0);
+        sim.diffusion_grid_mut(s)
+            .secrete(Vec3::new(8.0, 0.0, 0.0), 1000.0);
         for _ in 0..30 {
             sim.diffusion_grid_mut(s).step(0.4);
         }
@@ -455,7 +283,10 @@ mod tests {
         let x0 = sim.rm().position(0).x;
         sim.simulate(10);
         let x1 = sim.rm().position(0).x;
-        assert!(x1 > x0 + 0.5, "cell should move toward the source: {x0} → {x1}");
+        assert!(
+            x1 > x0 + 0.5,
+            "cell should move toward the source: {x0} → {x1}"
+        );
     }
 
     #[test]
@@ -485,17 +316,21 @@ mod tests {
         struct Tagger {
             runs: std::sync::Arc<std::sync::atomic::AtomicU64>,
         }
-        impl CustomOp for Tagger {
+        impl Operation for Tagger {
             fn name(&self) -> &str {
                 "tagger"
             }
-            fn run(&mut self, step: u64, rm: &mut ResourceManager, _s: &mut [DiffusionGrid]) {
+            fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
                 self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 // Mutating access works: nudge agent 0 each step.
-                if !rm.is_empty() {
-                    rm.translate(0, Vec3::new(0.1, 0.0, 0.0));
+                if !ctx.rm.is_empty() {
+                    ctx.rm.translate(0, Vec3::new(0.1, 0.0, 0.0));
                 }
-                assert_eq!(step + 1, self.runs.load(std::sync::atomic::Ordering::Relaxed));
+                assert_eq!(
+                    ctx.step + 1,
+                    self.runs.load(std::sync::atomic::Ordering::Relaxed)
+                );
+                vec![crate::operation::wall_record(self.name(), 0.0)]
             }
         }
         let runs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -511,6 +346,101 @@ mod tests {
             .map(|r| r.name.as_str())
             .collect();
         assert!(names.contains(&"tagger"));
+    }
+
+    #[test]
+    fn operations_can_be_disabled_and_rescheduled() {
+        let mut sim = Simulation::new(SimParams::cube(100.0));
+        sim.add_cell(growth_cell(Vec3::zero()));
+        assert!(sim.scheduler_mut().set_enabled("behaviors", false));
+        sim.simulate(3);
+        assert_eq!(sim.rm().len(), 1, "no divisions while behaviors is off");
+        assert!(sim
+            .profiler()
+            .steps()
+            .iter()
+            .all(|s| s.records.iter().all(|r| r.name != "behaviors")));
+        assert!(sim.scheduler_mut().set_enabled("behaviors", true));
+        sim.simulate(1);
+        assert_eq!(sim.rm().len(), 2, "division once re-enabled");
+        assert!(!sim.scheduler_mut().set_enabled("no such op", true));
+    }
+
+    #[test]
+    fn operation_frequency_skips_steps() {
+        struct Counter {
+            runs: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl Operation for Counter {
+            fn name(&self) -> &str {
+                "counter"
+            }
+            fn run(&mut self, _ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+                self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        sim.add_operation(Box::new(Counter { runs: runs.clone() }));
+        assert!(sim.scheduler_mut().set_frequency("counter", 2));
+        sim.simulate(10);
+        // Due on steps 0, 2, 4, 6, 8.
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 5);
+        let stats = sim.scheduler().stats();
+        let counter = stats.iter().find(|s| s.name == "counter").unwrap();
+        assert_eq!(counter.runs, 5);
+        assert_eq!(counter.frequency, 2);
+        let behaviors = stats.iter().find(|s| s.name == "behaviors").unwrap();
+        assert_eq!(behaviors.runs, 10);
+    }
+
+    /// The same agent dividing *and* dying in one step: the daughter is
+    /// appended first, then the mother's death swap-removes across the
+    /// grown population — under both execution modes, identically.
+    #[test]
+    fn same_step_division_and_apoptosis_interplay() {
+        let build = |mode: ExecMode| {
+            let mut sim = Simulation::new(SimParams::cube(200.0).with_seed(5));
+            sim.set_exec_mode(mode);
+            for i in 0..20 {
+                sim.add_cell(
+                    CellBuilder::new(Vec3::new(i as f64 * 8.0 - 76.0, 0.0, 0.0))
+                        .diameter(10.0)
+                        .adherence(0.4)
+                        .behavior(Behavior::GrowthDivision {
+                            growth_rate: 100.0,
+                            division_threshold: 10.5,
+                        })
+                        .behavior(Behavior::Apoptosis { probability: 1.0 }),
+                );
+            }
+            sim.simulate(1);
+            sim
+        };
+        let serial = build(ExecMode::Serial);
+        // Every mother divided (+20 daughters) and then died (−20):
+        // only the daughters remain, carrying fresh uids ≥ 20.
+        assert_eq!(serial.rm().len(), 20);
+        assert!((0..20).all(|i| serial.rm().uid(i) >= 20));
+        // Daughters inherit both behaviors, so they all die at step 2.
+        let mut serial = serial;
+        serial.simulate(1);
+        assert_eq!(serial.rm().len(), 0, "daughters also divide then die");
+
+        let parallel = build(ExecMode::Parallel);
+        assert_eq!(parallel.rm().len(), 20);
+        let serial2 = build(ExecMode::Serial);
+        let state = |sim: &Simulation| {
+            (0..sim.rm().len())
+                .map(|i| (sim.rm().uid(i), sim.rm().position(i), sim.rm().diameter(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            state(&serial2),
+            state(&parallel),
+            "serial and parallel scheduling must agree bitwise"
+        );
     }
 
     #[test]

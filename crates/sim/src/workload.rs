@@ -132,10 +132,7 @@ mod tests {
             let mut sim = benchmark_b(4000, target, 3);
             sim.set_environment(EnvironmentKind::uniform_grid_parallel());
             sim.simulate(1);
-            let measured = sim
-                .last_mech_work()
-                .unwrap()
-                .mean_density(sim.rm().len());
+            let measured = sim.last_mech_work().unwrap().mean_density(sim.rm().len());
             let rel = measured / target;
             // Boundary effects depress the measured mean slightly.
             assert!(

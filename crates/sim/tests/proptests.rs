@@ -1,11 +1,11 @@
 //! Property-based tests of the platform's physical invariants.
 
+use bdm_math::{Aabb, Vec3};
 use bdm_sim::behavior::{volume_of, Behavior};
 use bdm_sim::cell::CellBuilder;
 use bdm_sim::diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
 use bdm_sim::param::SimParams;
 use bdm_sim::simulation::Simulation;
-use bdm_math::{Aabb, Vec3};
 use proptest::prelude::*;
 
 proptest! {

@@ -24,7 +24,7 @@ pub mod vec3col;
 
 pub use column::Column;
 pub use perm::Permutation;
-pub use vec3col::SoaVec3;
+pub use vec3col::{SoaVec3, Vec3ChunkMut};
 
 /// Index of an agent inside the resource manager's SoA columns.
 ///

@@ -106,7 +106,10 @@ impl Permutation {
                 .map(|&g| data[g as usize].clone())
                 .collect()
         } else {
-            self.gather.iter().map(|&g| data[g as usize].clone()).collect()
+            self.gather
+                .iter()
+                .map(|&g| data[g as usize].clone())
+                .collect()
         }
     }
 

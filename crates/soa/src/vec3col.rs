@@ -97,7 +97,11 @@ impl<R: Scalar> SoaVec3<R> {
 
     /// O(1) removal by swapping in the last agent.
     pub fn swap_remove(&mut self, i: usize) -> Vec3<R> {
-        Vec3::new(self.x.swap_remove(i), self.y.swap_remove(i), self.z.swap_remove(i))
+        Vec3::new(
+            self.x.swap_remove(i),
+            self.y.swap_remove(i),
+            self.z.swap_remove(i),
+        )
     }
 
     /// Component slices `(x, y, z)` — the exact buffers a device transfer
@@ -141,9 +145,65 @@ impl<R: Scalar> SoaVec3<R> {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// Disjoint mutable views over consecutive `size`-agent chunks of all
+    /// three component columns — the substrate for embarrassingly parallel
+    /// per-agent writes (each rayon task owns one chunk, no two tasks
+    /// alias). The fixed chunk size keeps the partition independent of
+    /// the worker count, so chunk-ordered merges are deterministic.
+    pub fn chunks_mut(&mut self, size: usize) -> impl Iterator<Item = Vec3ChunkMut<'_, R>> {
+        self.x
+            .chunks_mut(size)
+            .zip(self.y.chunks_mut(size))
+            .zip(self.z.chunks_mut(size))
+            .map(|((x, y), z)| Vec3ChunkMut { x, y, z })
+    }
+
     /// Total bytes of the three columns (transfer-size accounting).
     pub fn bytes(&self) -> usize {
         3 * self.len() * R::BYTES
+    }
+}
+
+/// A disjoint mutable window over one chunk of a [`SoaVec3`]: the same
+/// agent range of the `x`, `y`, and `z` columns. Produced by
+/// [`SoaVec3::chunks_mut`]; indices are chunk-local.
+pub struct Vec3ChunkMut<'a, R> {
+    x: &'a mut [R],
+    y: &'a mut [R],
+    z: &'a mut [R],
+}
+
+impl<R: Scalar> Vec3ChunkMut<'_, R> {
+    /// Agents in this chunk.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Gather local agent `k`'s vector.
+    #[inline(always)]
+    pub fn get(&self, k: usize) -> Vec3<R> {
+        Vec3::new(self.x[k], self.y[k], self.z[k])
+    }
+
+    /// Scatter a vector into local agent `k`'s slots.
+    #[inline(always)]
+    pub fn set(&mut self, k: usize, v: Vec3<R>) {
+        self.x[k] = v.x;
+        self.y[k] = v.y;
+        self.z[k] = v.z;
+    }
+
+    /// Add `delta` to local agent `k`'s vector.
+    #[inline(always)]
+    pub fn add_assign(&mut self, k: usize, delta: Vec3<R>) {
+        self.x[k] += delta.x;
+        self.y[k] += delta.y;
+        self.z[k] += delta.z;
     }
 }
 
@@ -217,6 +277,25 @@ mod tests {
         assert_eq!(s.bytes(), 3 * 3 * 8);
         let f: SoaVec3<f32> = SoaVec3::filled(Vec3::zero(), 10);
         assert_eq!(f.bytes(), 3 * 10 * 4);
+    }
+
+    #[test]
+    fn chunks_mut_partition_and_write_back() {
+        let mut s: SoaVec3<f64> = SoaVec3::filled(Vec3::zero(), 10);
+        let chunks: Vec<_> = s.chunks_mut(4).collect();
+        assert_eq!(chunks.len(), 3, "10 agents in chunks of 4 → 4+4+2");
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        for (c, mut chunk) in chunks.into_iter().enumerate() {
+            for k in 0..chunk.len() {
+                chunk.set(k, Vec3::splat((c * 4 + k) as f64));
+                chunk.add_assign(k, Vec3::new(0.5, 0.0, 0.0));
+            }
+        }
+        // Writes through the chunk views land in the parent columns.
+        for i in 0..10 {
+            assert_eq!(s.get(i), Vec3::new(i as f64 + 0.5, i as f64, i as f64));
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the SoA substrate.
 
-use bdm_soa::{Column, Permutation, SoaVec3};
 use bdm_math::Vec3;
+use bdm_soa::{Column, Permutation, SoaVec3};
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

@@ -46,5 +46,8 @@ fn main() {
 }
 
 fn mean_diameter(sim: &Simulation) -> f64 {
-    (0..sim.rm().len()).map(|i| sim.rm().diameter(i)).sum::<f64>() / sim.rm().len() as f64
+    (0..sim.rm().len())
+        .map(|i| sim.rm().diameter(i))
+        .sum::<f64>()
+        / sim.rm().len() as f64
 }

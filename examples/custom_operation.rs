@@ -11,8 +11,8 @@
 //! ```
 
 use biodynamo::prelude::*;
-use biodynamo::sim::diffusion::DiffusionGrid;
-use biodynamo::sim::rm::ResourceManager;
+use biodynamo::sim::operation::wall_record;
+use std::time::Instant;
 
 const OXYGEN: usize = 0;
 
@@ -24,13 +24,15 @@ struct Starvation {
     deaths_total: u64,
 }
 
-impl CustomOp for Starvation {
+impl Operation for Starvation {
     fn name(&self) -> &str {
         "starvation"
     }
 
-    fn run(&mut self, _step: u64, rm: &mut ResourceManager, substances: &mut [DiffusionGrid]) {
-        let oxygen = &mut substances[OXYGEN];
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        let t = Instant::now();
+        let rm = &mut *ctx.rm;
+        let oxygen = &mut ctx.substances[OXYGEN];
         // Consume, then collect the starving (reverse order keeps
         // swap-remove indices valid).
         let mut dead = Vec::new();
@@ -46,6 +48,7 @@ impl CustomOp for Starvation {
             rm.remove(i);
         }
         self.deaths_total += dead.len() as u64;
+        vec![wall_record(self.name(), t.elapsed().as_secs_f64())]
     }
 }
 
@@ -74,17 +77,13 @@ fn main() {
         for z in -3..=3 {
             for x in -3..=3 {
                 sim.add_cell(
-                    CellBuilder::new(Vec3::new(
-                        x as f64 * 8.0,
-                        y as f64 * 8.0,
-                        z as f64 * 8.0,
-                    ))
-                    .diameter(8.0)
-                    .adherence(0.3)
-                    .behavior(Behavior::GrowthDivision {
-                        growth_rate: 30.0,
-                        division_threshold: 9.0,
-                    }),
+                    CellBuilder::new(Vec3::new(x as f64 * 8.0, y as f64 * 8.0, z as f64 * 8.0))
+                        .diameter(8.0)
+                        .adherence(0.3)
+                        .behavior(Behavior::GrowthDivision {
+                            growth_rate: 30.0,
+                            division_threshold: 9.0,
+                        }),
                 );
             }
         }

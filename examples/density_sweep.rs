@@ -18,9 +18,7 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(50_000);
-    println!(
-        "density sweep: {agents} frozen agents per point (paper: 2,000,000)\n"
-    );
+    println!("density sweep: {agents} frozen agents per point (paper: 2,000,000)\n");
     println!(
         "{:>8} {:>10} {:>16} {:>14} {:>18}",
         "target n", "measured", "candidates/agent", "CPU wall (ms)", "GPU modeled (ms)"

@@ -32,12 +32,8 @@ fn main() {
         "kernel (CUDA / System A)", "h2d", "kernel", "d2h", "DRAM MB", "L2 hit", "AI"
     );
     for version in KernelVersion::ALL {
-        let pipeline = MechanicalPipeline::new(
-            bdm_device::specs::SYSTEM_A,
-            ApiFrontend::Cuda,
-            version,
-            4,
-        );
+        let pipeline =
+            MechanicalPipeline::new(bdm_device::specs::SYSTEM_A, ApiFrontend::Cuda, version, 4);
         let (disp, report) = pipeline.step(&scene, &params);
         let moved = disp.iter().filter(|d| **d != Vec3::zero()).count();
         let c = &report.mech_counters;

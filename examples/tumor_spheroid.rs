@@ -85,16 +85,27 @@ fn main() {
     for epoch in 0..8 {
         // Boundary oxygen supply.
         for s in [-55.0, 55.0] {
-            sim.diffusion_grid_mut(OXYGEN).secrete(Vec3::new(s, 0.0, 0.0), 50.0);
+            sim.diffusion_grid_mut(OXYGEN)
+                .secrete(Vec3::new(s, 0.0, 0.0), 50.0);
         }
         series.run_and_record(&mut sim, 5, 2);
         let n = sim.rm().len();
         let tumor_radius = (0..n)
-            .filter(|&i| !sim.rm().behaviors(i).iter().any(|b| matches!(b, Behavior::Chemotaxis { .. })))
+            .filter(|&i| {
+                !sim.rm()
+                    .behaviors(i)
+                    .iter()
+                    .any(|b| matches!(b, Behavior::Chemotaxis { .. }))
+            })
             .map(|i| sim.rm().position(i).norm())
             .fold(0.0f64, f64::max);
         let closest_immune = (0..n)
-            .filter(|&i| sim.rm().behaviors(i).iter().any(|b| matches!(b, Behavior::Chemotaxis { .. })))
+            .filter(|&i| {
+                sim.rm()
+                    .behaviors(i)
+                    .iter()
+                    .any(|b| matches!(b, Behavior::Chemotaxis { .. }))
+            })
             .map(|i| sim.rm().position(i).norm())
             .fold(f64::INFINITY, f64::min);
         println!(
@@ -118,6 +129,9 @@ fn main() {
         Snapshot::capture(&sim)
             .write_csv(std::io::BufWriter::new(snap))
             .unwrap();
-        println!("wrote timeseries.csv and final_snapshot.csv to {}", dir.display());
+        println!(
+            "wrote timeseries.csv and final_snapshot.csv to {}",
+            dir.display()
+        );
     }
 }

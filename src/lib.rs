@@ -51,8 +51,8 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use bdm_device as device;
-pub use bdm_grid as grid;
 pub use bdm_gpu as gpu;
+pub use bdm_grid as grid;
 pub use bdm_kdtree as kdtree;
 pub use bdm_math as math;
 pub use bdm_morton as morton;
@@ -70,10 +70,13 @@ pub mod prelude {
     pub use bdm_sim::cell::CellBuilder;
     pub use bdm_sim::diffusion::{BoundaryCondition, DiffusionParams};
     pub use bdm_sim::environment::{EnvironmentKind, GpuSystem};
-    pub use bdm_sim::param::SimParams;
     pub use bdm_sim::io::Snapshot;
+    pub use bdm_sim::operation::{OpContext, Operation};
+    pub use bdm_sim::param::SimParams;
+    pub use bdm_sim::profiler::OpRecord;
+    pub use bdm_sim::scheduler::{ExecMode, Scheduler};
+    pub use bdm_sim::simulation::Simulation;
     pub use bdm_sim::timeseries::TimeSeries;
-    pub use bdm_sim::simulation::{CustomOp, Simulation};
 }
 
 #[cfg(test)]

@@ -51,8 +51,12 @@ fn benchmark_a_profile_is_mechanics_dominated() {
     let mech: f64 = per_op
         .iter()
         .filter(|(name, _)| {
-            ["neighborhood build", "neighborhood search", "mechanical forces"]
-                .contains(&name.as_str())
+            [
+                "neighborhood build",
+                "neighborhood search",
+                "mechanical forces",
+            ]
+            .contains(&name.as_str())
         })
         .map(|(_, t)| t)
         .sum();
@@ -69,10 +73,7 @@ fn benchmark_b_realizes_the_density_sweep() {
         let mut sim = benchmark_b(6_000, target, 21);
         sim.set_environment(EnvironmentKind::uniform_grid_parallel());
         sim.simulate(1);
-        let measured = sim
-            .last_mech_work()
-            .unwrap()
-            .mean_density(sim.rm().len());
+        let measured = sim.last_mech_work().unwrap().mean_density(sim.rm().len());
         let rel = measured / target;
         assert!(
             (0.65..=1.2).contains(&rel),

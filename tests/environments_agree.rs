@@ -8,8 +8,8 @@
 //! (§VI). FP64 paths must agree to summation-order tolerance; FP32 GPU
 //! paths to single-precision tolerance.
 
-use biodynamo::prelude::*;
 use biodynamo::math::SplitMix64;
+use biodynamo::prelude::*;
 
 fn random_scene(n: usize, seed: u64) -> Simulation {
     let mut sim = Simulation::new(SimParams::cube(25.0).with_seed(seed));

@@ -5,8 +5,8 @@
 //! FP64 (GPU v0) and FP32 (GPU I) and bound the drift in the quantities
 //! a biologist would read off the simulation.
 
-use biodynamo::prelude::*;
 use biodynamo::math::SplitMix64;
+use biodynamo::prelude::*;
 
 fn run_precision(fp32: bool, steps: u64) -> Simulation {
     let mut sim = Simulation::new(SimParams::cube(30.0).with_seed(13));
@@ -65,10 +65,7 @@ fn fp32_preserves_aggregate_observables() {
             .sqrt()
     };
     let (sa, sb) = (spread(&a), spread(&b));
-    assert!(
-        (sa - sb).abs() / sa < 1e-4,
-        "spread {sa} vs {sb}"
-    );
+    assert!((sa - sb).abs() / sa < 1e-4, "spread {sa} vs {sb}");
 }
 
 #[test]

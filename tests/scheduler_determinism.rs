@@ -1,0 +1,122 @@
+//! The scheduler's parallel execution mode is *deterministic*: chunked
+//! agent loops run one rayon task per fixed-size chunk, buffer births /
+//! deaths / secretions in per-chunk execution contexts, and merge the
+//! contexts in chunk order. The trajectory must therefore be bitwise
+//! identical to serial scheduling — not merely tolerance-equal — for
+//! every neighborhood environment, including the simulated-GPU offload.
+//!
+//! Property-based: random mixed-behavior scenes (growth/division,
+//! apoptosis, chemotaxis, secretion, any combination per agent) over a
+//! shared substance field, stepped under both execution modes across
+//! all six environment kinds.
+
+use biodynamo::prelude::*;
+use proptest::prelude::*;
+
+const SUBSTANCE: usize = 0;
+
+fn environments() -> Vec<EnvironmentKind> {
+    vec![
+        EnvironmentKind::KdTree,
+        EnvironmentKind::uniform_grid_serial(),
+        EnvironmentKind::uniform_grid_parallel(),
+        EnvironmentKind::uniform_grid_csr_serial(),
+        EnvironmentKind::uniform_grid_csr_parallel(),
+        EnvironmentKind::gpu_default(),
+    ]
+}
+
+/// Attach behaviors according to the low four selector bits, so the
+/// generator covers every subset — including agents that divide *and*
+/// may die in the same step.
+fn behaviors_for(sel: u8) -> Vec<Behavior> {
+    let mut b = Vec::new();
+    if sel & 1 != 0 {
+        b.push(Behavior::GrowthDivision {
+            growth_rate: 80.0,
+            division_threshold: 10.2,
+        });
+    }
+    if sel & 2 != 0 {
+        b.push(Behavior::Apoptosis { probability: 0.25 });
+    }
+    if sel & 4 != 0 {
+        b.push(Behavior::Chemotaxis {
+            substance: SUBSTANCE,
+            speed: 0.5,
+        });
+    }
+    if sel & 8 != 0 {
+        b.push(Behavior::Secretion {
+            substance: SUBSTANCE,
+            rate: 1.5,
+        });
+    }
+    b
+}
+
+type AgentSpec = (f64, f64, f64, u8);
+
+fn trajectory(
+    agents: &[AgentSpec],
+    seed: u64,
+    env: EnvironmentKind,
+    mode: ExecMode,
+    steps: u64,
+) -> Vec<(u64, Vec3<f64>, f64)> {
+    let mut sim = Simulation::new(SimParams::cube(30.0).with_seed(seed));
+    sim.set_environment(env);
+    sim.set_exec_mode(mode);
+    let s = sim.add_diffusion_grid(DiffusionParams {
+        name: "signal",
+        coefficient: 0.05,
+        decay: 0.0,
+        resolution: 8,
+        boundary: BoundaryCondition::Closed,
+    });
+    assert_eq!(s, SUBSTANCE);
+    // Off-center source so chemotaxis has a non-trivial gradient from
+    // the first step.
+    sim.diffusion_grid_mut(SUBSTANCE)
+        .secrete(Vec3::new(20.0, 10.0, -5.0), 500.0);
+    for &(x, y, z, sel) in agents {
+        let mut cell = CellBuilder::new(Vec3::new(x, y, z))
+            .diameter(9.8)
+            .adherence(0.05);
+        for b in behaviors_for(sel) {
+            cell = cell.behavior(b);
+        }
+        sim.add_cell(cell);
+    }
+    sim.simulate(steps);
+    (0..sim.rm().len())
+        .map(|i| (sim.rm().uid(i), sim.rm().position(i), sim.rm().diameter(i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_scheduling_matches_serial_bitwise_in_every_environment(
+        agents in proptest::collection::vec(
+            (-25.0f64..25.0, -25.0f64..25.0, -25.0f64..25.0, 0u8..16),
+            20..100,
+        ),
+        steps in 2u64..4,
+        seed in 0u64..1_000,
+    ) {
+        for env in environments() {
+            let serial = trajectory(&agents, seed, env, ExecMode::Serial, steps);
+            let parallel = trajectory(&agents, seed, env, ExecMode::Parallel, steps);
+            // Exact equality on (uid, position, diameter) tuples: bitwise
+            // FP64 identity, no tolerance.
+            prop_assert_eq!(
+                serial,
+                parallel,
+                "serial vs parallel diverged in {:?}",
+                env
+            );
+        }
+    }
+}
