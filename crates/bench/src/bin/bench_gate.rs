@@ -1,0 +1,82 @@
+//! The performance-regression gate: compare freshly emitted
+//! `BENCH_*.json` documents against the committed baselines.
+//!
+//! Usage: `bench_gate --baseline=DIR --fresh=DIR [--tol=0.1]`
+//!
+//! Every `BENCH_*.json` under the baseline directory must have a fresh
+//! counterpart; each gated metric is compared under a symmetric relative
+//! tolerance (the sample's own `tol` when present, the `--tol` default
+//! otherwise). Exits non-zero on any regression, missing metric, or
+//! missing document. See `scripts/bench_gate.sh` for the CI wiring.
+
+use bdm_bench::emit;
+use std::path::PathBuf;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(&format!("--{key}=")))
+        .map(String::from)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline = PathBuf::from(arg_value(&args, "baseline").unwrap_or_else(|| "results".into()));
+    let fresh = PathBuf::from(
+        arg_value(&args, "fresh").expect("usage: bench_gate --baseline=DIR --fresh=DIR [--tol=T]"),
+    );
+    let tol: f64 = arg_value(&args, "tol")
+        .map(|t| t.parse().expect("--tol must be a number"))
+        .unwrap_or(emit::DEFAULT_TOL);
+
+    let mut names: Vec<String> = std::fs::read_dir(&baseline)
+        .unwrap_or_else(|e| panic!("baseline dir {}: {e}", baseline.display()))
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "no BENCH_*.json baselines under {}",
+        baseline.display()
+    );
+
+    let mut failed = false;
+    for name in &names {
+        let base = match emit::read_doc(&baseline.join(name)) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("{name}: unreadable baseline: {e}\n  GATE FAILED");
+                failed = true;
+                continue;
+            }
+        };
+        let fresh_path = fresh.join(name);
+        if !fresh_path.exists() {
+            println!(
+                "{name}: no fresh run at {}\n  GATE FAILED",
+                fresh_path.display()
+            );
+            failed = true;
+            continue;
+        }
+        match emit::read_doc(&fresh_path) {
+            Ok(f) => {
+                let report = bdm_metrics::compare(&base, &f, tol);
+                print!("{}", report.render(name));
+                failed |= !report.passed();
+            }
+            Err(e) => {
+                println!("{name}: unreadable fresh document: {e}\n  GATE FAILED");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "bench gate passed ({} documents, default tol {tol})",
+        names.len()
+    );
+}

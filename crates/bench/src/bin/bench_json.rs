@@ -1,0 +1,32 @@
+//! Emit the stable `BENCH_*.json` observability documents: per-op
+//! scheduler statistics, mechanical phase timings and work counters, and
+//! GPU pipeline timing/transfer breakdowns.
+//!
+//! Usage: `bench_json [--out=DIR]` (default `results/`). Scale comes
+//! from `BDM_BENCH_SCALE=smoke|default|paper` (or `BDM_PAPER_SCALE=1`);
+//! `scripts/bench_gate.sh` runs the smoke scale and diffs the output
+//! against the committed baselines.
+
+use bdm_bench::{emit, BenchScale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let scale = BenchScale::from_env();
+    println!(
+        "emitting BENCH_*.json at scale '{}' ({}^3 cells, {} steps) into {}",
+        scale.label(),
+        scale.a_cells_per_dim,
+        scale.a_steps,
+        out.display()
+    );
+    for doc in [emit::sim_doc(&scale), emit::gpu_doc(&scale)] {
+        let path = emit::write_doc(&doc, &out).expect("write BENCH document");
+        println!("  wrote {} ({} metrics)", path.display(), doc.metrics.len());
+    }
+}

@@ -4,10 +4,14 @@
 //! Prints one table of raw substrate costs (build + 1k radius queries on
 //! a uniform cloud) and one of full mechanical-step times on the
 //! benchmark-A scene, per environment. Median of five repetitions.
+//! `--json[=DIR]` additionally serializes the medians as
+//! `BENCH_layouts.json` — all host wall clocks, so every sample is
+//! emitted ungated (context, not gate input).
 
-use bdm_bench::BenchScale;
+use bdm_bench::{emit, BenchScale};
 use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_math::{Aabb, SplitMix64, Vec3};
+use bdm_metrics::MetricsRegistry;
 use bdm_sim::workload::benchmark_a;
 use bdm_sim::{EnvironmentKind, ExecMode};
 use bdm_soa::AgentId;
@@ -36,7 +40,15 @@ fn cloud(n: usize, extent: f64, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     (xs, ys, zs)
 }
 
-fn substrate_table(n: usize) {
+fn substrate_table(n: usize, reg: &mut MetricsRegistry) {
+    let nn = n.to_string();
+    let mut record = |layout: &str, field: &str, ms: f64| {
+        reg.set_gauge(
+            &format!("layouts.substrate_{field}_wall_ms"),
+            &[("layout", layout), ("n", &nn)],
+            ms,
+        );
+    };
     // ~2 agents per voxel at radius 4 — the benchmark regime.
     let extent = (n as f64 / 2.0).cbrt() * 4.0;
     let radius = 4.0;
@@ -64,10 +76,13 @@ fn substrate_table(n: usize) {
         black_box(UniformGrid::build_serial(&xs, &ys, &zs, space, radius));
     });
     println!("{:<22} {:>10.3} {:>10.3}", "linked-list serial", lb, lq);
+    record("linked-list serial", "build", lb);
+    record("linked-list serial", "query", lq);
     let lbp = median_ms(|| {
         black_box(UniformGrid::build_parallel(&xs, &ys, &zs, space, radius));
     });
     println!("{:<22} {:>10.3} {:>10}", "linked-list parallel", lbp, "-");
+    record("linked-list parallel", "build", lbp);
 
     let csr = CsrGrid::build_serial(&xs, &ys, &zs, space, radius);
     let cq = query_ms(&|q, out| {
@@ -77,10 +92,13 @@ fn substrate_table(n: usize) {
         black_box(CsrGrid::build_serial(&xs, &ys, &zs, space, radius));
     });
     println!("{:<22} {:>10.3} {:>10.3}", "CSR serial", cb, cq);
+    record("CSR serial", "build", cb);
+    record("CSR serial", "query", cq);
     let cbp = median_ms(|| {
         black_box(CsrGrid::build_parallel(&xs, &ys, &zs, space, radius));
     });
     println!("{:<22} {:>10.3} {:>10}", "CSR parallel", cbp, "-");
+    record("CSR parallel", "build", cbp);
     let mut grid = CsrGrid::build_serial(&xs, &ys, &zs, space, radius);
     let mut scratch = CsrBuildScratch::default();
     let crb = median_ms(|| {
@@ -88,9 +106,10 @@ fn substrate_table(n: usize) {
         black_box(grid.cell_agents().len());
     });
     println!("{:<22} {:>10.3} {:>10}", "CSR rebuild (steady)", crb, "-");
+    record("CSR rebuild (steady)", "build", crb);
 }
 
-fn step_table(cells_per_dim: usize) {
+fn step_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     let envs = [
         EnvironmentKind::uniform_grid_serial(),
         EnvironmentKind::uniform_grid_parallel(),
@@ -105,11 +124,13 @@ fn step_table(cells_per_dim: usize) {
         sim.set_environment(env);
         sim.step(); // warm caches + scratch
         let ms = median_ms(|| sim.step());
-        println!("{:<28} {:>10.3}", env.label(), ms);
+        let label = env.label();
+        println!("{:<28} {:>10.3}", label, ms);
+        reg.set_gauge("layouts.step_wall_ms", &[("env", label.as_str())], ms);
     }
 }
 
-fn behaviors_table(cells_per_dim: usize) {
+fn behaviors_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     let n = cells_per_dim * cells_per_dim * cells_per_dim;
     println!("\n== behaviors operation: benchmark A, {n} cells (growing) ==");
     println!("{:<28} {:>14}", "execution mode", "behaviors ms");
@@ -139,14 +160,27 @@ fn behaviors_table(cells_per_dim: usize) {
             .collect();
         walls.sort_by(|a, b| a.total_cmp(b));
         println!("{:<28} {:>14.3}", label, walls[REPS / 2]);
+        reg.set_gauge(
+            "layouts.behaviors_wall_ms",
+            &[("mode", label)],
+            walls[REPS / 2],
+        );
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = BenchScale::from_env();
+    let mut reg = MetricsRegistry::new();
     for n in [20_000, 100_000] {
-        substrate_table(n);
+        substrate_table(n, &mut reg);
     }
-    step_table(scale.a_cells_per_dim);
-    behaviors_table(scale.a_cells_per_dim);
+    step_table(scale.a_cells_per_dim, &mut reg);
+    behaviors_table(scale.a_cells_per_dim, &mut reg);
+    if let Some(dir) = emit::json_dir_from_args(&args) {
+        let mut doc = emit::new_doc("layouts", &scale);
+        doc.publish(&reg, emit::default_policy);
+        let path = emit::write_doc(&doc, &dir).expect("write BENCH document");
+        println!("\nwrote {} ({} metrics)", path.display(), doc.metrics.len());
+    }
 }

@@ -1,8 +1,12 @@
 //! Regenerate Fig. 3: runtime profile of the cell-division benchmark
 //! (kd-tree baseline, modeled on System A's Xeon at 20 threads).
-use bdm_bench::{fig3, BenchScale};
+//! `--json[=DIR]` additionally serializes the profile as
+//! `BENCH_fig3.json`.
+use bdm_bench::{emit, fig3, BenchScale};
+use bdm_metrics::MetricsRegistry;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = BenchScale::from_env();
     println!(
         "Fig. 3: cell-division benchmark profile ({}^3 = {} cells, {} steps)\n",
@@ -19,4 +23,20 @@ fn main() {
         r.neighborhood_share * 100.0
     );
     println!("paper reports: forces 51%, neighborhood update 36% (sum 87%)");
+
+    if let Some(dir) = emit::json_dir_from_args(&args) {
+        let mut reg = MetricsRegistry::new();
+        for row in &r.rows {
+            let labels = [("op", row.name.as_str())];
+            reg.set_gauge("fig3.modeled_s", &labels, row.modeled_s);
+            reg.set_gauge("fig3.share", &labels, row.share);
+        }
+        reg.set_gauge("fig3.mech_share", &[], r.mech_share);
+        reg.set_gauge("fig3.forces_share", &[], r.forces_share);
+        reg.set_gauge("fig3.neighborhood_share", &[], r.neighborhood_share);
+        let mut doc = emit::new_doc("fig3", &scale);
+        doc.publish(&reg, emit::default_policy);
+        let path = emit::write_doc(&doc, &dir).expect("write BENCH document");
+        println!("wrote {} ({} metrics)", path.display(), doc.metrics.len());
+    }
 }

@@ -1,8 +1,11 @@
 //! Regenerate Figs. 8 + 9: benchmark A runtimes and speedups across all
 //! implementations of the mechanical interaction operation (System A).
-use bdm_bench::{fig8, BenchScale};
+//! `--json[=DIR]` additionally serializes the rows as `BENCH_fig8.json`.
+use bdm_bench::{emit, fig8, BenchScale};
+use bdm_metrics::MetricsRegistry;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = BenchScale::from_env();
     println!(
         "Figs. 8+9: benchmark A ({}^3 = {} cells, {} steps; paper scale: 64^3)\n",
@@ -15,4 +18,23 @@ fn main() {
     println!("final population: {} cells", r.final_population);
     println!("\nexpected shape (paper §VI): serial UG ≈ 2x serial kd; 20T UG ≈ 4.3x 20T kd;");
     println!("GPU v0 ≈ 7.9x 20T kd; I ≈ 2x v0; II ≈ 2.6x I; III ≈ 1.28x slower than II");
+
+    if let Some(dir) = emit::json_dir_from_args(&args) {
+        let mut reg = MetricsRegistry::new();
+        for row in &r.rows {
+            let labels = [("impl", row.label.as_str())];
+            reg.set_gauge("fig8.modeled_s", &labels, row.modeled_s);
+            if let Some(t) = row.offload_total_s {
+                reg.set_gauge("fig8.offload_total_s", &labels, t);
+            }
+            if let Some(w) = row.wall_s {
+                reg.set_gauge("fig8.host_wall_s", &labels, w);
+            }
+        }
+        reg.set_gauge("fig8.final_population", &[], r.final_population as f64);
+        let mut doc = emit::new_doc("fig8", &scale);
+        doc.publish(&reg, emit::default_policy);
+        let path = emit::write_doc(&doc, &dir).expect("write BENCH document");
+        println!("wrote {} ({} metrics)", path.display(), doc.metrics.len());
+    }
 }

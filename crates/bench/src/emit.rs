@@ -1,0 +1,183 @@
+//! `BENCH_<name>.json` emission: the machinery behind `--json` flags,
+//! the `bench_json` binary, and `scripts/bench_gate.sh`.
+//!
+//! Every emitted document flows through [`default_policy`], which
+//! decides what the regression gate may compare:
+//!
+//! * anything with `wall` in its name is a **host wall clock** —
+//!   nondeterministic, emitted ungated (context only);
+//! * discrete structural quantities (step counts, run counts,
+//!   populations, configured frequencies) are **exact** — tolerance 0;
+//! * algorithmic work counters (candidates, contacts, FLOPs, memory
+//!   transactions) are deterministic functions of the trajectory but may
+//!   shift discretely if cross-platform libm differences perturb it —
+//!   tight 2 % tolerance;
+//! * everything else (modeled seconds from the CPU/GPU timing models)
+//!   gates at the comparison's default tolerance.
+
+use crate::scale::BenchScale;
+use crate::trace_sample_for;
+use bdm_device::cpu::CpuModel;
+use bdm_device::specs::SYSTEM_A;
+use bdm_gpu::frontend::ApiFrontend;
+use bdm_gpu::pipeline::KernelVersion;
+use bdm_metrics::{BenchDoc, GatePolicy, JsonValue, MetricsRegistry};
+use bdm_sim::environment::GpuSystem;
+use bdm_sim::workload::benchmark_a;
+use bdm_sim::EnvironmentKind;
+use std::path::{Path, PathBuf};
+
+/// Relative tolerance `bench_gate` applies when a sample carries none.
+pub const DEFAULT_TOL: f64 = 0.1;
+
+/// Discrete quantities that must reproduce exactly.
+fn is_exact(name: &str) -> bool {
+    matches!(
+        name,
+        "sim.steps_executed"
+            | "sim.agents"
+            | "sim.substances"
+            | "profiler.steps"
+            | "fig8.final_population"
+            | "scheduler.op_runs"
+            | "scheduler.op_frequency"
+            | "scheduler.op_enabled"
+    )
+}
+
+/// The standard gating policy for every emitted document (see the
+/// module docs for the tiers).
+pub fn default_policy(name: &str) -> GatePolicy {
+    if name.contains("wall") {
+        GatePolicy::informational()
+    } else if is_exact(name) {
+        GatePolicy::with_tol(0.0)
+    } else if name.starts_with("mech.")
+        || name.starts_with("gpu.step.")
+        || name.starts_with("gpu.mech.")
+    {
+        GatePolicy::with_tol(0.02)
+    } else {
+        GatePolicy::gated()
+    }
+}
+
+/// A named, empty document carrying the standard run context.
+pub fn new_doc(name: &str, scale: &BenchScale) -> BenchDoc {
+    let mut doc = BenchDoc::new(name);
+    doc.push_context("scale", scale.label());
+    doc.push_context("a_cells_per_dim", scale.a_cells_per_dim);
+    doc.push_context("a_steps", scale.a_steps);
+    doc
+}
+
+/// The `BENCH_sim.json` document: benchmark A on the CSR parallel grid,
+/// covering per-op scheduler statistics, mechanical work counters and
+/// phase breakdown, and modeled System A runtimes at 1 and 20 threads.
+pub fn sim_doc(scale: &BenchScale) -> BenchDoc {
+    let mut sim = benchmark_a(scale.a_cells_per_dim, 0x8);
+    sim.set_environment(EnvironmentKind::uniform_grid_csr_parallel());
+    sim.simulate(scale.a_steps);
+    let mut reg = sim.metrics();
+    let model = CpuModel::new(SYSTEM_A.cpu);
+    for threads in [1, 20] {
+        sim.profiler()
+            .publish_modeled_metrics(&model, threads, &mut reg);
+    }
+    let mut doc = new_doc("sim", scale);
+    doc.publish(&reg, default_policy);
+    doc
+}
+
+/// The `BENCH_gpu.json` document: benchmark A offloaded through the
+/// paper's best kernel (version II) and the post-paper CSR kernel,
+/// covering the per-step pipeline timing breakdown (H2D / build / mech /
+/// D2H — all modeled, hence gated) and the kernel counters.
+pub fn gpu_doc(scale: &BenchScale) -> BenchDoc {
+    let mut doc = new_doc("gpu", scale);
+    for (key, version) in [
+        ("v2", KernelVersion::V2Sorted),
+        ("v4csr", KernelVersion::V4Csr),
+    ] {
+        let mut sim = benchmark_a(scale.a_cells_per_dim, 0x8);
+        sim.set_environment(EnvironmentKind::Gpu {
+            system: GpuSystem::A,
+            frontend: ApiFrontend::Cuda,
+            version,
+            trace_sample: trace_sample_for(scale.a_cells(), scale.trace_budget),
+        });
+        sim.simulate(scale.a_steps);
+        let mut reg = MetricsRegistry::new();
+        for step in sim.profiler().steps() {
+            for r in &step.records {
+                if let Some(g) = &r.gpu {
+                    g.publish_metrics(&[("version", key)], &mut reg);
+                }
+            }
+        }
+        doc.publish(&reg, default_policy);
+    }
+    doc
+}
+
+/// Write `BENCH_<doc.name>.json` under `dir` (created if needed);
+/// returns the path.
+pub fn write_doc(doc: &BenchDoc, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", doc.name));
+    std::fs::write(&path, doc.to_json().to_pretty())?;
+    Ok(path)
+}
+
+/// Parse a `BENCH_*.json` document back from disk.
+pub fn read_doc(path: &Path) -> Result<BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = JsonValue::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    BenchDoc::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Destination directory of a `--json` / `--json=DIR` argument
+/// (`results/` when bare), or `None` when the flag is absent.
+pub fn json_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    for a in args {
+        if a == "--json" {
+            return Some(PathBuf::from("results"));
+        }
+        if let Some(dir) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_tiers() {
+        assert!(!default_policy("scheduler.op_wall_s").gate);
+        assert!(!default_policy("mech.phase_wall_s").gate);
+        assert_eq!(default_policy("scheduler.op_runs").tol, Some(0.0));
+        assert_eq!(default_policy("sim.agents").tol, Some(0.0));
+        assert_eq!(default_policy("mech.candidates").tol, Some(0.02));
+        assert_eq!(default_policy("gpu.mech.flops_fp32").tol, Some(0.02));
+        let modeled = default_policy("profiler.modeled_total_s");
+        assert!(modeled.gate && modeled.tol.is_none());
+        assert!(default_policy("gpu.total_s").gate);
+    }
+
+    #[test]
+    fn json_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(json_dir_from_args(&args(&[])), None);
+        assert_eq!(
+            json_dir_from_args(&args(&["--json"])),
+            Some(PathBuf::from("results"))
+        );
+        assert_eq!(
+            json_dir_from_args(&args(&["--json=/tmp/x"])),
+            Some(PathBuf::from("/tmp/x"))
+        );
+    }
+}

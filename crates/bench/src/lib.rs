@@ -24,6 +24,7 @@
 //! 2-million-agent configurations.
 
 pub mod dynpar;
+pub mod emit;
 pub mod fig10;
 pub mod fig12;
 pub mod fig3;

@@ -60,8 +60,44 @@ impl BenchScale {
         }
     }
 
-    /// `BDM_PAPER_SCALE=1` selects the paper scale, otherwise default.
+    /// Look up a scale by name (`"smoke"` / `"default"` / `"paper"`).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "default" => Some(Self::default_scale()),
+            "paper" => Some(Self::paper_scale()),
+            _ => None,
+        }
+    }
+
+    /// Name of this configuration (`"custom"` for hand-built scales) —
+    /// recorded as context in the `BENCH_*.json` documents.
+    pub fn label(&self) -> &'static str {
+        let same = |o: &BenchScale| {
+            self.a_cells_per_dim == o.a_cells_per_dim
+                && self.a_steps == o.a_steps
+                && self.b_agents == o.b_agents
+        };
+        if same(&Self::smoke()) {
+            "smoke"
+        } else if same(&Self::default_scale()) {
+            "default"
+        } else if same(&Self::paper_scale()) {
+            "paper"
+        } else {
+            "custom"
+        }
+    }
+
+    /// `BDM_BENCH_SCALE=smoke|default|paper` selects a scale by name
+    /// (what `scripts/bench_gate.sh` uses); otherwise `BDM_PAPER_SCALE=1`
+    /// selects the paper scale; otherwise default.
     pub fn from_env() -> Self {
+        if let Ok(name) = std::env::var("BDM_BENCH_SCALE") {
+            if let Some(s) = Self::named(&name) {
+                return s;
+            }
+        }
         match std::env::var("BDM_PAPER_SCALE").as_deref() {
             Ok("1") | Ok("true") => Self::paper_scale(),
             _ => Self::default_scale(),
@@ -90,5 +126,16 @@ mod tests {
     fn default_is_smaller() {
         let d = BenchScale::default_scale();
         assert!(d.a_cells() < BenchScale::paper_scale().a_cells());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for name in ["smoke", "default", "paper"] {
+            assert_eq!(BenchScale::named(name).unwrap().label(), name);
+        }
+        assert!(BenchScale::named("bogus").is_none());
+        let mut custom = BenchScale::smoke();
+        custom.a_cells_per_dim = 13;
+        assert_eq!(custom.label(), "custom");
     }
 }

@@ -123,6 +123,43 @@ impl KernelCounters {
         self.atomic_ops *= scale;
     }
 
+    /// Publish the counters into a metrics registry under
+    /// `<prefix>.<field>` with the caller's labels. Raw event counts go
+    /// in as counters; the derived ratios (warp efficiency, L2 read
+    /// share, arithmetic intensity) as gauges. Everything here is a
+    /// deterministic function of the simulated trajectory, so all of it
+    /// is safe to gate on.
+    pub fn publish_metrics(
+        &self,
+        prefix: &str,
+        labels: &[(&str, &str)],
+        reg: &mut bdm_metrics::MetricsRegistry,
+    ) {
+        let c = |reg: &mut bdm_metrics::MetricsRegistry, field: &str, v: f64| {
+            reg.inc_counter(&format!("{prefix}.{field}"), labels, v);
+        };
+        c(reg, "threads_run", self.threads_run as f64);
+        c(reg, "warps_run", self.warps_run as f64);
+        c(reg, "flops_fp32", self.flops_fp32);
+        c(reg, "flops_fp64", self.flops_fp64);
+        c(reg, "global_transactions", self.global_transactions);
+        c(reg, "l2_hits", self.l2_hits);
+        c(reg, "l2_misses", self.l2_misses);
+        c(reg, "shared_accesses", self.shared_accesses);
+        c(reg, "atomic_ops", self.atomic_ops);
+        c(reg, "barriers", self.barriers as f64);
+        reg.set_gauge(
+            &format!("{prefix}.warp_efficiency"),
+            labels,
+            self.warp_efficiency(),
+        );
+        reg.set_gauge(
+            &format!("{prefix}.l2_read_share"),
+            labels,
+            self.l2_read_share(),
+        );
+    }
+
     /// Merge another launch's counters (pipeline totals).
     pub fn merge(&mut self, other: &Self) {
         self.threads_run += other.threads_run;

@@ -112,6 +112,20 @@ impl GpuStepReport {
     pub fn kernel_s(&self) -> f64 {
         self.build_s + self.mech_s
     }
+
+    /// Publish the step's timing breakdown and kernel counters into a
+    /// metrics registry. Every time here is *modeled* (the trace-driven
+    /// device and PCIe models), hence deterministic and gateable —
+    /// unlike host wall clocks.
+    pub fn publish_metrics(&self, labels: &[(&str, &str)], reg: &mut bdm_metrics::MetricsRegistry) {
+        reg.observe("gpu.h2d_s", labels, self.h2d_s);
+        reg.observe("gpu.d2h_s", labels, self.d2h_s);
+        reg.observe("gpu.build_s", labels, self.build_s);
+        reg.observe("gpu.mech_s", labels, self.mech_s);
+        reg.observe("gpu.total_s", labels, self.total_s);
+        self.counters.publish_metrics("gpu.step", labels, reg);
+        self.mech_counters.publish_metrics("gpu.mech", labels, reg);
+    }
 }
 
 /// Scene inputs of one step (host-side, always FP64 — BioDynaMo's storage

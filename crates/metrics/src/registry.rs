@@ -1,0 +1,362 @@
+//! The labeled metric registry.
+//!
+//! Mirrors the shape of BioDynaMo's `TimingAggregator`/statistics layer
+//! (and of every Prometheus-style client): a metric is a **name** plus a
+//! sorted **label set**, and carries one of three data kinds —
+//!
+//! * **counter** — monotonically accumulated total (op runs, FLOPs,
+//!   memory transactions, contacts);
+//! * **gauge** — last-written value (modeled seconds, population size,
+//!   configured frequency);
+//! * **histogram** — count/sum/min/max summary of observed samples
+//!   (per-step wall times).
+//!
+//! Storage is a `BTreeMap` keyed by `(name, labels)`, so iteration — and
+//! therefore every serialized document — is deterministically sorted
+//! regardless of publish order.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Metric data kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Accumulated total.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Sample summary.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Schema string (`"counter"` / `"gauge"` / `"histogram"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Histogram summary: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramData {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramData {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric's data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricData {
+    /// Accumulated total.
+    Counter(f64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Sample summary.
+    Histogram(HistogramData),
+}
+
+impl MetricData {
+    /// The kind tag.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricData::Counter(_) => MetricKind::Counter,
+            MetricData::Gauge(_) => MetricKind::Gauge,
+            MetricData::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+/// A registry of labeled series the simulation layers publish into.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, MetricData>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Add `delta` to a counter series (created at zero). Publishing a
+    /// different kind under an existing key is a programming error and
+    /// panics.
+    pub fn inc_counter(&mut self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        match self
+            .metrics
+            .entry(key(name, labels))
+            .or_insert(MetricData::Counter(0.0))
+        {
+            MetricData::Counter(v) => *v += delta,
+            other => panic!("metric '{name}' already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Set a gauge series to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        match self
+            .metrics
+            .entry(key(name, labels))
+            .or_insert(MetricData::Gauge(0.0))
+        {
+            MetricData::Gauge(v) => *v = value,
+            other => panic!("metric '{name}' already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Record one observation into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        match self
+            .metrics
+            .entry(key(name, labels))
+            .or_insert(MetricData::Histogram(HistogramData::default()))
+        {
+            MetricData::Histogram(h) => h.observe(value),
+            other => panic!("metric '{name}' already registered as {:?}", other.kind()),
+        }
+    }
+
+    /// Look up a series.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricData> {
+        self.metrics.get(&key(name, labels))
+    }
+
+    /// Scalar value of a counter/gauge series (histograms return the sum).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.get(name, labels).map(|d| match d {
+            MetricData::Counter(v) | MetricData::Gauge(v) => *v,
+            MetricData::Histogram(h) => h.sum,
+        })
+    }
+
+    /// Iterate all series in sorted `(name, labels)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(String, String)], &MetricData)> {
+        self.metrics
+            .iter()
+            .map(|((name, labels), data)| (name.as_str(), labels.as_slice(), data))
+    }
+
+    /// Merge another registry: counters add, gauges take `other`'s value,
+    /// histograms pool their summaries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, theirs) in &other.metrics {
+            let Some(mine) = self.metrics.get_mut(k) else {
+                self.metrics.insert(k.clone(), *theirs);
+                continue;
+            };
+            match (mine, theirs) {
+                (MetricData::Counter(a), MetricData::Counter(b)) => *a += *b,
+                (MetricData::Gauge(a), MetricData::Gauge(b)) => *a = *b,
+                (MetricData::Histogram(a), MetricData::Histogram(b)) => {
+                    if b.count == 0 {
+                        continue;
+                    }
+                    if a.count == 0 {
+                        *a = *b;
+                    } else {
+                        a.count += b.count;
+                        a.sum += b.sum;
+                        a.min = a.min.min(b.min);
+                        a.max = a.max.max(b.max);
+                    }
+                }
+                (mine, theirs) => panic!(
+                    "metric '{}' kind mismatch: {:?} vs {:?}",
+                    k.0,
+                    mine.kind(),
+                    theirs.kind()
+                ),
+            }
+        }
+    }
+
+    /// Serialize every series as a JSON array (sorted, schema-stable).
+    pub fn to_json(&self) -> JsonValue {
+        let mut arr = Vec::with_capacity(self.metrics.len());
+        for ((name, labels), data) in &self.metrics {
+            let mut entry = JsonValue::obj();
+            entry.push("name", JsonValue::Str(name.clone()));
+            let mut lbl = JsonValue::obj();
+            for (k, v) in labels {
+                lbl.push(k.clone(), JsonValue::Str(v.clone()));
+            }
+            entry.push("labels", lbl);
+            entry.push("kind", JsonValue::Str(data.kind().as_str().into()));
+            match data {
+                MetricData::Counter(v) | MetricData::Gauge(v) => {
+                    entry.push("value", JsonValue::Num(*v));
+                }
+                MetricData::Histogram(h) => {
+                    entry.push("count", JsonValue::Num(h.count as f64));
+                    entry.push("sum", JsonValue::Num(h.sum));
+                    entry.push("min", JsonValue::Num(h.min));
+                    entry.push("max", JsonValue::Num(h.max));
+                }
+            }
+            arr.push(entry);
+        }
+        JsonValue::Arr(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc_counter("runs", &[("op", "behaviors")], 3.0);
+        r.inc_counter("runs", &[("op", "behaviors")], 2.0);
+        r.inc_counter("runs", &[("op", "diffusion")], 1.0);
+        assert_eq!(r.value("runs", &[("op", "behaviors")]), Some(5.0));
+        assert_eq!(r.value("runs", &[("op", "diffusion")]), Some(1.0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("g", &[("b", "2"), ("a", "1")], 7.0);
+        // Same series regardless of the label order the caller used.
+        assert_eq!(r.value("g", &[("a", "1"), ("b", "2")]), Some(7.0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("pop", &[], 10.0);
+        r.set_gauge("pop", &[], 12.0);
+        assert_eq!(r.value("pop", &[]), Some(12.0));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut r = MetricsRegistry::new();
+        for v in [2.0, 1.0, 4.0] {
+            r.observe("wall", &[], v);
+        }
+        match r.get("wall", &[]).unwrap() {
+            MetricData::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 7.0);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 4.0);
+                assert!((h.mean() - 7.0 / 3.0).abs() < 1e-12);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let mut r = MetricsRegistry::new();
+        r.inc_counter("m", &[], 1.0);
+        r.set_gauge("m", &[], 1.0);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("z", &[], 1.0);
+        r.set_gauge("a", &[("k", "2")], 1.0);
+        r.set_gauge("a", &[("k", "1")], 1.0);
+        let names: Vec<String> = r
+            .iter()
+            .map(|(n, l, _)| format!("{n}{}", l.iter().map(|(_, v)| v.as_str()).collect::<String>()))
+            .collect();
+        assert_eq!(names, vec!["a1", "a2", "z"]);
+    }
+
+    #[test]
+    fn merge_combines_by_kind() {
+        let mut a = MetricsRegistry::new();
+        a.inc_counter("c", &[], 2.0);
+        a.set_gauge("g", &[], 1.0);
+        a.observe("h", &[], 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc_counter("c", &[], 3.0);
+        b.set_gauge("g", &[], 9.0);
+        b.observe("h", &[], 5.0);
+        b.set_gauge("only_b", &[], 4.0);
+        a.merge(&b);
+        assert_eq!(a.value("c", &[]), Some(5.0));
+        assert_eq!(a.value("g", &[]), Some(9.0));
+        assert_eq!(a.value("only_b", &[]), Some(4.0));
+        match a.get("h", &[]).unwrap() {
+            MetricData::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.max, 5.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn to_json_is_schema_stable() {
+        let mut r = MetricsRegistry::new();
+        r.inc_counter("flops", &[("kernel", "mech")], 100.0);
+        r.observe("wall", &[], 0.5);
+        let json = r.to_json().to_pretty();
+        assert!(json.contains("\"name\": \"flops\""));
+        assert!(json.contains("\"kind\": \"counter\""));
+        assert!(json.contains("\"kind\": \"histogram\""));
+        // Deterministic: serializing twice yields identical bytes.
+        assert_eq!(json, r.to_json().to_pretty());
+    }
+}

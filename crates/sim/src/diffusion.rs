@@ -116,8 +116,13 @@ impl DiffusionGrid {
         ]
     }
 
-    /// Concentration at a position.
+    /// Concentration at a position. Positions outside the simulation
+    /// space have no concentration and read 0 (they used to clamp to the
+    /// nearest boundary voxel and report its value).
     pub fn concentration_at(&self, p: Vec3<f64>) -> f64 {
+        if !self.space.contains(p) {
+            return 0.0;
+        }
         let [x, y, z] = self.voxel_of(p);
         self.c[self.idx(x, y, z)]
     }
@@ -127,11 +132,19 @@ impl DiffusionGrid {
         self.c.fill(concentration);
     }
 
-    /// Add `amount` at the voxel containing `p` (secretion).
-    pub fn secrete(&mut self, p: Vec3<f64>, amount: f64) {
+    /// Add `amount` at the voxel containing `p` (secretion). Returns
+    /// `false` — depositing nothing — when `p` lies outside the
+    /// simulation space: silently clamping an out-of-space secreter into
+    /// a boundary voxel would pile its entire output onto the wall,
+    /// which is a modeling artifact, not physics.
+    pub fn secrete(&mut self, p: Vec3<f64>, amount: f64) -> bool {
+        if !self.space.contains(p) {
+            return false;
+        }
         let [x, y, z] = self.voxel_of(p);
         let i = self.idx(x, y, z);
         self.c[i] += amount;
+        true
     }
 
     /// Central-difference concentration gradient at a position.
@@ -313,6 +326,36 @@ mod tests {
         // A uniform field is a diffusion fixed point.
         g.step(0.5);
         assert!((g.concentration_at(Vec3::splat(3.0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_space_secretion_is_ignored() {
+        // Regression: secrete() used to clamp out-of-space positions into
+        // the nearest boundary voxel, silently piling the secreter's
+        // whole output onto the wall.
+        let mut g = grid(BoundaryCondition::Closed);
+        assert!(g.secrete(Vec3::zero(), 100.0));
+        assert!(!g.secrete(Vec3::new(50.0, 0.0, 0.0), 999.0));
+        assert!(!g.secrete(Vec3::splat(-8.0001), 999.0));
+        assert_eq!(g.total_mass(), 100.0);
+        // Mass stays conserved through diffusion under closed walls even
+        // with the rejected out-of-bounds deposits.
+        for _ in 0..50 {
+            g.step(0.5);
+        }
+        assert!((g.total_mass() - 100.0).abs() < 1e-9 * 100.0);
+    }
+
+    #[test]
+    fn out_of_space_concentration_reads_zero() {
+        let mut g = grid(BoundaryCondition::Closed);
+        g.fill(0.75);
+        // In-space positions (boundary included) read the field…
+        assert_eq!(g.concentration_at(Vec3::splat(8.0)), 0.75);
+        // …but positions beyond the space no longer alias the boundary
+        // voxel.
+        assert_eq!(g.concentration_at(Vec3::splat(8.0001)), 0.0);
+        assert_eq!(g.concentration_at(Vec3::new(-100.0, 0.0, 0.0)), 0.0);
     }
 
     #[test]

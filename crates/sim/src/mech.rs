@@ -144,6 +144,30 @@ impl MechWork {
             self.neighbors as f64 / agents as f64
         }
     }
+
+    /// Publish the step's work counters and per-phase breakdown into a
+    /// metrics registry under an `env` label. The algorithmic counters
+    /// (candidates/contacts/neighbors, phase FLOPs/bytes) are exact
+    /// functions of the trajectory and gateable; the per-phase host wall
+    /// seconds ride along as informational gauges.
+    pub fn publish_metrics(&self, env: &str, reg: &mut bdm_metrics::MetricsRegistry) {
+        let labels = [("env", env)];
+        reg.inc_counter("mech.candidates", &labels, self.candidates as f64);
+        reg.inc_counter("mech.contacts", &labels, self.contacts as f64);
+        reg.inc_counter("mech.neighbors", &labels, self.neighbors as f64);
+        for (i, phase) in self.phases.iter().enumerate() {
+            let labels = [("env", env), ("phase", phase.name)];
+            reg.inc_counter("mech.phase_flops", &labels, phase.flops);
+            reg.inc_counter("mech.phase_bytes", &labels, phase.bytes);
+            reg.inc_counter("mech.phase_random_accesses", &labels, phase.random_accesses);
+            if let Some(wall) = self.wall_s.get(i) {
+                reg.observe("mech.phase_wall_s", &labels, *wall);
+            }
+        }
+        if let Some(gpu) = &self.gpu {
+            gpu.publish_metrics(&labels, reg);
+        }
+    }
 }
 
 /// Interaction radius policy: explicit override or largest diameter.

@@ -74,11 +74,14 @@ impl Profiler {
     }
 
     /// Fractions of total wall time per operation (the Fig. 3 pie).
+    /// When no wall time has been recorded at all there is no meaningful
+    /// share, so every operation reports an explicit 0 (not its raw
+    /// total, which would silently change the quantity's meaning).
     pub fn wall_shares(&self) -> Vec<(String, f64)> {
         let totals = self.wall_totals();
         let sum: f64 = totals.iter().map(|(_, t)| t).sum();
         if sum == 0.0 {
-            return totals;
+            return totals.into_iter().map(|(n, _)| (n, 0.0)).collect();
         }
         totals.into_iter().map(|(n, t)| (n, t / sum)).collect()
     }
@@ -122,6 +125,36 @@ impl Profiler {
                 (name, t)
             })
             .collect()
+    }
+
+    /// Publish host-measured quantities into a metrics registry:
+    /// recorded step count and per-operation wall totals. Wall clocks
+    /// are nondeterministic, so emitters mark them ungated.
+    pub fn publish_metrics(&self, reg: &mut bdm_metrics::MetricsRegistry) {
+        reg.set_gauge("profiler.steps", &[], self.steps.len() as f64);
+        for (name, t) in self.wall_totals() {
+            reg.set_gauge("profiler.op_wall_s", &[("op", &name)], t);
+        }
+    }
+
+    /// Publish *modeled* per-operation seconds on a Table I CPU at
+    /// `threads` threads. These derive purely from recorded work
+    /// counters, so they are deterministic and gateable.
+    pub fn publish_modeled_metrics(
+        &self,
+        model: &CpuModel,
+        threads: u32,
+        reg: &mut bdm_metrics::MetricsRegistry,
+    ) {
+        let t = threads.to_string();
+        for (name, s) in self.modeled_per_op(model, threads) {
+            reg.set_gauge("profiler.modeled_s", &[("op", &name), ("threads", &t)], s);
+        }
+        reg.set_gauge(
+            "profiler.modeled_total_s",
+            &[("threads", &t)],
+            self.modeled_total(model, threads),
+        );
     }
 
     /// Render a Fig. 3-style text breakdown (shares of modeled time at
@@ -205,6 +238,44 @@ mod tests {
         assert!(text.contains("mechanical forces"));
         assert!(text.contains("behaviors"));
         assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn zero_wall_time_yields_zero_shares() {
+        // Regression: wall_shares used to return the raw totals vector
+        // unchanged when the total was 0 — callers treating the numbers
+        // as fractions would silently read totals instead.
+        let mut p = Profiler::new();
+        p.push(StepProfile {
+            records: vec![record("a", 0.0, 1e6), record("b", 0.0, 1e6)],
+        });
+        let shares = p.wall_shares();
+        assert_eq!(shares, vec![("a".into(), 0.0), ("b".into(), 0.0)]);
+    }
+
+    #[test]
+    fn publish_metrics_exports_wall_and_modeled() {
+        let mut p = Profiler::new();
+        p.push(StepProfile {
+            records: vec![record("forces", 1.5, 2e9)],
+        });
+        let mut reg = bdm_metrics::MetricsRegistry::new();
+        p.publish_metrics(&mut reg);
+        assert_eq!(reg.value("profiler.steps", &[]), Some(1.0));
+        assert_eq!(
+            reg.value("profiler.op_wall_s", &[("op", "forces")]),
+            Some(1.5)
+        );
+        let m = CpuModel::new(SYSTEM_A.cpu);
+        p.publish_modeled_metrics(&m, 4, &mut reg);
+        let modeled = reg
+            .value("profiler.modeled_s", &[("op", "forces"), ("threads", "4")])
+            .unwrap();
+        assert!(modeled > 0.0);
+        assert_eq!(
+            reg.value("profiler.modeled_total_s", &[("threads", "4")]),
+            Some(p.modeled_total(&m, 4))
+        );
     }
 
     #[test]

@@ -97,10 +97,20 @@ impl Scheduler {
         self.mode = mode;
     }
 
-    /// Run `name` only every `every`-th step (must be ≥ 1). Returns
-    /// `false` when no operation has that name.
+    /// Run `name` only every `every`-th step. Frequencies anchor on the
+    /// *global* step count ([`crate::Simulation::steps_executed`]), so an
+    /// operation with frequency `k` runs on steps `0, k, 2k, …` no matter
+    /// how the steps are batched into `simulate()` calls.
+    ///
+    /// Returns `false` — leaving the schedule untouched — when no
+    /// operation has that name **or** `every` is 0 (a frequency of "never"
+    /// is expressed with [`Scheduler::set_enabled`], not 0; this used to
+    /// panic, which is the wrong contract for a public configuration
+    /// API).
     pub fn set_frequency(&mut self, name: &str, every: u64) -> bool {
-        assert!(every >= 1, "operation frequency must be ≥ 1");
+        if every == 0 {
+            return false;
+        }
         self.slot_mut(name).map(|s| s.frequency = every).is_some()
     }
 
@@ -127,6 +137,23 @@ impl Scheduler {
                 wall_s: s.wall_s,
             })
             .collect()
+    }
+
+    /// Publish per-operation scheduling statistics into a metrics
+    /// registry: run counts and configuration as exact counters/gauges,
+    /// accumulated host wall seconds as an (informational) gauge.
+    pub fn publish_metrics(&self, reg: &mut bdm_metrics::MetricsRegistry) {
+        for s in &self.ops {
+            let labels = [("op", s.op.name())];
+            reg.inc_counter("scheduler.op_runs", &labels, s.runs as f64);
+            reg.set_gauge("scheduler.op_frequency", &labels, s.frequency as f64);
+            reg.set_gauge(
+                "scheduler.op_enabled",
+                &labels,
+                if s.enabled { 1.0 } else { 0.0 },
+            );
+            reg.set_gauge("scheduler.op_wall_s", &labels, s.wall_s);
+        }
     }
 
     fn slot_mut(&mut self, name: &str) -> Option<&mut OpSlot> {

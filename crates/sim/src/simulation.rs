@@ -151,6 +151,24 @@ impl Simulation {
         &mut self.diffusion[i]
     }
 
+    /// Snapshot the simulation's observability state as one metrics
+    /// registry: per-operation scheduler statistics, profiler wall
+    /// totals, and the last mechanical step's work counters (including
+    /// the GPU report when the environment offloads). This is what the
+    /// benchmark JSON emitters serialize.
+    pub fn metrics(&self) -> bdm_metrics::MetricsRegistry {
+        let mut reg = bdm_metrics::MetricsRegistry::new();
+        reg.set_gauge("sim.steps_executed", &[], self.steps_executed as f64);
+        reg.set_gauge("sim.agents", &[], self.rm.len() as f64);
+        reg.set_gauge("sim.substances", &[], self.diffusion.len() as f64);
+        self.scheduler.publish_metrics(&mut reg);
+        self.profiler.publish_metrics(&mut reg);
+        if let Some(mech) = &self.last_mech {
+            mech.publish_metrics(&self.env.label(), &mut reg);
+        }
+        reg
+    }
+
     /// Run `n` steps.
     pub fn simulate(&mut self, n: u64) {
         for _ in 0..n {
@@ -393,6 +411,84 @@ mod tests {
         assert_eq!(counter.frequency, 2);
         let behaviors = stats.iter().find(|s| s.name == "behaviors").unwrap();
         assert_eq!(behaviors.runs, 10);
+    }
+
+    #[test]
+    fn frequency_zero_is_rejected_without_panic() {
+        // Regression: set_frequency(_, 0) used to assert!, turning a bad
+        // configuration value into a crash through the public API.
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        assert!(!sim.scheduler_mut().set_frequency("behaviors", 0));
+        // The schedule is untouched: behaviors still runs every step.
+        let stats = sim.scheduler().stats();
+        let behaviors = stats.iter().find(|s| s.name == "behaviors").unwrap();
+        assert_eq!(behaviors.frequency, 1);
+        sim.simulate(2);
+        assert_eq!(
+            sim.scheduler()
+                .stats()
+                .iter()
+                .find(|s| s.name == "behaviors")
+                .unwrap()
+                .runs,
+            2
+        );
+        // Unknown names still report false too.
+        assert!(!sim.scheduler_mut().set_frequency("no such op", 3));
+    }
+
+    #[test]
+    fn frequency_anchors_on_global_step_count_across_simulate_calls() {
+        struct Counter {
+            runs: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl Operation for Counter {
+            fn name(&self) -> &str {
+                "counter"
+            }
+            fn run(&mut self, _ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+                self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+        // Regression guard: with k = 4 and simulate(3); simulate(3), the
+        // op is due at global steps 0 and 4. A scheduler that anchored
+        // frequency on a per-call counter would instead run it at the
+        // start of *each* call (steps 0 and 3) — same total, wrong
+        // steps — or, counting per-call offsets, diverge in count.
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut sim = Simulation::new(SimParams::cube(10.0));
+        sim.add_operation(Box::new(Counter { runs: runs.clone() }));
+        assert!(sim.scheduler_mut().set_frequency("counter", 4));
+        sim.simulate(3); // steps 0, 1, 2 → due at 0
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 1);
+        sim.simulate(3); // steps 3, 4, 5 → due at 4
+        assert_eq!(runs.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(sim.steps_executed(), 6);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_scheduler_profiler_and_mech() {
+        let mut sim = Simulation::new(SimParams::cube(50.0));
+        for i in 0..30 {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(i as f64 * 1.2 - 18.0, 0.0, 0.0)).diameter(2.0),
+            );
+        }
+        sim.simulate(3);
+        let reg = sim.metrics();
+        assert_eq!(reg.value("sim.steps_executed", &[]), Some(3.0));
+        assert_eq!(reg.value("sim.agents", &[]), Some(30.0));
+        assert_eq!(
+            reg.value("scheduler.op_runs", &[("op", "behaviors")]),
+            Some(3.0)
+        );
+        assert_eq!(reg.value("profiler.steps", &[]), Some(3.0));
+        let env = sim.environment().label();
+        assert!(
+            reg.value("mech.candidates", &[("env", &env)]).unwrap() > 0.0,
+            "mechanical work counters expected"
+        );
     }
 
     /// The same agent dividing *and* dying in one step: the daughter is

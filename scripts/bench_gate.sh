@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-emit the BENCH_*.json documents at smoke scale
+# and compare them against the committed baselines under results/.
+#
+# Usage: scripts/bench_gate.sh [--tol=0.1]
+#
+# Only deterministic metrics (modeled times, work counters, structural
+# integers) are gated; host wall clocks are emitted as informational
+# context and never compared. To re-baseline after an intentional perf
+# change:
+#   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH="$(mktemp -d)"
+trap 'rm -rf "$FRESH"' EXIT
+
+BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_json -- --out="$FRESH"
+cargo run --release --offline -p bdm-bench --bin bench_gate -- --baseline=results --fresh="$FRESH" "$@"
