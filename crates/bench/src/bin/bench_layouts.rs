@@ -13,7 +13,7 @@ use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_math::{Aabb, SplitMix64, Vec3};
 use bdm_metrics::MetricsRegistry;
 use bdm_sim::workload::benchmark_a;
-use bdm_sim::{EnvironmentKind, ExecMode};
+use bdm_sim::{CellBuilder, EnvironmentKind, ExecMode, SimParams, Simulation};
 use bdm_soa::AgentId;
 use std::hint::black_box;
 use std::time::Instant;
@@ -130,6 +130,81 @@ fn step_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     }
 }
 
+/// The host-reorder comparison (paper §V Improvement II on the CPU):
+/// the same random cloud stepped on the CSR parallel grid with agents
+/// left in insertion order vs kept Z-order sorted by the `reorder`
+/// operation every step. Random insertion is the adversarial case the
+/// lattice-ordered benchmark A hides — uids carry no spatial locality
+/// at all. Wall clocks are informational; the CSR index gap (mean
+/// |i - j| between each agent and its tested stencil candidates) is a
+/// deterministic locality gauge the regression gate holds to 2 %.
+fn reorder_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
+    let n = cells_per_dim * cells_per_dim * cells_per_dim;
+    // ~2 agents per radius-4 voxel — the benchmark regime.
+    let half = (n as f64 / 2.0).cbrt() * 2.0;
+    let env = EnvironmentKind::uniform_grid_csr_parallel();
+    println!(
+        "\n== host reorder: random cloud, {n} cells, {} ==",
+        env.label()
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "agent order", "step ms", "mech ms", "index gap"
+    );
+    for (order, every) in [("insertion", 0u64), ("reordered", 1)] {
+        let mut sim = Simulation::new(SimParams::cube(half).with_seed(0x2b).with_reorder(every));
+        sim.set_environment(env);
+        let mut rng = SplitMix64::new(0x2b);
+        for _ in 0..n {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                ))
+                .diameter(4.0)
+                .adherence(0.01),
+            );
+        }
+        sim.step(); // warm caches + scratch (and apply the first sort)
+        let mut step_walls = Vec::with_capacity(REPS);
+        let mut mech_walls = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            sim.step();
+            step_walls.push(t.elapsed().as_secs_f64() * 1e3);
+            mech_walls.push(
+                sim.profiler()
+                    .steps()
+                    .last()
+                    .unwrap()
+                    .records
+                    .iter()
+                    .find(|r| r.name == "mechanical forces")
+                    .expect("force record present")
+                    .wall_s
+                    * 1e3,
+            );
+        }
+        step_walls.sort_by(|a, b| a.total_cmp(b));
+        mech_walls.sort_by(|a, b| a.total_cmp(b));
+        let (step_ms, mech_ms) = (step_walls[REPS / 2], mech_walls[REPS / 2]);
+        let label = env.label();
+        let gap = sim
+            .metrics()
+            .value("mech.csr_index_gap", &[("env", label.as_str())])
+            .expect("CSR env publishes the index gap");
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>12.2}",
+            order, step_ms, mech_ms, gap
+        );
+        let labels = [("order", order)];
+        reg.set_gauge("layouts.reorder_step_wall_ms", &labels, step_ms);
+        reg.set_gauge("layouts.reorder_mech_wall_ms", &labels, mech_ms);
+        reg.set_gauge("layouts.csr_index_gap", &labels, gap);
+    }
+}
+
 fn behaviors_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     let n = cells_per_dim * cells_per_dim * cells_per_dim;
     println!("\n== behaviors operation: benchmark A, {n} cells (growing) ==");
@@ -176,6 +251,7 @@ fn main() {
         substrate_table(n, &mut reg);
     }
     step_table(scale.a_cells_per_dim, &mut reg);
+    reorder_table(scale.a_cells_per_dim, &mut reg);
     behaviors_table(scale.a_cells_per_dim, &mut reg);
     if let Some(dir) = emit::json_dir_from_args(&args) {
         let mut doc = emit::new_doc("layouts", &scale);

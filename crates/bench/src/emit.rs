@@ -42,6 +42,7 @@ fn is_exact(name: &str) -> bool {
             | "scheduler.op_runs"
             | "scheduler.op_frequency"
             | "scheduler.op_enabled"
+            | "gpu.sort_gathers"
     )
 }
 
@@ -55,6 +56,7 @@ pub fn default_policy(name: &str) -> GatePolicy {
     } else if name.starts_with("mech.")
         || name.starts_with("gpu.step.")
         || name.starts_with("gpu.mech.")
+        || name == "layouts.csr_index_gap"
     {
         GatePolicy::with_tol(0.02)
     } else {
@@ -162,6 +164,9 @@ mod tests {
         assert_eq!(default_policy("sim.agents").tol, Some(0.0));
         assert_eq!(default_policy("mech.candidates").tol, Some(0.02));
         assert_eq!(default_policy("gpu.mech.flops_fp32").tol, Some(0.02));
+        assert_eq!(default_policy("gpu.sort_gathers").tol, Some(0.0));
+        assert_eq!(default_policy("layouts.csr_index_gap").tol, Some(0.02));
+        assert!(!default_policy("layouts.reorder_mech_wall_ms").gate);
         let modeled = default_policy("profiler.modeled_total_s");
         assert!(modeled.gate && modeled.tol.is_none());
         assert!(default_policy("gpu.total_s").gate);

@@ -105,6 +105,13 @@ pub struct GpuStepReport {
     pub counters: KernelCounters,
     /// Counters of the mechanical kernel alone (roofline input).
     pub mech_counters: KernelCounters,
+    /// Host-side gather passes spent permuting columns for Improvement
+    /// II: 5 on upload + 3 on the inverse at download for a sorting
+    /// version, 0 when the caller's columns already arrived in
+    /// `sort_curve` order (or the version does not sort). The host
+    /// `reorder` operation keeps resident state in curve order exactly
+    /// so this stays 0 and the upload degenerates to a straight memcpy.
+    pub sort_gathers: u32,
 }
 
 impl GpuStepReport {
@@ -123,6 +130,7 @@ impl GpuStepReport {
         reg.observe("gpu.build_s", labels, self.build_s);
         reg.observe("gpu.mech_s", labels, self.mech_s);
         reg.observe("gpu.total_s", labels, self.total_s);
+        reg.inc_counter("gpu.sort_gathers", labels, self.sort_gathers as f64);
         self.counters.publish_metrics("gpu.step", labels, reg);
         self.mech_counters.publish_metrics("gpu.mech", labels, reg);
     }
@@ -227,15 +235,27 @@ impl MechanicalPipeline {
         let box_len = R::from_f64(scene.box_len);
 
         // Improvement II: host-side space-filling-curve sort of the SoA
-        // columns (Z-order by default; see `sort_curve`).
+        // columns (Z-order by default; see `sort_curve`). Keys are
+        // voxel keys clamped to the grid dims — the same keys the
+        // resident `reorder` operation sorts by — so when the caller's
+        // columns already arrive in curve order the keys come out
+        // non-decreasing and the whole permutation (5 upload gathers +
+        // 3 inverse gathers after download) is skipped: the upload is a
+        // straight memcpy of the host columns.
+        let mut sort_gathers = 0u32;
         let perm = if self.version.sorts() {
-            let p =
-                bdm_morton::sort_permutation_with(&xs, &ys, &zs, &space, box_len, self.sort_curve);
-            let mut scratch = Vec::new();
-            for col in [&mut xs, &mut ys, &mut zs, &mut diam, &mut adh] {
-                p.apply_in_place(col, &mut scratch);
+            let keys = bdm_morton::cell_keys(&xs, &ys, &zs, &space, box_len, self.sort_curve);
+            if keys.is_sorted() {
+                None
+            } else {
+                let p = bdm_soa::Permutation::sorting_by_key(&keys);
+                let mut scratch = Vec::new();
+                for col in [&mut xs, &mut ys, &mut zs, &mut diam, &mut adh] {
+                    p.apply_in_place(col, &mut scratch);
+                    sort_gathers += 1;
+                }
+                Some(p)
             }
-            Some(p)
         } else {
             None
         };
@@ -546,6 +566,7 @@ impl MechanicalPipeline {
             let mut scratch = Vec::new();
             for col in [&mut out_x, &mut out_y, &mut out_z] {
                 inv.apply_in_place(col, &mut scratch);
+                sort_gathers += 1;
             }
         }
         let displacements: Vec<Vec3<f64>> = (0..n)
@@ -564,6 +585,7 @@ impl MechanicalPipeline {
             total_s: h2d_s + build_s + mech_s + d2h_s,
             counters,
             mech_counters,
+            sort_gathers,
         };
         (displacements, report)
     }
@@ -700,6 +722,63 @@ mod tests {
             max_err = max_err.max((dz[i] - dh[i]).norm());
         }
         assert!(max_err < 1e-4, "curves disagree by {max_err}");
+    }
+
+    /// Acceptance pin for the host-reorder integration: a scrambled
+    /// scene costs a sorting version exactly 8 gather passes (5 column
+    /// uploads + 3 inverse downloads); a scene whose columns already
+    /// arrive in `sort_curve` order costs 0 — the pipeline detects the
+    /// non-decreasing keys and uploads the columns as-is. Non-sorting
+    /// versions never gather.
+    #[test]
+    fn presorted_input_skips_the_sort_gathers() {
+        let n = 500;
+        let extent = 8.0;
+        let (mut xs, mut ys, mut zs, dm, ad) = scene(n, extent, 21);
+        let space = Aabb::new(Vec3::zero(), Vec3::splat(extent));
+        let params = MechParams::default_params();
+        let pipe = |v| MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1);
+
+        let (sx, sy, sz) = (xs.clone(), ys.clone(), zs.clone());
+        let scrambled = SceneRef {
+            xs: &sx,
+            ys: &sy,
+            zs: &sz,
+            diameters: &dm,
+            adherences: &ad,
+            space,
+            box_len: 1.0,
+        };
+        let (_, r) = pipe(KernelVersion::V2Sorted).step(&scrambled, &params);
+        assert_eq!(
+            r.sort_gathers, 8,
+            "scrambled input must pay the full permutation"
+        );
+        let (_, r0) = pipe(KernelVersion::V1Fp32).step(&scrambled, &params);
+        assert_eq!(r0.sort_gathers, 0, "non-sorting version never gathers");
+
+        // Pre-sort the host columns along the same curve — what the
+        // resident `reorder` operation does between steps.
+        let keys = bdm_morton::cell_keys(&xs, &ys, &zs, &space, 1.0, bdm_morton::Curve::ZOrder);
+        let p = bdm_soa::Permutation::sorting_by_key(&keys);
+        let mut scratch = Vec::new();
+        for col in [&mut xs, &mut ys, &mut zs] {
+            p.apply_in_place(col, &mut scratch);
+        }
+        let sorted = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space,
+            box_len: 1.0,
+        };
+        let (_, rs) = pipe(KernelVersion::V2Sorted).step(&sorted, &params);
+        assert_eq!(
+            rs.sort_gathers, 0,
+            "curve-ordered input must skip the permutation"
+        );
     }
 
     /// Version IV's claim: streaming CSR slices coalesces where the

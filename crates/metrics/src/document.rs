@@ -140,12 +140,13 @@ impl BenchDoc {
                 MetricData::Counter(v) => push("", MetricKind::Counter, *v, p),
                 MetricData::Gauge(v) => push("", MetricKind::Gauge, *v, p),
                 MetricData::Histogram(h) => {
-                    let count_policy = if p.gate {
-                        GatePolicy::with_tol(0.0)
-                    } else {
-                        p
-                    };
-                    push(".count", MetricKind::Histogram, h.count as f64, count_policy);
+                    let count_policy = if p.gate { GatePolicy::with_tol(0.0) } else { p };
+                    push(
+                        ".count",
+                        MetricKind::Histogram,
+                        h.count as f64,
+                        count_policy,
+                    );
                     push(".sum", MetricKind::Histogram, h.sum, p);
                     push(".min", MetricKind::Histogram, h.min, p);
                     push(".max", MetricKind::Histogram, h.max, p);
@@ -317,10 +318,14 @@ impl CompareReport {
             ));
         }
         for key in &self.missing {
-            out.push_str(&format!("  FAIL {key}: present in baseline, missing from fresh run\n"));
+            out.push_str(&format!(
+                "  FAIL {key}: present in baseline, missing from fresh run\n"
+            ));
         }
         for key in &self.unbaselined {
-            out.push_str(&format!("  note {key}: not in baseline (re-baseline to adopt)\n"));
+            out.push_str(&format!(
+                "  note {key}: not in baseline (re-baseline to adopt)\n"
+            ));
         }
         out.push_str(if self.passed() {
             "  PASS\n"
@@ -401,7 +406,10 @@ mod tests {
 
     #[test]
     fn identical_documents_pass() {
-        let d = doc_with(&[("a", 1.0, GatePolicy::gated()), ("b", 2.0, GatePolicy::gated())]);
+        let d = doc_with(&[
+            ("a", 1.0, GatePolicy::gated()),
+            ("b", 2.0, GatePolicy::gated()),
+        ]);
         let r = compare(&d, &d, 0.1);
         assert!(r.passed());
         assert_eq!(r.checked, 2);
@@ -509,6 +517,8 @@ mod tests {
         v.push("schema_version", JsonValue::Num(999.0));
         v.push("name", JsonValue::Str("x".into()));
         v.push("metrics", JsonValue::Arr(vec![]));
-        assert!(BenchDoc::from_json(&v).unwrap_err().contains("schema_version"));
+        assert!(BenchDoc::from_json(&v)
+            .unwrap_err()
+            .contains("schema_version"));
     }
 }

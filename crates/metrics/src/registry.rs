@@ -318,7 +318,12 @@ mod tests {
         r.set_gauge("a", &[("k", "1")], 1.0);
         let names: Vec<String> = r
             .iter()
-            .map(|(n, l, _)| format!("{n}{}", l.iter().map(|(_, v)| v.as_str()).collect::<String>()))
+            .map(|(n, l, _)| {
+                format!(
+                    "{n}{}",
+                    l.iter().map(|(_, v)| v.as_str()).collect::<String>()
+                )
+            })
             .collect();
         assert_eq!(names, vec!["a1", "a2", "z"]);
     }

@@ -164,6 +164,43 @@ pub fn zvalues<R: Scalar>(xs: &[R], ys: &[R], zs: &[R], space: &Aabb<R>, cell_le
     }
 }
 
+/// Curve keys of all positions, quantized into **grid voxels**: like
+/// [`quantize`] at `cell_len`, but additionally clamped above to the
+/// per-axis voxel counts a uniform grid derives from the same space and
+/// edge (`ceil(extent / cell_len)`, at least 1 — `bdm_grid`'s
+/// `GridGeometry` convention).
+///
+/// The distinction matters exactly on the upper domain boundary: an agent
+/// sitting at `space.max` quantizes into a phantom cell one past the last
+/// voxel, while every grid layout clamps it into the boundary voxel. By
+/// clamping the same way, "agents share a key" coincides *exactly* with
+/// "agents share a grid voxel", which is what lets downstream consumers
+/// (the host reorder op, the GPU pipeline's sorted-input detection) treat
+/// key order as grid order.
+pub fn cell_keys<R: Scalar>(
+    xs: &[R],
+    ys: &[R],
+    zs: &[R],
+    space: &Aabb<R>,
+    cell_len: R,
+    curve: Curve,
+) -> Vec<u64> {
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), zs.len());
+    let e = space.extents();
+    let dim = |len: R| -> u32 { ((len / cell_len).ceil().to_f64() as u32).max(1) };
+    let dims = [dim(e.x), dim(e.y), dim(e.z)];
+    let compute = |i: usize| {
+        let (x, y, z) = quantize(Vec3::new(xs[i], ys[i], zs[i]), space, cell_len);
+        curve.key(x.min(dims[0] - 1), y.min(dims[1] - 1), z.min(dims[2] - 1))
+    };
+    if xs.len() >= 1 << 14 {
+        (0..xs.len()).into_par_iter().map(compute).collect()
+    } else {
+        (0..xs.len()).map(compute).collect()
+    }
+}
+
 /// The permutation that sorts agents along the Z-order curve.
 pub fn sort_permutation<R: Scalar>(
     xs: &[R],
@@ -341,6 +378,25 @@ mod tests {
             after < before * 0.5,
             "expected ≥2× locality improvement, got before={before:.1} after={after:.1}"
         );
+    }
+
+    #[test]
+    fn cell_keys_clamp_to_grid_dims_on_the_upper_boundary() {
+        // extent 8, cell 1 → 8 voxels per axis (0..=7). An agent at the
+        // upper boundary quantizes to phantom cell 8 but must share the
+        // boundary voxel's key, exactly as GridGeometry::box_coords does.
+        let space = Aabb::new(Vec3::new(0.0f64, 0.0, 0.0), Vec3::splat(8.0));
+        let xs = [7.5, 8.0];
+        let ys = [7.5, 8.0];
+        let zs = [7.5, 8.0];
+        for curve in [Curve::ZOrder, Curve::Hilbert] {
+            let keys = cell_keys(&xs, &ys, &zs, &space, 1.0, curve);
+            assert_eq!(keys[0], keys[1], "{} boundary clamp", curve.name());
+            assert_eq!(keys[0], curve.key(7, 7, 7));
+        }
+        // Interior agents agree with the unclamped quantization.
+        let keys = cell_keys(&[3.2], &[4.7], &[0.1], &space, 1.0, Curve::ZOrder);
+        assert_eq!(keys[0], encode3(3, 4, 0));
     }
 
     #[test]

@@ -24,9 +24,11 @@ use crate::diffusion::DiffusionGrid;
 use crate::rm::ResourceManager;
 use bdm_math::Vec3;
 
-/// One buffered secretion: (substance index, position, amount).
+/// One buffered secretion: (secreting agent, substance index, position,
+/// amount).
 #[derive(Debug, Clone, Copy)]
 struct Secretion {
+    uid: u64,
     substance: usize,
     position: Vec3<f64>,
     rate: f64,
@@ -40,8 +42,12 @@ struct Secretion {
 /// shared state after the loop, in chunk order.
 #[derive(Debug, Default)]
 pub struct ExecutionContext {
-    /// Daughters to append (in discovery order — ascending mother index).
-    births: Vec<CellBuilder>,
+    /// Daughters to append, tagged with their mother's stable uid. The
+    /// merge sorts them by that uid, so daughter uid assignment depends
+    /// only on agent *identity* — not on where the mothers happen to sit
+    /// in storage — which keeps trajectories invariant under the host
+    /// reorder operation.
+    births: Vec<(u64, CellBuilder)>,
     /// Global indices of agents that die this step (ascending).
     deaths: Vec<usize>,
     /// Buffered substance writes (in discovery order).
@@ -72,9 +78,10 @@ impl ExecutionContext {
         Self::default()
     }
 
-    /// Buffer a new agent (division daughter).
-    pub fn push_birth(&mut self, cell: CellBuilder) {
-        self.births.push(cell);
+    /// Buffer a new agent (division daughter of the mother with stable
+    /// id `mother_uid`).
+    pub fn push_birth(&mut self, mother_uid: u64, cell: CellBuilder) {
+        self.births.push((mother_uid, cell));
     }
 
     /// Buffer the death of global agent `i`.
@@ -82,9 +89,11 @@ impl ExecutionContext {
         self.deaths.push(i);
     }
 
-    /// Buffer a substance deposition at `position`.
-    pub fn push_secretion(&mut self, substance: usize, position: Vec3<f64>, rate: f64) {
+    /// Buffer a substance deposition at `position` by the agent with
+    /// stable id `uid`.
+    pub fn push_secretion(&mut self, uid: u64, substance: usize, position: Vec3<f64>, rate: f64) {
         self.secretions.push(Secretion {
+            uid,
             substance,
             position,
             rate,
@@ -96,18 +105,25 @@ impl ExecutionContext {
         self.diameters_written = true;
     }
 
-    /// Apply every chunk's deferred mutations to the shared state, in
-    /// chunk order:
+    /// Apply every chunk's deferred mutations to the shared state:
     ///
-    /// 1. secretions (substance fields),
-    /// 2. births (appended — daughters take ascending indices past the
-    ///    pre-pass population, exactly like the serial loop produced),
+    /// 1. secretions (substance fields), sorted by secreting uid,
+    /// 2. births, sorted by mother uid (daughters take ascending indices
+    ///    past the pre-pass population),
     /// 3. deaths (swap-removed highest-index-first so no pending death
     ///    index is invalidated by an earlier removal).
     ///
-    /// Because the chunk partition is fixed and this merge is ordered,
-    /// the post-merge state is identical whether the chunks were
-    /// processed serially or in parallel.
+    /// Because the chunk partition is fixed and each buffer merges in a
+    /// canonical order, the post-merge state is identical whether the
+    /// chunks were processed serially or in parallel. Ordering
+    /// secretions and births by **stable uid** (rather than chunk /
+    /// storage order) additionally makes the merge invariant under the
+    /// host reorder operation: permuting agent storage cannot change
+    /// which uid a daughter receives or the floating-point order of
+    /// substance deposits. In a population that has never been reordered
+    /// and never lost an agent, storage order *is* ascending-uid order,
+    /// so both sorts are stable no-ops and legacy trajectories are
+    /// unchanged.
     pub fn merge_in_order(
         contexts: Vec<ExecutionContext>,
         rm: &mut ResourceManager,
@@ -115,24 +131,30 @@ impl ExecutionContext {
     ) -> MergeOutcome {
         let mut out = MergeOutcome::default();
         let mut deaths: Vec<usize> = Vec::new();
+        let mut secretions: Vec<Secretion> = Vec::new();
         let mut any_diameters = false;
         for ctx in &contexts {
             out.behaviors_run += ctx.behaviors_run;
             out.divisions += ctx.divisions;
             any_diameters |= ctx.diameters_written;
-            for s in &ctx.secretions {
-                substances[s.substance].secrete(s.position, s.rate);
-            }
+            secretions.extend_from_slice(&ctx.secretions);
             debug_assert!(ctx.deaths.windows(2).all(|w| w[0] <= w[1]));
             deaths.extend_from_slice(&ctx.deaths);
+        }
+        secretions.sort_by_key(|s| s.uid);
+        for s in &secretions {
+            substances[s.substance].secrete(s.position, s.rate);
         }
         if any_diameters {
             rm.invalidate_largest_diameter();
         }
+        let mut births: Vec<(u64, CellBuilder)> = Vec::new();
         for ctx in contexts {
-            for cell in ctx.births {
-                rm.add(cell);
-            }
+            births.extend(ctx.births);
+        }
+        births.sort_by_key(|b| b.0);
+        for (_, cell) in births {
+            rm.add(cell);
         }
         // Chunks contribute ascending, disjoint index ranges, so the
         // concatenation is already globally sorted; dedup guards against
@@ -166,7 +188,7 @@ mod tests {
         // Chunk 0 (agents 0..3): agent 1 dies, one birth.
         let mut c0 = ExecutionContext::new();
         c0.push_death(1);
-        c0.push_birth(cell(100.0, 2.0));
+        c0.push_birth(0, cell(100.0, 2.0));
         c0.divisions = 1;
         c0.behaviors_run = 3;
         // Chunk 1 (agents 3..6): agents 4 and 5 die.
@@ -216,11 +238,31 @@ mod tests {
             space,
         )];
         let mut c0 = ExecutionContext::new();
-        c0.push_secretion(0, Vec3::zero(), 2.0);
+        c0.push_secretion(0, 0, Vec3::zero(), 2.0);
         let mut c1 = ExecutionContext::new();
-        c1.push_secretion(0, Vec3::new(5.0, 5.0, 5.0), 3.0);
+        c1.push_secretion(1, 0, Vec3::new(5.0, 5.0, 5.0), 3.0);
         ExecutionContext::merge_in_order(vec![c0, c1], &mut rm, &mut grids);
         assert!((grids[0].total_mass() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn births_merge_in_mother_uid_order_not_chunk_order() {
+        // Mothers discovered in chunk order 5, 2 (e.g. because storage
+        // was reordered): daughters must still append in mother-uid
+        // order, so the reorder cannot change uid assignment.
+        let mut rm = ResourceManager::new();
+        for i in 0..6 {
+            rm.add(cell(i as f64, 1.0));
+        }
+        let mut c0 = ExecutionContext::new();
+        c0.push_birth(5, cell(105.0, 1.0));
+        let mut c1 = ExecutionContext::new();
+        c1.push_birth(2, cell(102.0, 1.0));
+        ExecutionContext::merge_in_order(vec![c0, c1], &mut rm, &mut []);
+        assert_eq!(rm.len(), 8);
+        // uid 6 goes to mother 2's daughter, uid 7 to mother 5's.
+        assert_eq!((rm.uid(6), rm.position(6).x), (6, 102.0));
+        assert_eq!((rm.uid(7), rm.position(7).x), (7, 105.0));
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
 pub use environment::{EnvironmentKind, GridLayout};
 pub use exec::ExecutionContext;
 pub use io::Snapshot;
-pub use operation::{OpContext, Operation};
-pub use param::SimParams;
+pub use operation::{OpContext, Operation, ReorderOp};
+pub use param::{ReorderParams, SimParams};
 pub use profiler::{OpRecord, Profiler, StepProfile};
 pub use rm::ResourceManager;
 pub use scheduler::{ExecMode, OpStats, Scheduler};

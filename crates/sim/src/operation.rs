@@ -25,10 +25,11 @@ use crate::exec::ExecutionContext;
 use crate::mech::{self, MechScratch, MechWork};
 use crate::param::SimParams;
 use crate::profiler::OpRecord;
-use crate::rm::{AgentChunkMut, AgentShared, ResourceManager};
+use crate::rm::{AgentChunkMut, AgentShared, ReorderScratch, ResourceManager};
 use bdm_device::cpu::Phase;
 use bdm_gpu::pipeline::MechanicalPipeline;
 use bdm_math::{SplitMix64, Vec3};
+use bdm_soa::Permutation;
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -89,6 +90,83 @@ pub fn wall_record(name: &str, wall_s: f64) -> OpRecord {
 }
 
 // ---------------------------------------------------------------------
+// Host reorder (the paper's Improvement II, applied to resident state)
+// ---------------------------------------------------------------------
+
+/// Sorts the resident SoA columns along a space-filling curve so that
+/// spatial neighbors are also memory neighbors — the paper's Improvement
+/// II (§IV-D/§V), applied to the *CPU-resident* state instead of only at
+/// GPU upload. Downstream beneficiaries: the CSR counting-sort build
+/// scatters near-sequentially, the fused force pass gathers neighbor
+/// positions with near-unit stride, and the GPU pipeline detects that
+/// host order already matches its curve and skips its per-step
+/// permutation.
+///
+/// Scheduled with frequency `params.reorder.every` (drift policy: agents
+/// move slowly relative to the voxel size, so sortedness decays over
+/// many steps and the sort amortizes). Disabled when `every == 0`.
+///
+/// Determinism: agents sort by the pair `(curve key of their grid voxel,
+/// uid)` — a strict total order over the population, so the resulting
+/// layout is a pure function of per-agent state, independent of the
+/// storage order the op happened to find. Combined with the uid-keyed
+/// merges in [`crate::exec`], enabling the reorder cannot change any
+/// trajectory (pinned by the purity proptests).
+#[derive(Debug, Default)]
+pub struct ReorderOp {
+    keys: Vec<(u64, u64)>,
+    scratch: ReorderScratch,
+}
+
+impl Operation for ReorderOp {
+    fn name(&self) -> &str {
+        "reorder"
+    }
+
+    fn run(&mut self, ctx: &mut OpContext<'_>) -> Vec<OpRecord> {
+        let t = Instant::now();
+        let n = ctx.rm.len();
+        let mut moved = 0u64;
+        if n > 1 {
+            // Quantize at the same cell edge the uniform grid uses, with
+            // the same dims clamp, so "same key" == "same grid voxel".
+            let radius = mech::interaction_radius(ctx.rm, ctx.params);
+            let (xs, ys, zs) = ctx.rm.position_columns();
+            let cells = bdm_morton::cell_keys(
+                xs,
+                ys,
+                zs,
+                &ctx.params.space,
+                radius,
+                ctx.params.reorder.curve,
+            );
+            self.keys.clear();
+            self.keys
+                .extend(cells.into_iter().zip(ctx.rm.uid_column().iter().copied()));
+            // Identity fast path: an O(n) sortedness scan skips the
+            // argsort *and* every column gather when nothing drifted.
+            if !self.keys.is_sorted() {
+                let perm = Permutation::sorting_by_key(&self.keys);
+                ctx.rm.apply_permutation(&perm, &mut self.scratch);
+                moved = n as u64;
+            }
+        }
+        vec![OpRecord {
+            name: self.name().into(),
+            wall_s: t.elapsed().as_secs_f64(),
+            // Key computation + argsort + (amortized) column gathers.
+            phases: vec![Phase::parallel_fp64(
+                "reorder",
+                30.0 * n as f64,
+                32.0 * n as f64 + 136.0 * moved as f64,
+                moved as f64,
+            )],
+            gpu: None,
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------
 // Behaviors
 // ---------------------------------------------------------------------
 
@@ -144,12 +222,15 @@ fn run_behavior_chunk(
                         let offset = dir * (half_d * 0.5);
                         chunk.set_diameter(k, half_d);
                         chunk.set_position(k, mother_pos - offset);
-                        ec.push_birth(CellBuilder {
-                            position: mother_pos + offset,
-                            diameter: half_d,
-                            adherence: shared.adherence(i),
-                            behaviors: shared.behaviors(i).to_vec(),
-                        });
+                        ec.push_birth(
+                            shared.uid(i),
+                            CellBuilder {
+                                position: mother_pos + offset,
+                                diameter: half_d,
+                                adherence: shared.adherence(i),
+                                behaviors: shared.behaviors(i).to_vec(),
+                            },
+                        );
                     } else {
                         chunk.set_diameter(k, new_d);
                     }
@@ -163,7 +244,7 @@ fn run_behavior_chunk(
                     }
                 }
                 Behavior::Secretion { substance, rate } => {
-                    ec.push_secretion(substance, chunk.position(k), rate);
+                    ec.push_secretion(shared.uid(i), substance, chunk.position(k), rate);
                 }
                 Behavior::Apoptosis { probability } => {
                     let mut rng =

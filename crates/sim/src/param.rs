@@ -2,6 +2,30 @@
 
 use bdm_math::interaction::MechParams;
 use bdm_math::{Aabb, Vec3};
+use bdm_morton::Curve;
+
+/// Host-side space-filling-curve reorder policy (the paper's Improvement
+/// II applied to the resident SoA columns, not just the GPU upload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderParams {
+    /// Which curve orders the agents (Z-order is the paper's choice;
+    /// Hilbert is the no-long-jumps ablation alternative).
+    pub curve: Curve,
+    /// Re-sort every `every` steps; `0` disables the reorder operation
+    /// entirely (insertion order — the pre-reorder behavior). Because
+    /// agents drift slowly relative to the voxel size, sortedness decays
+    /// over many steps and the sort cost amortizes (§V).
+    pub every: u64,
+}
+
+impl Default for ReorderParams {
+    fn default() -> Self {
+        Self {
+            curve: Curve::ZOrder,
+            every: 0,
+        }
+    }
+}
 
 /// Global parameters of a simulation (BioDynaMo's `Param`).
 #[derive(Debug, Clone)]
@@ -18,6 +42,8 @@ pub struct SimParams {
     /// Override for the uniform-grid voxel edge / interaction radius.
     /// `None` = the BioDynaMo policy: the largest agent diameter.
     pub interaction_radius: Option<f64>,
+    /// Host-side agent reorder policy (off by default).
+    pub reorder: ReorderParams,
 }
 
 impl SimParams {
@@ -28,6 +54,7 @@ impl SimParams {
             mech: MechParams::default_params(),
             seed: 0x5EED,
             interaction_radius: None,
+            reorder: ReorderParams::default(),
         }
     }
 
@@ -46,6 +73,19 @@ impl SimParams {
     /// Builder-style interaction-radius override.
     pub fn with_interaction_radius(mut self, r: f64) -> Self {
         self.interaction_radius = Some(r);
+        self
+    }
+
+    /// Builder-style reorder frequency: re-sort the agent columns along
+    /// `reorder.curve` every `every` steps (`0` = never, the default).
+    pub fn with_reorder(mut self, every: u64) -> Self {
+        self.reorder.every = every;
+        self
+    }
+
+    /// Builder-style reorder-curve override.
+    pub fn with_reorder_curve(mut self, curve: Curve) -> Self {
+        self.reorder.curve = curve;
         self
     }
 }
@@ -77,8 +117,19 @@ mod tests {
     fn builders_apply() {
         let p = SimParams::cube(1.0)
             .with_seed(99)
-            .with_interaction_radius(2.5);
+            .with_interaction_radius(2.5)
+            .with_reorder(50)
+            .with_reorder_curve(Curve::Hilbert);
         assert_eq!(p.seed, 99);
         assert_eq!(p.interaction_radius, Some(2.5));
+        assert_eq!(p.reorder.every, 50);
+        assert_eq!(p.reorder.curve, Curve::Hilbert);
+    }
+
+    #[test]
+    fn reorder_defaults_off() {
+        let p = SimParams::default();
+        assert_eq!(p.reorder.every, 0, "reorder is opt-in");
+        assert_eq!(p.reorder.curve, Curve::ZOrder);
     }
 }

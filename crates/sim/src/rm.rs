@@ -7,8 +7,18 @@
 use crate::behavior::Behavior;
 use crate::cell::CellBuilder;
 use bdm_math::Vec3;
-use bdm_soa::{Column, SoaVec3, Vec3ChunkMut};
+use bdm_soa::{Column, Permutation, SoaVec3, Vec3ChunkMut};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reusable scratch buffers for [`ResourceManager::apply_permutation`]:
+/// one per element type, cascaded across all columns of that type, so a
+/// steady-state reorder allocates nothing.
+#[derive(Debug, Default)]
+pub struct ReorderScratch {
+    f64s: Vec<f64>,
+    u64s: Vec<u64>,
+    behaviors: Vec<Vec<Behavior>>,
+}
 
 /// Cached population maximum diameter.
 ///
@@ -101,7 +111,18 @@ impl ResourceManager {
     }
 
     /// Remove agent `i` (swap-remove across every column).
-    pub fn remove(&mut self, i: usize) {
+    ///
+    /// Contract: the **last** agent is moved into slot `i`, so any index
+    /// `> i` a caller still holds is invalidated — specifically, a held
+    /// index equal to the old last slot now refers to agent `i`'s former
+    /// contents' replacement. Returns `Some(old_last_index)` when such a
+    /// move happened (the agent previously at that index now lives at
+    /// `i`), or `None` when `i` was the last agent and nothing moved.
+    /// Callers holding multiple indices must either remove in descending
+    /// index order (the death sweep in `exec::merge_in_order` does) or
+    /// remap through the returned index.
+    pub fn remove(&mut self, i: usize) -> Option<usize> {
+        let last = self.len() - 1;
         self.positions.swap_remove(i);
         let d = self.diameters.swap_remove(i);
         // The removed agent may have been the (sole) maximum holder.
@@ -111,6 +132,27 @@ impl ResourceManager {
         self.adherences.swap_remove(i);
         self.behaviors.swap_remove(i);
         self.uids.swap_remove(i);
+        (i < last).then_some(last)
+    }
+
+    /// Reorder every column with one gather permutation (`new[k] =
+    /// old[perm[k]]`), the storage half of the paper's Improvement II:
+    /// after sorting `perm` along a space-filling curve, agents that are
+    /// close in space are close in every SoA column. Identity stable:
+    /// `uids` travel with their agents, so per-uid identity (and the
+    /// uid-seeded RNG streams) survive any number of reorders. The
+    /// largest-diameter cache is untouched — a permutation cannot change
+    /// the population maximum.
+    ///
+    /// The scratch cascades through all columns; an identity permutation
+    /// costs zero copies (see `Permutation::apply_in_place`).
+    pub fn apply_permutation(&mut self, perm: &Permutation, scratch: &mut ReorderScratch) {
+        assert_eq!(perm.len(), self.len(), "permutation/population mismatch");
+        self.positions.permute(perm, &mut scratch.f64s);
+        self.diameters.permute(perm, &mut scratch.f64s);
+        self.adherences.permute(perm, &mut scratch.f64s);
+        self.uids.permute(perm, &mut scratch.u64s);
+        self.behaviors.permute(perm, &mut scratch.behaviors);
     }
 
     /// Position of agent `i`.
@@ -240,6 +282,11 @@ impl ResourceManager {
     /// Diameter column.
     pub fn diameter_column(&self) -> &[f64] {
         self.diameters.as_slice()
+    }
+
+    /// Stable unique-id column.
+    pub fn uid_column(&self) -> &[u64] {
+        self.uids.as_slice()
     }
 
     /// Adherence column.
@@ -381,12 +428,67 @@ mod tests {
         rm.add(cell_at(0.0).diameter(1.0));
         rm.add(cell_at(1.0).diameter(2.0));
         rm.add(cell_at(2.0).diameter(3.0));
-        rm.remove(0);
+        assert_eq!(rm.remove(0), Some(2), "agent 2 was moved into slot 0");
         assert_eq!(rm.len(), 2);
         // Swap-remove moved the last agent into slot 0.
         assert_eq!(rm.position(0).x, 2.0);
         assert_eq!(rm.diameter(0), 3.0);
         assert_eq!(rm.uid(0), 2);
+        // Removing the last agent moves nothing.
+        assert_eq!(rm.remove(1), None);
+        assert_eq!(rm.uid(0), 2);
+    }
+
+    #[test]
+    fn remove_reports_the_moved_from_index() {
+        // The swap-remove contract: callers holding an index into the
+        // tail can remap it through the returned old-last index.
+        let mut rm = ResourceManager::new();
+        for i in 0..5 {
+            rm.add(cell_at(i as f64));
+        }
+        let mut held = 4; // track agent uid 4 by index
+        let moved_from = rm.remove(1).expect("tail moved");
+        if held == moved_from {
+            held = 1;
+        }
+        assert_eq!(rm.uid(held), 4, "remapped index follows the agent");
+    }
+
+    #[test]
+    fn apply_permutation_reorders_every_column_and_keeps_uids_stable() {
+        let mut rm = ResourceManager::new();
+        for i in 0..4 {
+            rm.add(
+                cell_at(i as f64)
+                    .diameter(1.0 + i as f64)
+                    .behavior(Behavior::Apoptosis {
+                        probability: 0.1 * i as f64,
+                    }),
+            );
+        }
+        let max_before = rm.largest_diameter();
+        let perm = Permutation::new(vec![3, 1, 0, 2]);
+        let mut scratch = ReorderScratch::default();
+        rm.apply_permutation(&perm, &mut scratch);
+        // Every column gathered through the same permutation; uid still
+        // identifies the same agent state after the move.
+        for (new_i, &old_i) in [3usize, 1, 0, 2].iter().enumerate() {
+            assert_eq!(rm.uid(new_i), old_i as u64);
+            assert_eq!(rm.position(new_i).x, old_i as f64);
+            assert_eq!(rm.diameter(new_i), 1.0 + old_i as f64);
+            assert_eq!(
+                rm.behaviors(new_i),
+                &[Behavior::Apoptosis {
+                    probability: 0.1 * old_i as f64
+                }]
+            );
+        }
+        // A permutation cannot change the population maximum.
+        assert_eq!(rm.largest_diameter(), max_before);
+        // Scratch is reused across calls (identity costs zero copies).
+        rm.apply_permutation(&Permutation::identity(4), &mut scratch);
+        assert_eq!(rm.uid(0), 3);
     }
 
     #[test]

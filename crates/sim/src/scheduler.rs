@@ -87,6 +87,22 @@ impl Scheduler {
         });
     }
 
+    /// Insert an operation at the *front* of the pipeline — for stages
+    /// that must see (and shape) the storage before every other op, like
+    /// the host reorder.
+    pub fn add_front(&mut self, op: Box<dyn Operation>) {
+        self.ops.insert(
+            0,
+            OpSlot {
+                op,
+                frequency: 1,
+                enabled: true,
+                runs: 0,
+                wall_s: 0.0,
+            },
+        );
+    }
+
     /// Execution mode for chunked agent loops.
     pub fn mode(&self) -> ExecMode {
         self.mode

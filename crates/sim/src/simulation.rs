@@ -10,7 +10,7 @@ use crate::cell::CellBuilder;
 use crate::diffusion::{DiffusionGrid, DiffusionParams};
 use crate::environment::EnvironmentKind;
 use crate::mech::{MechScratch, MechWork};
-use crate::operation::{OpContext, Operation};
+use crate::operation::{OpContext, Operation, ReorderOp};
 use crate::param::SimParams;
 use crate::profiler::Profiler;
 use crate::rm::ResourceManager;
@@ -35,8 +35,18 @@ pub struct Simulation {
 impl Simulation {
     /// New simulation with the default environment (parallel uniform
     /// grid — BioDynaMo's production configuration after the paper) and
-    /// the default operation pipeline.
+    /// the default operation pipeline. A host [`ReorderOp`] always sits
+    /// at the front of the pipeline; it is enabled (with frequency
+    /// `params.reorder.every`) only when the reorder parameter is on, so
+    /// callers can also toggle it at runtime through the scheduler.
     pub fn new(params: SimParams) -> Self {
+        let mut scheduler = Scheduler::default_pipeline();
+        scheduler.add_front(Box::new(ReorderOp::default()));
+        if params.reorder.every > 0 {
+            scheduler.set_frequency("reorder", params.reorder.every);
+        } else {
+            scheduler.set_enabled("reorder", false);
+        }
         Self {
             params,
             rm: ResourceManager::new(),
@@ -47,7 +57,7 @@ impl Simulation {
             mech_scratch: MechScratch::default(),
             steps_executed: 0,
             last_mech: None,
-            scheduler: Scheduler::default_pipeline(),
+            scheduler,
         }
     }
 

@@ -113,12 +113,75 @@ impl Permutation {
         }
     }
 
+    /// Gather `src` through the permutation into `dst`, reusing `dst`'s
+    /// capacity (`dst[i] = src[perm[i]]`; `dst` is cleared first).
+    pub fn gather_into<T: Clone + Send + Sync>(&self, src: &[T], dst: &mut Vec<T>) {
+        dst.clear();
+        if self.is_identity() {
+            dst.extend_from_slice(src);
+            return;
+        }
+        assert_eq!(
+            src.len(),
+            self.gather.len(),
+            "column length {} does not match permutation length {}",
+            src.len(),
+            self.gather.len()
+        );
+        dst.extend(self.gather.iter().map(|&g| src[g as usize].clone()));
+    }
+
     /// In-place gather through a scratch buffer (reuses `scratch`'s
-    /// capacity; leaves `scratch` holding the old data).
+    /// capacity; on a non-identity permutation, leaves `scratch` holding
+    /// the old data).
+    ///
+    /// Identity fast path: when the permutation is the identity the data
+    /// is already in place, so nothing is copied and `scratch` is left
+    /// untouched — an amortized reorder pass that finds the population
+    /// already sorted costs one O(n) index scan and zero element moves.
     pub fn apply_in_place<T: Clone + Send + Sync>(&self, data: &mut Vec<T>, scratch: &mut Vec<T>) {
+        if self.is_identity() {
+            assert_eq!(
+                data.len(),
+                self.gather.len(),
+                "column length {} does not match permutation length {}",
+                data.len(),
+                self.gather.len()
+            );
+            return;
+        }
         scratch.clear();
         scratch.extend(self.apply(data.as_slice()));
         std::mem::swap(data, scratch);
+    }
+
+    /// Apply the permutation to several same-typed columns, cascading one
+    /// scratch buffer across all of them (one allocation amortized over
+    /// the whole reorder). The identity check runs once up front, so an
+    /// already-sorted population costs zero copies no matter how many
+    /// columns ride along.
+    pub fn apply_columns_in_place<T: Clone + Send + Sync>(
+        &self,
+        columns: &mut [&mut Vec<T>],
+        scratch: &mut Vec<T>,
+    ) {
+        if self.is_identity() {
+            for col in columns.iter() {
+                assert_eq!(
+                    col.len(),
+                    self.gather.len(),
+                    "column length {} does not match permutation length {}",
+                    col.len(),
+                    self.gather.len()
+                );
+            }
+            return;
+        }
+        for col in columns.iter_mut() {
+            scratch.clear();
+            scratch.extend(self.apply(col.as_slice()));
+            std::mem::swap(*col, scratch);
+        }
     }
 
     /// Composition: `(self ∘ other)` first applies `other`, then `self`.
@@ -195,6 +258,56 @@ mod tests {
         p.apply_in_place(&mut d, &mut scratch);
         assert_eq!(d, expected);
         assert_eq!(scratch, data); // scratch holds the pre-gather data
+    }
+
+    #[test]
+    fn gather_into_matches_apply_and_reuses_dst() {
+        let p = Permutation::new(vec![2, 0, 3, 1]);
+        let data = vec![9, 8, 7, 6];
+        let mut dst = Vec::with_capacity(16);
+        let cap = dst.capacity();
+        p.gather_into(&data, &mut dst);
+        assert_eq!(dst, p.apply(&data));
+        assert_eq!(dst.capacity(), cap, "dst capacity is reused");
+    }
+
+    #[test]
+    fn identity_apply_in_place_is_zero_copy() {
+        // The identity fast path must neither move the data buffer nor
+        // touch the scratch — sentinel contents survive unchanged.
+        let p = Permutation::identity(4);
+        let mut data = vec![1, 2, 3, 4];
+        let ptr = data.as_ptr();
+        let mut scratch = vec![99, 99];
+        p.apply_in_place(&mut data, &mut scratch);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+        assert_eq!(data.as_ptr(), ptr, "identity must not reallocate data");
+        assert_eq!(scratch, vec![99, 99], "identity must not touch scratch");
+
+        let mut cols = [vec![1.0, 2.0], vec![3.0, 4.0]];
+        let [ref mut a, ref mut b] = cols;
+        let mut scratch = vec![7.0];
+        Permutation::identity(2).apply_columns_in_place(&mut [a, b], &mut scratch);
+        assert_eq!(scratch, vec![7.0], "multi-column identity is zero-copy");
+        assert_eq!(cols, [vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn apply_columns_in_place_cascades_one_scratch() {
+        let p = Permutation::new(vec![1, 2, 0]);
+        let mut a = vec![10, 20, 30];
+        let mut b = vec![40, 50, 60];
+        let mut scratch = Vec::new();
+        p.apply_columns_in_place(&mut [&mut a, &mut b], &mut scratch);
+        assert_eq!(a, p.apply(&[10, 20, 30]));
+        assert_eq!(b, p.apply(&[40, 50, 60]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn identity_apply_in_place_still_checks_length() {
+        let p = Permutation::identity(3);
+        p.apply_in_place(&mut vec![1, 2], &mut Vec::new());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 # context and never compared. To re-baseline after an intentional perf
 # change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
+#   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,4 +17,5 @@ FRESH="$(mktemp -d)"
 trap 'rm -rf "$FRESH"' EXIT
 
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_json -- --out="$FRESH"
+BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_layouts -- --json="$FRESH"
 cargo run --release --offline -p bdm-bench --bin bench_gate -- --baseline=results --fresh="$FRESH" "$@"

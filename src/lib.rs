@@ -66,13 +66,14 @@ pub mod prelude {
     pub use bdm_gpu::pipeline::KernelVersion;
     pub use bdm_math::interaction::MechParams;
     pub use bdm_math::{Aabb, Scalar, Vec3};
+    pub use bdm_morton::Curve;
     pub use bdm_sim::behavior::Behavior;
     pub use bdm_sim::cell::CellBuilder;
     pub use bdm_sim::diffusion::{BoundaryCondition, DiffusionParams};
     pub use bdm_sim::environment::{EnvironmentKind, GpuSystem};
     pub use bdm_sim::io::Snapshot;
-    pub use bdm_sim::operation::{OpContext, Operation};
-    pub use bdm_sim::param::SimParams;
+    pub use bdm_sim::operation::{OpContext, Operation, ReorderOp};
+    pub use bdm_sim::param::{ReorderParams, SimParams};
     pub use bdm_sim::profiler::OpRecord;
     pub use bdm_sim::scheduler::{ExecMode, Scheduler};
     pub use bdm_sim::simulation::Simulation;

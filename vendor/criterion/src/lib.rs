@@ -18,18 +18,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { label: format!("{}/{}", name.into(), parameter) }
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Just the parameter as the label.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        Self { label: s.to_string() }
+        Self {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -66,7 +72,10 @@ fn report(group: Option<&str>, label: &str, time: Duration) {
         Some(g) => format!("{g}/{label}"),
         None => label.to_string(),
     };
-    println!("bench {full:<48} {:>12.3} µs/iter", time.as_secs_f64() * 1e6);
+    println!(
+        "bench {full:<48} {:>12.3} µs/iter",
+        time.as_secs_f64() * 1e6
+    );
 }
 
 /// A named set of related benchmarks.
@@ -88,7 +97,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { last: Duration::ZERO };
+        let mut b = Bencher {
+            last: Duration::ZERO,
+        };
         f(&mut b);
         report(Some(&self.name), &id.label, b.last);
         self
@@ -104,7 +115,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { last: Duration::ZERO };
+        let mut b = Bencher {
+            last: Duration::ZERO,
+        };
         f(&mut b, input);
         report(Some(&self.name), &id.label, b.last);
         self
@@ -126,7 +139,10 @@ impl Criterion {
 
     /// Open a named group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
     }
 
     /// Run a stand-alone benchmark.
@@ -135,7 +151,9 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { last: Duration::ZERO };
+        let mut b = Bencher {
+            last: Duration::ZERO,
+        };
         f(&mut b);
         report(None, &id.label, b.last);
         self

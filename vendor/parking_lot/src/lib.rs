@@ -4,7 +4,9 @@
 //! that panic — what `expect` does here — matches parking_lot's observable
 //! behavior closely enough for this workspace's cache-slice locking.
 
-use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// Mutual exclusion with parking_lot's panic-free `lock()` signature.
 #[derive(Debug, Default)]

@@ -203,26 +203,38 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi_inclusive: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi_inclusive: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { lo: n, hi_inclusive: n }
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     /// Strategy producing `Vec`s of `element` with a length drawn from
     /// `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Output of [`vec`].
