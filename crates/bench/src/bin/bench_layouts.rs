@@ -5,15 +5,17 @@
 //! a uniform cloud) and one of full mechanical-step times on the
 //! benchmark-A scene, per environment. Median of five repetitions.
 //! `--json[=DIR]` additionally serializes the medians as
-//! `BENCH_layouts.json` — all host wall clocks, so every sample is
-//! emitted ungated (context, not gate input).
+//! `BENCH_layouts.json` — host wall clocks are emitted ungated (context,
+//! not gate input), while the deterministic locality/utilization
+//! counters (`layouts.csr_index_gap`, `mech.simd_lanes_utilized`,
+//! `mech.f32_refresh_copies`) gate at 2 %.
 
 use bdm_bench::{emit, BenchScale};
 use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_math::{Aabb, SplitMix64, Vec3};
 use bdm_metrics::MetricsRegistry;
 use bdm_sim::workload::benchmark_a;
-use bdm_sim::{CellBuilder, EnvironmentKind, ExecMode, SimParams, Simulation};
+use bdm_sim::{CellBuilder, EnvironmentKind, ExecMode, Precision, SimParams, Simulation};
 use bdm_soa::AgentId;
 use std::hint::black_box;
 use std::time::Instant;
@@ -205,6 +207,102 @@ fn reorder_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     }
 }
 
+/// Paper Improvement I on the CPU (mixed precision): the same random
+/// cloud as [`reorder_table`] — Z-order sorted every step so x-runs are
+/// long — stepped at `Precision::F64` (scalar baseline) and
+/// `Precision::F32Simd` (fused 8-lane f32 force pass). Wall clocks and
+/// the speedup ratio are informational; the SIMD utilization counters
+/// (`mech.simd_lanes_utilized`, `mech.f32_refresh_copies`) are
+/// deterministic functions of the trajectory and gate at 2 %.
+fn simd_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
+    let n = cells_per_dim * cells_per_dim * cells_per_dim;
+    let half = (n as f64 / 2.0).cbrt() * 2.0;
+    let env = EnvironmentKind::uniform_grid_csr_parallel();
+    println!(
+        "\n== mixed precision: random cloud (reordered), {n} cells, {} ==",
+        env.label()
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>14} {:>14}",
+        "precision", "step ms", "mech ms", "simd lanes", "f32 copies"
+    );
+    let mut mech_by_precision = [0.0f64; 2];
+    for (slot, precision) in [Precision::F64, Precision::F32Simd].into_iter().enumerate() {
+        let mut sim = Simulation::new(
+            SimParams::cube(half)
+                .with_seed(0x2b)
+                .with_reorder(1)
+                .with_precision(precision),
+        );
+        sim.set_environment(env);
+        let mut rng = SplitMix64::new(0x2b);
+        for _ in 0..n {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                ))
+                .diameter(4.0)
+                .adherence(0.01),
+            );
+        }
+        sim.step(); // warm caches + scratch (and apply the first sort)
+        let mut step_walls = Vec::with_capacity(REPS);
+        let mut mech_walls = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = Instant::now();
+            sim.step();
+            step_walls.push(t.elapsed().as_secs_f64() * 1e3);
+            mech_walls.push(
+                sim.profiler()
+                    .steps()
+                    .last()
+                    .unwrap()
+                    .records
+                    .iter()
+                    .find(|r| r.name == "mechanical forces")
+                    .expect("force record present")
+                    .wall_s
+                    * 1e3,
+            );
+        }
+        step_walls.sort_by(|a, b| a.total_cmp(b));
+        mech_walls.sort_by(|a, b| a.total_cmp(b));
+        let (step_ms, mech_ms) = (step_walls[REPS / 2], mech_walls[REPS / 2]);
+        mech_by_precision[slot] = mech_ms;
+        let metrics = sim.metrics();
+        let env_label = env.label();
+        let env_labels = [("env", env_label.as_str())];
+        let read = |name: &str| metrics.value(name, &env_labels).unwrap_or(0.0);
+        let (lanes, copies) = (
+            read("mech.simd_lanes_utilized"),
+            read("mech.f32_refresh_copies"),
+        );
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>14.0} {:>14.0}",
+            precision.label(),
+            step_ms,
+            mech_ms,
+            lanes,
+            copies
+        );
+        let labels = [("precision", precision.label())];
+        reg.set_gauge("layouts.simd_step_wall_ms", &labels, step_ms);
+        reg.set_gauge("layouts.simd_mech_wall_ms", &labels, mech_ms);
+        if precision == Precision::F32Simd {
+            reg.set_gauge("mech.simd_lanes_utilized", &labels, lanes);
+            reg.set_gauge("mech.f32_refresh_copies", &labels, copies);
+        }
+    }
+    let speedup = mech_by_precision[0] / mech_by_precision[1].max(1e-12);
+    println!(
+        "{:<12} {:>10.2}x mech-pass speedup (f64 / f32-simd)",
+        "", speedup
+    );
+    reg.set_gauge("layouts.simd_speedup_wall_x", &[], speedup);
+}
+
 fn behaviors_table(cells_per_dim: usize, reg: &mut MetricsRegistry) {
     let n = cells_per_dim * cells_per_dim * cells_per_dim;
     println!("\n== behaviors operation: benchmark A, {n} cells (growing) ==");
@@ -252,6 +350,7 @@ fn main() {
     }
     step_table(scale.a_cells_per_dim, &mut reg);
     reorder_table(scale.a_cells_per_dim, &mut reg);
+    simd_table(scale.a_cells_per_dim, &mut reg);
     behaviors_table(scale.a_cells_per_dim, &mut reg);
     if let Some(dir) = emit::json_dir_from_args(&args) {
         let mut doc = emit::new_doc("layouts", &scale);

@@ -15,11 +15,14 @@
 //! * [`stats`] — streaming statistics used by the benchmark harness.
 //! * [`rng`] — a tiny deterministic RNG (SplitMix64) so every experiment is
 //!   reproducible bit-for-bit across runs and thread counts.
+//! * [`simd`] — portable fixed-width lane types (`F32x8`/`U32x8`) behind the
+//!   mixed-precision CPU force pass (paper Improvement I on the host).
 
 pub mod aabb;
 pub mod interaction;
 pub mod rng;
 pub mod scalar;
+pub mod simd;
 pub mod stats;
 pub mod vec3;
 

@@ -1,0 +1,716 @@
+//! Fixed-width SIMD lane types for the mixed-precision CPU force pass.
+//!
+//! The paper's *Improvement I* halves the arithmetic width (FP64→FP32) to
+//! double the effective memory bandwidth of the force kernel. This module
+//! brings that to the CPU hot path: portable 8-wide lane types written as
+//! plain `[T; 8]` arrays with `#[inline]` per-lane loops, which LLVM
+//! autovectorizes into AVX/SSE code on stable Rust — no nightly
+//! `std::simd`. One exception to the no-intrinsics rule: the packed
+//! gather ([`F32x8::gather4`]) uses the stable AVX2 `vgatherdps`
+//! intrinsic behind `cfg(target_feature = "avx2")`, because a hardware
+//! gather is the single load shape LLVM cannot form on its own and the
+//! shuffle-tree alternative dominates the force pass's port pressure;
+//! a portable, bitwise-identical fallback remains for other targets.
+//!
+//! Design rules that keep the path deterministic:
+//!
+//! * **Strict IEEE ops by default.** The basic operations are plain
+//!   `+ - * /` or `sqrt` — all exactly specified by IEEE 754, so results
+//!   are bitwise reproducible across machines. No FMA contraction (Rust
+//!   never contracts), no fast-math. The two *opt-in* approximate ops
+//!   ([`F32x8::rsqrt_nr`], [`F32x8::recip_nr`]) trade that cross-machine
+//!   bitwise guarantee for divider-port-free throughput: ~2·10⁻⁷
+//!   relative error, same-build determinism only (the hardware seed
+//!   differs between AVX2 and the exact fallback).
+//! * **Bitwise masking, not branching.** [`M32x8::select`] blends lanes
+//!   through bit operations on the raw `f32` representation, so a
+//!   masked-out lane contributes an exact `+0.0` even when its
+//!   *computed* value was NaN or ±inf (e.g. `sqrt` of a negative
+//!   excluded-lane operand, or a division by a zero distance). NaNs
+//!   compare false, so a NaN lane can never enter a mask.
+//! * **Fixed reduction order.** [`F64x8`] accumulates each lane in `f64`
+//!   and [`F64x8::reduce`] sums the lanes in index order — the
+//!   accumulation order is a function of the candidate sequence alone,
+//!   never of thread scheduling.
+//!
+//! Tails shorter than [`LANES`] are the *caller's* job (the "masked load
+//! via tail-scalar fallback" of the design): run the same per-lane scalar
+//! arithmetic on the remainder rather than constructing a partial vector
+//! load. See `bdm_sim::mech::cpu_grid_csr_step_simd`.
+
+// Every lane kernel is written as `for l in 0..LANES { out[l] = … }`:
+// the index form keeps the ops visually uniform across one- and
+// two-operand kernels and is the shape LLVM's loop vectorizer matches.
+// Clippy's iterator rewrite obscures that without changing codegen.
+#![allow(clippy::needless_range_loop)]
+
+use core::ops::{Add, Div, Mul, Sub};
+
+/// Lane count of every vector type in this module (one AVX2 register of
+/// `f32`, two SSE registers — either way a shape LLVM vectorizes well).
+pub const LANES: usize = 8;
+
+/// 8 × `f32` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(align(32))]
+pub struct F32x8(pub [f32; LANES]);
+
+/// 8 × `u32` lanes (agent ids, lane indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(align(32))]
+pub struct U32x8(pub [u32; LANES]);
+
+/// 8-lane mask: each lane is all-ones (`!0`) or all-zeros. Produced by
+/// comparisons, consumed by [`M32x8::select`] and the popcount helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(align(32))]
+pub struct M32x8(pub [u32; LANES]);
+
+/// 8 × `f64` accumulator lanes for the mixed-precision discipline: the
+/// force kernel computes in `f32`, but each lane's running sum is kept in
+/// `f64` so accumulation error does not grow with neighbor count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(align(64))]
+pub struct F64x8(pub [f64; LANES]);
+
+impl F32x8 {
+    /// All lanes = `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; LANES])
+    }
+
+    /// Gather `src[idx[l]]` per lane. Out-of-range lanes clamp to the
+    /// last element instead of panicking: a per-lane bounds-check branch
+    /// is a side exit that forbids LLVM from vectorizing the load loop,
+    /// while the clamped form compiles to a hardware gather
+    /// (`vpgatherdd`-class) or a branchless scalar sequence. Callers
+    /// index with ids already validated against `src` (the clamp is a
+    /// no-op there); an empty `src` still panics.
+    #[inline(always)]
+    pub fn gather(src: &[f32], idx: U32x8) -> Self {
+        // The assert hoists the only side exit out of the loop: after it
+        // LLVM can prove `min(last) < len` and drop every lane's check.
+        assert!(!src.is_empty(), "gather from empty slice");
+        let last = src.len() - 1;
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = src[(idx.0[l] as usize).min(last)];
+        }
+        Self(out)
+    }
+
+    /// Gather 8 packed `[f32; 4]` records and transpose them into four
+    /// lane vectors — the CPU analogue of a `float4` gather on the GPU.
+    /// One address computation and one 16-byte load per lane replaces
+    /// four scattered column touches; the clamp rule matches
+    /// [`F32x8::gather`].
+    ///
+    /// On AVX2 targets this compiles to four hardware `vgatherdps`
+    /// instructions — the one load shape LLVM cannot autovectorize from
+    /// scalar IR. Written as per-lane record loads, the 8×4 transpose
+    /// becomes ~30 port-5-only shuffle µops per batch, which measures as
+    /// *the* throughput bottleneck of the fused force pass; the
+    /// hardware gather eliminates the transpose entirely. Both paths
+    /// load identical `f32` values, so results are bitwise equal.
+    #[cfg(target_feature = "avx2")]
+    #[inline(always)]
+    pub fn gather4(src: &[[f32; 4]], idx: U32x8) -> [Self; 4] {
+        use core::arch::x86_64::*;
+        assert!(!src.is_empty(), "gather from empty slice");
+        // Element offsets are built in i32 lanes: 4·idx + 3 must not
+        // wrap. Far below any realistic agent count.
+        assert!(
+            src.len() <= i32::MAX as usize / 4,
+            "gather4 source too large"
+        );
+        let last = (src.len() - 1) as u32;
+        // SAFETY (the only unsafe in this crate): every lane offset is
+        // clamped to `last` first (`vpminud`), so each of the eight
+        // 16-byte records the hardware gathers touch lies inside `src`,
+        // which is immutably borrowed for the whole call. The
+        // loadu/storeu shims move lanes between the portable `[f32; 8]`
+        // representation and `__m256` without alignment assumptions.
+        unsafe {
+            let idxv = _mm256_loadu_si256(idx.0.as_ptr() as *const __m256i);
+            let cl = _mm256_min_epu32(idxv, _mm256_set1_epi32(last as i32));
+            // Record index → f32 element index (each record is 4 lanes).
+            let elem = _mm256_slli_epi32::<2>(cl);
+            let base = src.as_ptr() as *const f32;
+            let mut out = [Self::zero(); 4];
+            for (c, lanes) in out.iter_mut().enumerate() {
+                let off = _mm256_add_epi32(elem, _mm256_set1_epi32(c as i32));
+                let v = _mm256_i32gather_ps::<4>(base, off);
+                _mm256_storeu_ps(lanes.0.as_mut_ptr(), v);
+            }
+            out
+        }
+    }
+
+    /// Portable fallback: clamped per-lane record loads; LLVM builds
+    /// the transpose from shuffles. Bitwise-identical results to the
+    /// AVX2 path.
+    #[cfg(not(target_feature = "avx2"))]
+    #[inline(always)]
+    pub fn gather4(src: &[[f32; 4]], idx: U32x8) -> [Self; 4] {
+        assert!(!src.is_empty(), "gather from empty slice");
+        let last = src.len() - 1;
+        // Clamp as a u32 lane op first (`vpminud`) — clamping the
+        // zero-extended usize per lane instead costs a scalar
+        // compare+cmov chain on eight 64-bit registers.
+        // (a u32 lane can't index past u32::MAX anyway, so saturating
+        // the bound there keeps the clamp exact for any slice length).
+        let lastv = last.min(u32::MAX as usize) as u32;
+        let mut cl = [0u32; LANES];
+        for l in 0..LANES {
+            cl[l] = idx.0[l].min(lastv);
+        }
+        let mut out = [[0.0f32; LANES]; 4];
+        for l in 0..LANES {
+            let rec = src[cl[l] as usize];
+            out[0][l] = rec[0];
+            out[1][l] = rec[1];
+            out[2][l] = rec[2];
+            out[3][l] = rec[3];
+        }
+        [Self(out[0]), Self(out[1]), Self(out[2]), Self(out[3])]
+    }
+
+    /// Load 8 contiguous lanes from `src` (must hold at least 8).
+    /// Contiguous vector loads are the one memory shape SLP always
+    /// vectorizes cleanly, so hot loops prefer staging through a
+    /// contiguous scratch buffer and reloading with this over keeping
+    /// wide accumulators live across a gather-heavy loop.
+    #[inline(always)]
+    pub fn from_slice(src: &[f32]) -> Self {
+        let mut out = [0.0f32; LANES];
+        out.copy_from_slice(&src[..LANES]);
+        Self(out)
+    }
+
+    /// Per-lane square root (`vsqrtps` — exactly rounded per IEEE 754).
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l].sqrt();
+        }
+        Self(out)
+    }
+
+    /// Per-lane `≈ 1/√x` to ~2·10⁻⁷ relative error: hardware
+    /// reciprocal-square-root seed (`vrsqrtps`, ~12-bit) refined by one
+    /// Newton–Raphson step. `vsqrtps`/`vdivps` contend for the single
+    /// divider port and dominate a division-heavy inner loop; the seed +
+    /// refinement run on the ordinary multiply ports instead.
+    ///
+    /// Contract differences from the exact ops — callers must tolerate
+    /// both:
+    /// * `x = 0` yields **NaN**, not `inf` (the refinement multiplies the
+    ///   `inf` seed by `1.5 − 0·inf²`); mask such lanes out.
+    /// * Subnormal `x` is flushed to zero by the hardware seed (NaN out).
+    /// * On non-AVX2 targets the seed is the exactly-rounded `1/√x`, so
+    ///   values differ from the AVX2 build in the last ~2 ulp. Same-build
+    ///   results remain pure functions of the inputs on every target.
+    #[inline(always)]
+    pub fn rsqrt_nr(self) -> Self {
+        #[cfg(target_feature = "avx2")]
+        let seed = {
+            use core::arch::x86_64::*;
+            let mut out = [0.0f32; LANES];
+            // SAFETY: loadu/storeu move 8 lanes between the portable
+            // array and `__m256` with no alignment or validity
+            // assumptions beyond the array bounds, which are exact.
+            unsafe {
+                let v = _mm256_rsqrt_ps(_mm256_loadu_ps(self.0.as_ptr()));
+                _mm256_storeu_ps(out.as_mut_ptr(), v);
+            }
+            Self(out)
+        };
+        #[cfg(not(target_feature = "avx2"))]
+        let seed = {
+            let mut out = [0.0f32; LANES];
+            for l in 0..LANES {
+                out[l] = 1.0 / self.0[l].sqrt();
+            }
+            Self(out)
+        };
+        // One NR step for y ≈ 1/√x: y ← y·(1.5 − 0.5·x·y²).
+        seed * (Self::splat(1.5) - Self::splat(0.5) * self * seed * seed)
+    }
+
+    /// Per-lane `≈ 1/x` to ~1.5·10⁻⁷ relative error: hardware reciprocal
+    /// seed (`vrcpps`) plus one Newton–Raphson step. Same port rationale,
+    /// caveats, and cross-target contract as [`F32x8::rsqrt_nr`]
+    /// (`x = 0` → NaN after refinement).
+    #[inline(always)]
+    pub fn recip_nr(self) -> Self {
+        #[cfg(target_feature = "avx2")]
+        let seed = {
+            use core::arch::x86_64::*;
+            let mut out = [0.0f32; LANES];
+            // SAFETY: as in `rsqrt_nr` — bounds-exact loadu/storeu shims.
+            unsafe {
+                let v = _mm256_rcp_ps(_mm256_loadu_ps(self.0.as_ptr()));
+                _mm256_storeu_ps(out.as_mut_ptr(), v);
+            }
+            Self(out)
+        };
+        #[cfg(not(target_feature = "avx2"))]
+        let seed = {
+            let mut out = [0.0f32; LANES];
+            for l in 0..LANES {
+                out[l] = 1.0 / self.0[l];
+            }
+            Self(out)
+        };
+        // One NR step for y ≈ 1/x: y ← y·(2 − x·y).
+        seed * (Self::splat(2.0) - self * seed)
+    }
+
+    // The comparisons below are written as branchless
+    // `-(cond as i32) as u32` sign extensions rather than
+    // `if cond { !0 } else { 0 }`: the two are identical lane-by-lane,
+    // but the `if` form tempts LLVM into scalar `ucomiss`+`setcc` chains
+    // while the arithmetic form reliably fuses into one `vcmpps`.
+
+    /// Lanewise `self <= rhs`. NaN lanes compare false.
+    #[inline(always)]
+    pub fn le(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = (-((self.0[l] <= rhs.0[l]) as i32)) as u32;
+        }
+        M32x8(out)
+    }
+
+    /// Lanewise `self < rhs`. NaN lanes compare false.
+    #[inline(always)]
+    pub fn lt(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = (-((self.0[l] < rhs.0[l]) as i32)) as u32;
+        }
+        M32x8(out)
+    }
+
+    /// Lanewise `self > rhs`. NaN lanes compare false.
+    #[inline(always)]
+    pub fn gt(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = (-((self.0[l] > rhs.0[l]) as i32)) as u32;
+        }
+        M32x8(out)
+    }
+}
+
+impl Add for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] + rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Sub for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] - rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Mul for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] * rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Div for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] / rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl U32x8 {
+    /// All lanes = `v`.
+    #[inline(always)]
+    pub fn splat(v: u32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Load 8 consecutive lanes from a slice (panics if shorter).
+    #[inline(always)]
+    pub fn from_slice(src: &[u32]) -> Self {
+        let mut out = [0u32; LANES];
+        out.copy_from_slice(&src[..LANES]);
+        Self(out)
+    }
+
+    /// Lanewise `self != rhs` (branchless, like the float comparisons).
+    #[inline(always)]
+    pub fn ne(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = (-((self.0[l] != rhs.0[l]) as i32)) as u32;
+        }
+        M32x8(out)
+    }
+
+    /// Lanewise `|self[l] - rhs[l]|` — the per-candidate index gap. Kept
+    /// in vector form so a hot loop can run many batches through a lane
+    /// accumulator ([`Add`]) and pay the horizontal reduction
+    /// ([`Self::reduce_sum`]) once.
+    #[inline(always)]
+    pub fn abs_diff(self, rhs: Self) -> Self {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l].abs_diff(rhs.0[l]);
+        }
+        Self(out)
+    }
+
+    /// Horizontal sum of the lanes as `u64`. Integer arithmetic, so the
+    /// lane order is irrelevant to the result.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> u64 {
+        let mut sum = 0u64;
+        for l in 0..LANES {
+            sum += self.0[l] as u64;
+        }
+        sum
+    }
+
+    /// Sum over lanes of `|self[l] - rhs[l]|` as `u64` — the candidate
+    /// index-gap statistic of the fused CSR pass.
+    #[inline(always)]
+    pub fn abs_diff_sum(self, rhs: Self) -> u64 {
+        self.abs_diff(rhs).reduce_sum()
+    }
+}
+
+/// Lanewise *wrapping* add — the counter-accumulator op (index gaps,
+/// popcounts held in lanes). Wrapping, so the optimizer can keep the
+/// whole accumulation in one `vpaddd` without overflow branches; callers
+/// reduce often enough (per agent) that wraparound cannot occur in
+/// practice.
+impl Add for U32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l].wrapping_add(rhs.0[l]);
+        }
+        Self(out)
+    }
+}
+
+impl M32x8 {
+    /// All lanes false.
+    #[inline(always)]
+    pub fn none() -> Self {
+        Self([0; LANES])
+    }
+
+    /// Lanewise AND.
+    #[inline(always)]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] & rhs.0[l];
+        }
+        Self(out)
+    }
+
+    /// The lanes' sign bits packed into the low 8 bits — the
+    /// `vmovmskps` idiom, which LLVM recognizes from this exact shift
+    /// pattern when the mask is still in its natural 32-bit lane form.
+    /// Beware in hot loops: if surrounding code has let the optimizer
+    /// narrow the mask representation (e.g. through a blend), this
+    /// lowers to a cross-lane shuffle tree instead — prefer
+    /// [`Self::ones`] plus a [`U32x8`] accumulator for counting there.
+    #[inline(always)]
+    pub fn bits(self) -> u32 {
+        let mut out = 0u32;
+        for l in 0..LANES {
+            out |= (self.0[l] >> 31) << l;
+        }
+        out
+    }
+
+    /// Number of true lanes (`vmovmskps` + `popcnt`).
+    #[inline(always)]
+    pub fn count(self) -> u32 {
+        self.bits().count_ones()
+    }
+
+    /// The mask as 0/1 integer lanes (`vpand` with a splat of 1).
+    ///
+    /// This is the vertical-counting primitive: a loop that needs "how
+    /// many lanes were true across many batches" adds these into a
+    /// [`U32x8`] accumulator and pays one horizontal
+    /// [`U32x8::reduce_sum`] at the end, instead of a per-batch
+    /// horizontal [`Self::count`] — which costs a cross-lane reduction
+    /// inside the hot loop every iteration.
+    #[inline(always)]
+    pub fn ones(self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] & 1;
+        }
+        U32x8(out)
+    }
+
+    /// `true` if any lane is set.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.bits() != 0
+    }
+
+    /// Lanewise blend: `if mask { a } else { b }`, as *bit* operations on
+    /// the raw representation — a masked-out lane yields `b`'s exact bits
+    /// even when `a`'s lane is NaN/inf, which is what lets the force
+    /// kernel compute `sqrt`/division unconditionally and zero the
+    /// non-contact lanes afterwards.
+    #[inline(always)]
+    pub fn select(self, a: F32x8, b: F32x8) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for l in 0..LANES {
+            // Lanes are all-ones or all-zeros by construction, so this
+            // value select *is* the bitwise blend (`vblendvps`) — and
+            // unlike the explicit to_bits/from_bits formulation, LLVM
+            // keeps it in the float domain instead of bouncing every
+            // lane through scalar integer registers.
+            out[l] = if self.0[l] != 0 { a.0[l] } else { b.0[l] };
+        }
+        F32x8(out)
+    }
+}
+
+impl F64x8 {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; LANES])
+    }
+
+    /// Widen each `f32` lane to `f64` (exact) and add it to the running
+    /// lane sum (`vcvtps2pd` + `vaddpd`).
+    #[inline(always)]
+    pub fn accumulate(&mut self, v: F32x8) {
+        for l in 0..LANES {
+            self.0[l] += v.0[l] as f64;
+        }
+    }
+
+    /// Horizontal sum in lane-index order (0, then 1, … then 7) — a fixed
+    /// order so the reduction is deterministic.
+    #[inline(always)]
+    pub fn reduce(self) -> f64 {
+        let mut acc = 0.0f64;
+        for l in 0..LANES {
+            acc += self.0[l];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_scalar_bitwise() {
+        let a = F32x8([1.5, -2.25, 0.0, 1e-30, 3.75e7, -0.5, 6.0, 1e-8]);
+        let b = F32x8([0.5, 4.0, -1.0, 2e-30, 1.25e3, -0.25, 3.0, 7e-9]);
+        let sum = a + b;
+        let dif = a - b;
+        let prd = a * b;
+        let quo = a / b;
+        for l in 0..LANES {
+            assert_eq!(sum.0[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!(dif.0[l].to_bits(), (a.0[l] - b.0[l]).to_bits());
+            assert_eq!(prd.0[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(quo.0[l].to_bits(), (a.0[l] / b.0[l]).to_bits());
+        }
+        let sq = a.sqrt();
+        for l in 0..LANES {
+            assert_eq!(sq.0[l].to_bits(), a.0[l].sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let a = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(4.0);
+        let le = a.le(b);
+        assert_eq!(le.count(), 4);
+        let lt = a.lt(b);
+        assert_eq!(lt.count(), 3);
+        let gt = a.gt(b);
+        assert_eq!(gt.count(), 4);
+        let sel = le.select(a, F32x8::zero());
+        assert_eq!(sel.0, [1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(le.any());
+        assert!(!M32x8::none().any());
+        assert_eq!(le.and(gt).count(), 0);
+    }
+
+    #[test]
+    fn approximate_reciprocals_hit_newton_accuracy() {
+        let xs = F32x8([0.25, 1.0, 2.0, 16.0, 3.5e-3, 7.0e4, 123.456, 0.9]);
+        let rs = xs.rsqrt_nr();
+        let rc = xs.recip_nr();
+        for l in 0..LANES {
+            let x = xs.0[l] as f64;
+            let rel_rs = (rs.0[l] as f64 - 1.0 / x.sqrt()).abs() * x.sqrt();
+            let rel_rc = (rc.0[l] as f64 - 1.0 / x).abs() * x;
+            assert!(rel_rs < 1e-6, "rsqrt lane {l}: rel err {rel_rs}");
+            assert!(rel_rc < 1e-6, "recip lane {l}: rel err {rel_rc}");
+        }
+        // Documented zero-lane contract: NaN (not inf) after refinement,
+        // so a NaN-propagating caller masks it like any other garbage.
+        assert!(F32x8::zero().rsqrt_nr().0[0].is_nan());
+        assert!(F32x8::zero().recip_nr().0[0].is_nan());
+    }
+
+    #[test]
+    fn mask_ones_accumulate_counts_vertically() {
+        let a = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let le = a.le(F32x8::splat(4.0));
+        assert_eq!(le.ones().0, [1, 1, 1, 1, 0, 0, 0, 0]);
+        assert_eq!(M32x8::none().ones().0, [0; LANES]);
+        // Vertical accumulation over batches sums to the same total the
+        // per-batch horizontal counts would give.
+        let mut acc = U32x8::splat(0);
+        acc = acc + le.ones();
+        acc = acc + a.gt(F32x8::splat(6.0)).ones();
+        assert_eq!(acc.reduce_sum(), (le.count() + 2) as u64);
+    }
+
+    #[test]
+    fn nan_lanes_compare_false_and_select_zero() {
+        // The force kernel computes sqrt/division on *every* lane and
+        // relies on the mask to discard garbage: NaN must never pass a
+        // comparison, and select must produce exact +0.0 bits for
+        // masked-out NaN/inf lanes.
+        let nan = f32::NAN;
+        let inf = f32::INFINITY;
+        let a = F32x8([nan, inf, -inf, nan, 1.0, -1.0, 0.0, nan]);
+        let r = F32x8::splat(2.0);
+        assert_eq!(
+            a.le(r).count(),
+            4,
+            "-inf, 1.0, -1.0, 0.0; NaN/inf lanes fail"
+        );
+        assert_eq!(a.lt(r).count(), 4);
+        let masked = M32x8::none().select(a, F32x8::zero());
+        for l in 0..LANES {
+            assert_eq!(masked.0[l].to_bits(), 0.0f32.to_bits(), "lane {l}");
+        }
+        // sqrt of a negative produces NaN but stays confined to its lane.
+        let sq = F32x8([-1.0, 4.0, -9.0, 16.0, 0.0, 1.0, 2.0, 3.0]).sqrt();
+        assert!(sq.0[0].is_nan());
+        assert_eq!(sq.0[1], 2.0);
+        assert!(sq.0[2].is_nan());
+        assert_eq!(sq.0[3], 4.0);
+    }
+
+    #[test]
+    fn subnormal_lanes_survive_arithmetic() {
+        // Rust never enables FTZ/DAZ: subnormal inputs flow through the
+        // lane ops with full IEEE gradual-underflow semantics.
+        let tiny = f32::MIN_POSITIVE / 4.0; // subnormal
+        assert!(tiny > 0.0 && !tiny.is_normal());
+        let a = F32x8::splat(tiny);
+        let doubled = a + a;
+        assert_eq!(doubled.0[0].to_bits(), (tiny + tiny).to_bits());
+        let squared = a * a; // underflows to zero
+        assert_eq!(squared.0[0], 0.0);
+        let root = a.sqrt(); // sqrt of a subnormal is normal
+        assert!(root.0[0].is_normal());
+        assert_eq!(root.0[0].to_bits(), tiny.sqrt().to_bits());
+        // Accumulating subnormals in f64 is exact.
+        let mut acc = F64x8::zero();
+        acc.accumulate(a);
+        assert_eq!(acc.0[0], tiny as f64);
+    }
+
+    #[test]
+    // The expected sum is written per-lane on purpose, zero terms included.
+    #[allow(clippy::identity_op)]
+    fn gather_and_ids() {
+        let src = [10.0f32, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0];
+        let idx = U32x8([8, 0, 3, 3, 1, 7, 2, 5]);
+        let g = F32x8::gather(&src, idx);
+        assert_eq!(g.0, [18.0, 10.0, 13.0, 13.0, 11.0, 17.0, 12.0, 15.0]);
+        let ids = U32x8::from_slice(&[4, 9, 2, 7, 4, 0, 1, 3]);
+        let not_four = ids.ne(U32x8::splat(4));
+        assert_eq!(not_four.count(), 6);
+        assert_eq!(
+            ids.abs_diff_sum(U32x8::splat(4)),
+            0 + 5 + 2 + 3 + 0 + 4 + 3 + 1
+        );
+    }
+
+    #[test]
+    fn gather_clamps_out_of_range_lanes() {
+        let src = [10.0f32, 11.0, 12.0];
+        let g = F32x8::gather(&src, U32x8([0, 1, 2, 3, 1000, u32::MAX, 2, 0]));
+        assert_eq!(g.0, [10.0, 11.0, 12.0, 12.0, 12.0, 12.0, 12.0, 10.0]);
+    }
+
+    #[test]
+    fn gather4_transposes_packed_records() {
+        let src: Vec<[f32; 4]> = (0..6)
+            .map(|r| [r as f32, 10.0 + r as f32, 20.0 + r as f32, 30.0 + r as f32])
+            .collect();
+        let [x, y, z, w] = F32x8::gather4(&src, U32x8([5, 0, 2, 2, 4, 1, 3, 99]));
+        assert_eq!(x.0, [5.0, 0.0, 2.0, 2.0, 4.0, 1.0, 3.0, 5.0]);
+        assert_eq!(y.0, [15.0, 10.0, 12.0, 12.0, 14.0, 11.0, 13.0, 15.0]);
+        assert_eq!(z.0, [25.0, 20.0, 22.0, 22.0, 24.0, 21.0, 23.0, 25.0]);
+        assert_eq!(w.0, [35.0, 30.0, 32.0, 32.0, 34.0, 31.0, 33.0, 35.0]);
+    }
+
+    #[test]
+    fn f64_accumulator_reduces_in_lane_order() {
+        let mut acc = F64x8::zero();
+        acc.accumulate(F32x8([1e-7, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]));
+        acc.accumulate(F32x8::splat(0.5));
+        // Reference: per-lane f64 sums, then left-to-right lane fold.
+        let mut lanes = [0.0f64; LANES];
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = [1e-7f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0][l] as f64 + 0.5f32 as f64;
+        }
+        let expect = lanes.iter().fold(0.0f64, |a, &v| a + v);
+        assert_eq!(acc.reduce().to_bits(), expect.to_bits());
+    }
+}

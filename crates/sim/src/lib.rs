@@ -52,7 +52,7 @@ pub use environment::{EnvironmentKind, GridLayout};
 pub use exec::ExecutionContext;
 pub use io::Snapshot;
 pub use operation::{OpContext, Operation, ReorderOp};
-pub use param::{ReorderParams, SimParams};
+pub use param::{Precision, ReorderParams, SimParams};
 pub use profiler::{OpRecord, Profiler, StepProfile};
 pub use rm::ResourceManager;
 pub use scheduler::{ExecMode, OpStats, Scheduler};

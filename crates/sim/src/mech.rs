@@ -20,15 +20,16 @@
 //! documented on [`work_model`].
 
 use crate::environment::{EnvironmentKind, GridLayout};
-use crate::param::SimParams;
+use crate::param::{Precision, SimParams};
 use crate::rm::ResourceManager;
 use bdm_device::cpu::Phase;
 use bdm_gpu::pipeline::{GpuStepReport, MechanicalPipeline, SceneRef};
 use bdm_grid::{CsrBuildScratch, CsrGrid, UniformGrid};
 use bdm_kdtree::KdTree;
 use bdm_math::interaction::{self};
+use bdm_math::simd::{F32x8, F64x8, U32x8, LANES};
 use bdm_math::Vec3;
-use bdm_soa::AgentId;
+use bdm_soa::{AgentId, F32Mirror, F32x4Mirror};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -115,6 +116,41 @@ pub mod work_model {
     /// starts a new stream (vs. one list-head chase per voxel for the
     /// linked list).
     pub const CSR_RANDOM_PER_BOX: f64 = 1.0 / 3.0;
+
+    // ----- mixed-precision SIMD CSR pass (paper Improvement I, on the
+    // CPU): same candidate enumeration as the CSR pass above, but the
+    // gathered per-candidate state narrows to f32 — the memory-bound
+    // gather term halves, which is exactly the Improvement I mechanism.
+
+    /// Bytes per tested candidate of the f32 pass: streamed id (4 B) +
+    /// gathered f32 position (12 B) + f32 diameter (4 B).
+    pub const SIMD_BYTES_PER_CANDIDATE: f64 = 20.0;
+    /// Fixed per-agent bytes of the f32 pass: own f32 state (20 B,
+    /// position + diameter + adherence) + f64 displacement write (24 B).
+    pub const SIMD_FIXED_BYTES_PER_AGENT: f64 = 44.0;
+    /// Bytes per element of the f32 mirror refresh: one f64 read (8 B) +
+    /// one f32 write (4 B).
+    pub const SIMD_REFRESH_BYTES_PER_ELEMENT: f64 = 12.0;
+}
+
+/// Deterministic statistics of the mixed-precision SIMD pass — exact
+/// functions of the trajectory and the batching geometry, so they are
+/// gateable benchmark metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimdWork {
+    /// Valid (non-self) candidate lanes processed through 8-wide vector
+    /// batches. Every candidate rides a lane, so this equals the pass's
+    /// candidate count.
+    pub lanes_utilized: u64,
+    /// Lanes spent on self-id padding: each agent's last partial batch
+    /// is filled with its own id, whose lanes the self mask discards —
+    /// a masked load built from the mask the kernel already computes.
+    /// `lanes_utilized / (lanes_utilized + pad_lanes)` is the pass's
+    /// lane-occupancy ratio.
+    pub pad_lanes: u64,
+    /// `f64 → f32` mirror elements re-converted this step; `0` for every
+    /// column whose dirty epoch did not advance since the previous step.
+    pub refresh_copies: u64,
 }
 
 /// Outcome of one mechanical step.
@@ -139,6 +175,8 @@ pub struct MechWork {
     /// hit nearby cache lines). Measured by the fused CSR pass; `None`
     /// on the other paths.
     pub index_gap: Option<f64>,
+    /// SIMD-path statistics; `None` for every scalar/GPU path.
+    pub simd: Option<SimdWork>,
 }
 
 impl MechWork {
@@ -163,6 +201,19 @@ impl MechWork {
         reg.inc_counter("mech.neighbors", &labels, self.neighbors as f64);
         if let Some(gap) = self.index_gap {
             reg.set_gauge("mech.csr_index_gap", &labels, gap);
+        }
+        if let Some(simd) = &self.simd {
+            reg.inc_counter(
+                "mech.simd_lanes_utilized",
+                &labels,
+                simd.lanes_utilized as f64,
+            );
+            reg.inc_counter("mech.simd_pad_lanes", &labels, simd.pad_lanes as f64);
+            reg.inc_counter(
+                "mech.f32_refresh_copies",
+                &labels,
+                simd.refresh_copies as f64,
+            );
         }
         for (i, phase) in self.phases.iter().enumerate() {
             let labels = [("env", env), ("phase", phase.name)];
@@ -200,6 +251,39 @@ pub struct MechScratch {
     build: CsrBuildScratch,
     /// Per-agent displacements of the fused pass.
     disp: Vec<Vec3<f64>>,
+    /// `f32` shadows of the hot columns for the mixed-precision pass,
+    /// refreshed lazily on the resource manager's dirty epochs. Epochs
+    /// are compared by value, so one scratch must stay with one
+    /// simulation for its lifetime (the `Simulation` owns its scratch,
+    /// which enforces this).
+    mirrors: SimdMirrors,
+}
+
+/// The `f64 → f32` shadows the SIMD pass gathers from: a packed
+/// `[x, y, z, diameter]` record mirror (the per-candidate gather is one
+/// 16-byte load instead of four scattered column touches — the CPU
+/// `float4` idiom of the paper's GPU kernels), plus a plain adherence
+/// column read once per agent. The packed record spans two dirty-epoch
+/// families (positions and attributes) and re-converts whole when either
+/// moves.
+#[derive(Default)]
+struct SimdMirrors {
+    posd: F32x4Mirror,
+    adh: F32Mirror,
+}
+
+impl SimdMirrors {
+    /// Bring every mirror up to date; returns total component
+    /// conversions (0 when all epochs are unchanged — e.g. a frozen
+    /// scene).
+    fn refresh(&mut self, rm: &ResourceManager) -> u64 {
+        let (xs, ys, zs) = rm.position_columns();
+        let pos_epoch = rm.positions_epoch();
+        let attr_epoch = rm.attributes_epoch();
+        self.posd
+            .refresh(pos_epoch, attr_epoch, xs, ys, zs, rm.diameter_column())
+            + self.adh.refresh(attr_epoch, rm.adherence_column())
+    }
 }
 
 /// Execute one mechanical interactions step with the chosen environment,
@@ -234,6 +318,7 @@ pub fn mechanical_step_with_scratch(
             contacts: 0,
             neighbors: 0,
             index_gap: None,
+            simd: None,
         };
     }
     match env {
@@ -245,7 +330,10 @@ pub fn mechanical_step_with_scratch(
         EnvironmentKind::UniformGrid {
             layout: GridLayout::Csr,
             parallel,
-        } => cpu_grid_csr_step(rm, params, *parallel, scratch),
+        } => match params.precision {
+            Precision::F64 => cpu_grid_csr_step(rm, params, *parallel, scratch),
+            Precision::F32Simd => cpu_grid_csr_step_simd(rm, params, *parallel, scratch),
+        },
         EnvironmentKind::Gpu { .. } => {
             let pipeline = pipeline.expect("GPU environment requires a pipeline");
             gpu_step(rm, params, pipeline)
@@ -381,6 +469,7 @@ fn cpu_kdtree_step(rm: &mut ResourceManager, params: &SimParams) -> MechWork {
         contacts,
         neighbors,
         index_gap: None,
+        simd: None,
     }
 }
 
@@ -484,6 +573,7 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
         contacts,
         neighbors,
         index_gap: None,
+        simd: None,
     }
 }
 
@@ -618,6 +708,365 @@ fn cpu_grid_csr_step(
         neighbors,
         index_gap: (counters.points_tested > 0)
             .then(|| gap_sum as f64 / counters.points_tested as f64),
+        simd: None,
+    }
+}
+
+/// Mixed-precision SIMD variant of [`cpu_grid_csr_step`] — the paper's
+/// Improvement I (FP64→FP32) applied to the CPU hot path.
+///
+/// Same skeleton as the scalar pass: the f64 CSR build (candidate
+/// enumeration is bit-identical to the f64 path — precision must never
+/// change *which* pairs are tested, only the test arithmetic), the same
+/// fixed [`CSR_PASS_CHUNK`] chunking. The differences:
+///
+/// * per-candidate state is gathered from the lazily refreshed `f32`
+///   column mirrors and streamed through the 8-wide lane types of
+///   [`bdm_math::simd`] — the memory-bound gather term halves
+///   ([`work_model::SIMD_BYTES_PER_CANDIDATE`]);
+/// * each agent's force accumulates **per lane in f64** ([`F64x8`]) and
+///   reduces in lane-index order; run remainders shorter than one vector
+///   width fall back to a scalar-f32 tail running the *exact same
+///   algebra* (`collision_force::<f32>` — the vector kernel replicates it
+///   op-for-op), whose f64-widened contributions are added after the
+///   lane reduction. The accumulation order is a pure function of the
+///   candidate sequence and the batching geometry — never of thread
+///   scheduling — so the path is bitwise deterministic (serial ≡
+///   parallel, run ≡ rerun). It *differs* from the f64 path within the
+///   ±1e-5 per-step envelope pinned by `tests/precision_claims.rs`, and
+///   because storage order changes lane packing (hence rounding), f32
+///   trajectories are also a function of the reorder policy — unlike the
+///   f64 path, which is reorder-invariant;
+/// * displacement integration stays f64: `interaction::displacement`
+///   over the f64-accumulated force, with the (f32-mirrored) adherence
+///   widened back — the per-step tolerance budget is spent on the force
+///   kernel, not on the integrator.
+fn cpu_grid_csr_step_simd(
+    rm: &mut ResourceManager,
+    params: &SimParams,
+    parallel: bool,
+    scratch: &mut MechScratch,
+) -> MechWork {
+    let n = rm.len();
+    let radius = interaction_radius(rm, params);
+    let space = params.space;
+
+    // Phase 1: the same f64 CSR build as the scalar pass.
+    let t0 = Instant::now();
+    let (xs64, ys64, zs64) = rm.position_columns();
+    let grid = scratch
+        .csr
+        .get_or_insert_with(|| CsrGrid::build_serial(&[], &[], &[], space, radius));
+    if parallel {
+        grid.rebuild_parallel(xs64, ys64, zs64, space, radius, &mut scratch.build);
+    } else {
+        grid.rebuild_serial(xs64, ys64, zs64, space, radius, &mut scratch.build);
+    }
+    let wall_build = t0.elapsed().as_secs_f64();
+
+    // Phase 2: bring the f32 mirrors up to date. Lazy on the dirty
+    // epochs: columns untouched since the previous step cost nothing
+    // (diameters/adherences of a non-growing population).
+    let t1 = Instant::now();
+    let refresh_copies = scratch.mirrors.refresh(rm);
+    let wall_refresh = t1.elapsed().as_secs_f64();
+
+    // Phase 3: fused scan + force over the mirrors.
+    let t2 = Instant::now();
+    let posd = scratch.mirrors.posd.as_slice();
+    let adh = scratch.mirrors.adh.as_slice();
+    let mech = &params.mech;
+    let rep32 = mech.repulsion as f32;
+    let att32 = mech.attraction as f32;
+    let r2f = (radius as f32) * (radius as f32);
+    let halfv = F32x8::splat(0.5);
+    let r2v = F32x8::splat(r2f);
+    let repv = F32x8::splat(rep32);
+    let attv = F32x8::splat(att32);
+    let epsv = F32x8::splat(f32::EPSILON);
+    let grid = &*grid;
+    // Raw CSR views for the candidate-append fast path: offsets plus the
+    // id array as plain `u32`s (zero-copy; `AgentId` is transparent).
+    let starts = grid.cell_starts();
+    let ids_raw = bdm_soa::ids_as_raw(grid.cell_agents());
+    scratch.disp.clear();
+    scratch.disp.resize(n, Vec3::zero());
+
+    #[derive(Default)]
+    struct ChunkStats {
+        counters: bdm_grid::QueryCounters,
+        contacts: u64,
+        gap_sum: u64,
+        lanes_utilized: u64,
+        pad_lanes: u64,
+    }
+
+    let chunk_stats: Vec<ChunkStats> = scratch
+        .disp
+        .par_chunks_mut(CSR_PASS_CHUNK)
+        .enumerate()
+        .map(|(c, out)| {
+            let base = c * CSR_PASS_CHUNK;
+            let mut stats = ChunkStats::default();
+            // Per-chunk candidate buffer, reused across agents. In the
+            // benchmark regime an x-run holds only ~6 agents — below
+            // one lane width — so batching run-by-run would push nearly
+            // every candidate through the scalar tail. Concatenating
+            // the ≤9 stencil runs first (in run order, so the candidate
+            // sequence is identical to the scalar pass) turns a typical
+            // ~54-candidate stencil into ~6 full batches + one tail.
+            let mut cand: Vec<u32> = Vec::with_capacity(128);
+            // Per-candidate f32 force contributions, staged contiguously
+            // between the two passes below (grow-only; pass A overwrites
+            // every slot it will read back in pass B).
+            let mut fxb: Vec<f32> = Vec::with_capacity(128);
+            let mut fyb: Vec<f32> = Vec::with_capacity(128);
+            let mut fzb: Vec<f32> = Vec::with_capacity(128);
+            for (k, slot) in out.iter_mut().enumerate() {
+                let i = base + k;
+                // Stencil runs come from the f64 geometry, like the build.
+                let p1_64 = Vec3::new(xs64[i], ys64[i], zs64[i]);
+                let rec = posd[i];
+                let q = Vec3::new(rec[0], rec[1], rec[2]);
+                let r1 = rec[3] * 0.5f32;
+                let iv = U32x8::splat(i as u32);
+                let (qx, qy, qz) = (F32x8::splat(q.x), F32x8::splat(q.y), F32x8::splat(q.z));
+                let r1v = F32x8::splat(r1);
+                let (mut ax, mut ay, mut az) = (F64x8::zero(), F64x8::zero(), F64x8::zero());
+                // Per-agent statistic accumulators, vertical form: each
+                // batch adds its masks as 0/1 lanes ([`M32x8::ones`], a
+                // `vpand`+`vpaddd` per counter) and the horizontal
+                // reduction happens once per agent. A per-batch
+                // horizontal `count()` looks cheap (movmsk+popcnt) but
+                // the optimizer narrows the masks through the blend
+                // lowering and expands it into a cross-lane shuffle tree
+                // that dominates the batch. The scope matters too: these
+                // must be *inside* the agent loop — hoisted to chunk
+                // scope, scalar-replacement splits the lanes into
+                // twenty-four GPR/stack slots that get re-inserted and
+                // re-extracted every batch. Lane sums stay far below u32
+                // range for any realistic stencil (counts gain ≤1 per
+                // batch; the index gap is bounded by agent count per
+                // candidate, ≤ ~10⁹ per lane).
+                let (mut lane_acc, mut neigh_acc, mut contact_acc) =
+                    (U32x8::splat(0), U32x8::splat(0), U32x8::splat(0));
+                let mut gap_acc = U32x8::splat(0);
+                cand.clear();
+                for (first, count) in grid.geometry().x_runs(p1_64) {
+                    stats.counters.boxes_scanned += count as u64;
+                    let lo = starts[first] as usize;
+                    let hi = starts[first + count as usize] as usize;
+                    let rl = hi - lo;
+                    let old = cand.len();
+                    // Append the run with LANES-wide block copies instead
+                    // of `extend`: a stencil is ~9 runs of ~6 ids, and a
+                    // million per-element append loops per step cost more
+                    // than the force arithmetic they feed. The copy may
+                    // read up to LANES−1 ids past the run (never past the
+                    // CSR array — the guard falls back to an exact tail
+                    // copy there) and write as far past `rl` into
+                    // reserved capacity; the final `set_len` keeps
+                    // exactly the run's ids, so the candidate sequence
+                    // is identical to the scalar pass's.
+                    cand.reserve(rl + LANES);
+                    // SAFETY: capacity ≥ old + rl + LANES (the reserve
+                    // above), so every write below — including the
+                    // LANES-wide over-write — lands inside allocated
+                    // capacity; reads stay inside `ids_raw` by the
+                    // `src_end` guard; `set_len(old + rl)` only exposes
+                    // lanes the loop wrote (`o` covers `0..rl`).
+                    unsafe {
+                        let dst = cand.as_mut_ptr().add(old);
+                        let src = ids_raw.as_ptr().add(lo);
+                        let mut o = 0usize;
+                        while o < rl {
+                            if lo + o + LANES <= ids_raw.len() {
+                                core::ptr::copy_nonoverlapping(src.add(o), dst.add(o), LANES);
+                                o += LANES;
+                            } else {
+                                core::ptr::copy_nonoverlapping(src.add(o), dst.add(o), rl - o);
+                                break;
+                            }
+                        }
+                        cand.set_len(old + rl);
+                    }
+                }
+                // Masked-load fallback for the stencil remainder: fill
+                // the last partial batch with the agent's own id. Self
+                // lanes are already discarded by the `valid` mask (the
+                // agent really is in its own stencil), so padding lanes
+                // contribute exactly +0.0 force and 0 to every counter —
+                // no separate scalar tail path exists.
+                let len = cand.len();
+                let pad = len.next_multiple_of(LANES) - len;
+                if pad > 0 {
+                    // SAFETY: a non-multiple length means at least one
+                    // run appended above, whose reserve left ≥ LANES
+                    // spare capacity past `len`; one LANES-wide splat
+                    // write plus `set_len` replaces up to LANES−1
+                    // scalar pushes.
+                    unsafe {
+                        let dst = cand.as_mut_ptr().add(len);
+                        for l in 0..LANES {
+                            dst.add(l).write(i as u32);
+                        }
+                        cand.set_len(len + pad);
+                    }
+                }
+                stats.pad_lanes += pad as u64;
+                {
+                    // Pass A: 8-wide f32 math, contributions *stored* to
+                    // the contiguous staging buffers instead of being
+                    // accumulated here — keeping six f64 accumulator
+                    // registers live across a gather-heavy loop is what
+                    // spills it; a store-only loop leaves the register
+                    // file to the gathers and the Eq. 1 arithmetic.
+                    let batched = cand.len();
+                    if fxb.len() < batched {
+                        fxb.resize(batched, 0.0);
+                        fyb.resize(batched, 0.0);
+                        fzb.resize(batched, 0.0);
+                    }
+                    // Pin each buffer to exactly `batched` elements: the
+                    // loop bound then *proves* every 8-lane window is in
+                    // range, so the stores and reloads below compile
+                    // without per-batch bounds-check branches.
+                    let cs = &cand[..batched];
+                    let (fxs, fys, fzs) = (
+                        &mut fxb[..batched],
+                        &mut fyb[..batched],
+                        &mut fzb[..batched],
+                    );
+                    let mut off = 0usize;
+                    while off + LANES <= batched {
+                        let idv = U32x8::from_slice(&cs[off..off + LANES]);
+                        let valid = idv.ne(iv);
+                        let [px, py, pz, dj] = F32x8::gather4(posd, idv);
+                        let dx = qx - px;
+                        let dy = qy - py;
+                        let dz = qz - pz;
+                        let dist2 = dx * dx + dy * dy + dz * dz;
+                        let neighbor = dist2.le(r2v).and(valid);
+                        let rj = dj * halfv;
+                        let sum_r = r1v + rj;
+                        let dist = dist2.sqrt();
+                        // Eq. 1 evaluated unconditionally on every lane;
+                        // the contact mask (the scalar kernel's two
+                        // early-outs plus the radius gate) discards the
+                        // NaN/inf garbage of non-contact lanes bitwise.
+                        // The batch is latency-bound, not port-bound
+                        // (measured IPC ≈ 0.5 — the gathers dominate),
+                        // so exact IEEE `vsqrtps`/`vdivps` cost nothing
+                        // extra: a Newton-refined `rsqrt_nr`/`recip_nr`
+                        // variant of this block measured *slower* by
+                        // lengthening the dependency chain. The two
+                        // divisions do fold into one algebraically:
+                        // with r_eff = r1·rj/sum_r,
+                        //   mag/dist = (rep·δ·sum_r − att·√(r1·rj·δ·sum_r))
+                        //              / (sum_r·dist)
+                        // because √(r_eff·δ)·sum_r = √(r1·rj·δ·sum_r).
+                        let contact = dist2.lt(sum_r * sum_r).and(dist.gt(epsv)).and(neighbor);
+                        let delta = sum_r - dist;
+                        let dsum = delta * sum_r;
+                        let inv = F32x8::splat(1.0) / (sum_r * dist);
+                        let scale = (repv * dsum - attv * ((r1v * rj) * dsum).sqrt()) * inv;
+                        let zero = F32x8::zero();
+                        fxs[off..off + LANES].copy_from_slice(&contact.select(dx * scale, zero).0);
+                        fys[off..off + LANES].copy_from_slice(&contact.select(dy * scale, zero).0);
+                        fzs[off..off + LANES].copy_from_slice(&contact.select(dz * scale, zero).0);
+                        lane_acc = lane_acc + valid.ones();
+                        neigh_acc = neigh_acc + neighbor.ones();
+                        contact_acc = contact_acc + contact.ones();
+                        // The self lane contributes |i − i| = 0: no mask.
+                        gap_acc = gap_acc + idv.abs_diff(iv);
+                        off += LANES;
+                    }
+                    // Pass B: widen and accumulate the staged
+                    // contributions in f64. Lane assignment and reduce
+                    // order are exactly pass A's, so the result is
+                    // bit-identical to a fused accumulate; the loads are
+                    // contiguous, which SLP compiles to clean 8-wide
+                    // load→cvt→add chains.
+                    let mut off2 = 0usize;
+                    while off2 + LANES <= batched {
+                        ax.accumulate(F32x8::from_slice(&fxs[off2..off2 + LANES]));
+                        ay.accumulate(F32x8::from_slice(&fys[off2..off2 + LANES]));
+                        az.accumulate(F32x8::from_slice(&fzs[off2..off2 + LANES]));
+                        off2 += LANES;
+                    }
+                    let lanes_n = lane_acc.reduce_sum();
+                    stats.counters.points_tested += lanes_n;
+                    stats.lanes_utilized += lanes_n;
+                    stats.counters.neighbors_found += neigh_acc.reduce_sum();
+                    stats.contacts += contact_acc.reduce_sum();
+                    stats.gap_sum += gap_acc.reduce_sum();
+                }
+                let force = Vec3::new(ax.reduce(), ay.reduce(), az.reduce());
+                *slot = interaction::displacement(force, adh[i] as f64, mech);
+            }
+            stats
+        })
+        .collect();
+    let wall_fused = t2.elapsed().as_secs_f64();
+
+    let mut counters = bdm_grid::QueryCounters::default();
+    let mut contacts = 0u64;
+    let mut gap_sum = 0u64;
+    let mut simd = SimdWork {
+        refresh_copies,
+        ..Default::default()
+    };
+    for s in &chunk_stats {
+        counters.merge(&s.counters);
+        contacts += s.contacts;
+        gap_sum += s.gap_sum;
+        simd.lanes_utilized += s.lanes_utilized;
+        simd.pad_lanes += s.pad_lanes;
+    }
+    let disp = std::mem::take(&mut scratch.disp);
+    apply_displacements(rm, &disp);
+    scratch.disp = disp;
+
+    let neighbors = counters.neighbors_found;
+    let phases = vec![
+        Phase {
+            name: "neighborhood build",
+            flops: 0.0,
+            bytes: work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64,
+            random_accesses: work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64,
+            parallel,
+            fp64: true,
+        },
+        Phase {
+            name: "f32 mirror refresh",
+            flops: refresh_copies as f64,
+            bytes: work_model::SIMD_REFRESH_BYTES_PER_ELEMENT * refresh_copies as f64,
+            random_accesses: 0.0,
+            parallel: false,
+            fp64: false,
+        },
+        Phase {
+            name: "mechanical forces",
+            flops: work_model::CSR_FLOPS_PER_CANDIDATE * counters.points_tested as f64
+                + work_model::UG_FLOPS_PER_CONTACT * contacts as f64
+                + work_model::UG_FIXED_FLOPS_PER_AGENT * n as f64,
+            bytes: work_model::SIMD_BYTES_PER_CANDIDATE * counters.points_tested as f64
+                + work_model::SIMD_FIXED_BYTES_PER_AGENT * n as f64,
+            random_accesses: work_model::CSR_RANDOM_PER_BOX * counters.boxes_scanned as f64,
+            parallel: true,
+            fp64: false,
+        },
+    ];
+    MechWork {
+        phases,
+        wall_s: vec![wall_build, wall_refresh, wall_fused],
+        gpu: None,
+        candidates: counters.points_tested,
+        contacts,
+        neighbors,
+        index_gap: (counters.points_tested > 0)
+            .then(|| gap_sum as f64 / counters.points_tested as f64),
+        simd: Some(simd),
     }
 }
 
@@ -647,6 +1096,7 @@ fn gpu_step(
         contacts: 0,
         neighbors: 0,
         index_gap: None,
+        simd: None,
     }
 }
 
@@ -950,5 +1400,195 @@ mod tests {
         let mut rm = ResourceManager::new();
         let w = mechanical_step(&mut rm, &params, &EnvironmentKind::KdTree, None);
         assert_eq!(w.candidates, 0);
+    }
+
+    #[test]
+    fn f32simd_matches_f64_within_envelope() {
+        let params = SimParams::cube(6.0);
+        let params32 = params.clone().with_precision(Precision::F32Simd);
+        let env = EnvironmentKind::uniform_grid_csr_serial();
+        let mut a = random_population(500, 5.5, 21);
+        let mut b = a.clone();
+        let wa = mechanical_step(&mut a, &params, &env, None);
+        let wb = mechanical_step(&mut b, &params32, &env, None);
+        // Precision must never change *which* pairs get tested: the f64
+        // CSR build is shared, so candidate enumeration is identical.
+        assert_eq!(wa.candidates, wb.candidates);
+        assert_eq!(wa.index_gap, wb.index_gap);
+        assert!(wa.simd.is_none(), "f64 path reports no SIMD stats");
+        let simd = wb.simd.expect("f32 path reports SIMD stats");
+        assert_eq!(
+            simd.lanes_utilized, wb.candidates,
+            "every candidate rides a vector lane"
+        );
+        assert!(simd.lanes_utilized > 0, "dense scene fills vector batches");
+        assert!(
+            simd.pad_lanes > 0,
+            "stencil remainders exercise self-id padding"
+        );
+        assert_eq!(
+            simd.refresh_copies,
+            5 * 500,
+            "first step converts all 5 columns"
+        );
+        // The documented envelope: per-step displacement skew stays
+        // below 1e-5 (forces are O(1) here, so absolute ≈ relative).
+        assert!(wb.contacts > 0);
+        let pa = positions(&a);
+        let pb = positions(&b);
+        let mut max_err = 0.0f64;
+        for i in 0..pa.len() {
+            max_err = max_err.max((pa[i] - pb[i]).norm());
+        }
+        assert!(max_err < 1e-5, "f32 envelope exceeded: {max_err}");
+        assert!(max_err > 0.0, "narrowing must actually change rounding");
+    }
+
+    #[test]
+    fn f32simd_serial_and_parallel_are_bitwise_identical() {
+        let params = SimParams::cube(6.0).with_precision(Precision::F32Simd);
+        let mut a = random_population(500, 5.5, 21);
+        let mut b = a.clone();
+        mechanical_step(
+            &mut a,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_serial(),
+            None,
+        );
+        mechanical_step(
+            &mut b,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_parallel(),
+            None,
+        );
+        // Lane packing and reduction order depend only on the candidate
+        // sequence and the fixed chunking — not on thread scheduling.
+        assert_eq!(positions(&a), positions(&b));
+    }
+
+    #[test]
+    fn f32simd_mirror_refresh_is_lazy_across_steps() {
+        // Frozen scene (max_displacement = 0): nothing mutates between
+        // steps, so the second step's dirty epochs are unchanged and the
+        // mirrors must not re-convert anything.
+        let mut params = SimParams::cube(6.0).with_precision(Precision::F32Simd);
+        params.mech.max_displacement = 0.0;
+        let mut rm = random_population(300, 5.5, 23);
+        let mut scratch = MechScratch::default();
+        let env = EnvironmentKind::uniform_grid_csr_parallel();
+        let w1 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        assert_eq!(w1.simd.unwrap().refresh_copies, 5 * 300);
+        let w2 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        assert_eq!(
+            w2.simd.unwrap().refresh_copies,
+            0,
+            "clean epochs: no copies"
+        );
+        // Unfreeze: displacements dirty the position columns only — the
+        // attribute mirrors (diameters/adherences) stay clean forever in
+        // a non-growing population.
+        params.mech.max_displacement = 3.0;
+        let w3 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        assert!(w3.contacts > 0);
+        let w4 = mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        assert_eq!(
+            w4.simd.unwrap().refresh_copies,
+            4 * 300,
+            "moved agents recopy the packed gather record (whole, 4 \
+             components) but not the adherence mirror"
+        );
+    }
+
+    #[test]
+    fn f32simd_scratch_reuse_matches_fresh_runs() {
+        let params = SimParams::cube(6.0).with_precision(Precision::F32Simd);
+        let mut rm = random_population(300, 5.5, 23);
+        let mut scratch = MechScratch::default();
+        let env = EnvironmentKind::uniform_grid_csr_parallel();
+        mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        let mut fresh = random_population(300, 5.5, 23);
+        mechanical_step(&mut fresh, &params, &env, None);
+        mechanical_step(&mut fresh, &params, &env, None);
+        assert_eq!(positions(&rm), positions(&fresh));
+    }
+
+    #[test]
+    fn precision_knob_only_reaches_the_csr_path() {
+        // The other environments have no vectorized pass: the knob is
+        // documented to be a no-op there, bitwise.
+        let params64 = SimParams::cube(6.0);
+        let params32 = params64.clone().with_precision(Precision::F32Simd);
+        for env in [
+            EnvironmentKind::KdTree,
+            EnvironmentKind::uniform_grid_serial(),
+            EnvironmentKind::uniform_grid_parallel(),
+        ] {
+            let mut a = random_population(200, 5.5, 31);
+            let mut b = a.clone();
+            let wa = mechanical_step(&mut a, &params64, &env, None);
+            let wb = mechanical_step(&mut b, &params32, &env, None);
+            assert!(wa.simd.is_none() && wb.simd.is_none());
+            assert_eq!(positions(&a), positions(&b), "{}", env.label());
+        }
+    }
+
+    #[test]
+    fn f32simd_phases_report_narrowed_traffic() {
+        let params = SimParams::cube(6.0).with_precision(Precision::F32Simd);
+        let mut rm = random_population(300, 5.5, 11);
+        let w64 = mechanical_step(
+            &mut rm.clone(),
+            &SimParams::cube(6.0),
+            &EnvironmentKind::uniform_grid_csr_parallel(),
+            None,
+        );
+        let w = mechanical_step(
+            &mut rm,
+            &params,
+            &EnvironmentKind::uniform_grid_csr_parallel(),
+            None,
+        );
+        assert_eq!(w.phases.len(), 3, "build + mirror refresh + fused pass");
+        assert_eq!(w.phases[1].name, "f32 mirror refresh");
+        assert!(!w.phases[1].fp64);
+        let force64 = &w64.phases[1];
+        let force32 = &w.phases[2];
+        assert_eq!(force32.name, "mechanical forces");
+        assert!(!force32.fp64, "force phase runs at fp32 throughput");
+        assert!(
+            force32.bytes < force64.bytes * 0.7,
+            "Improvement I: the candidate gather traffic roughly halves \
+             ({} vs {})",
+            force32.bytes,
+            force64.bytes
+        );
+    }
+
+    #[test]
+    fn interaction_radius_reuses_the_diameter_cache_across_steps() {
+        // The satellite fix, observed end-to-end: a uniform-diameter
+        // population steps many times (every step calls
+        // `interaction_radius` → `largest_diameter`) and even loses
+        // agents — the diameter column must be scanned exactly once.
+        let params = SimParams::cube(6.0);
+        let mut rm = random_population(300, 5.5, 23);
+        let mut scratch = MechScratch::default();
+        let env = EnvironmentKind::uniform_grid_csr_parallel();
+        for _ in 0..5 {
+            mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        }
+        assert_eq!(rm.diameter_scan_count(), 1, "one memoized scan, ever");
+        // Deaths in a uniform-diameter population always remove "a
+        // maximum holder" — the holder count keeps the cache alive.
+        for _ in 0..10 {
+            rm.remove(0);
+            mechanical_step_with_scratch(&mut rm, &params, &env, None, &mut scratch);
+        }
+        assert_eq!(
+            rm.diameter_scan_count(),
+            1,
+            "tie-deaths must not degenerate into per-step column scans"
+        );
     }
 }

@@ -27,6 +27,37 @@ impl Default for ReorderParams {
     }
 }
 
+/// Arithmetic precision of the CPU mechanical force pass (the paper's
+/// Improvement I brought to the host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Scalar `f64` throughout — BioDynaMo's storage default and the
+    /// bitwise-reproducibility reference. The default.
+    #[default]
+    F64,
+    /// Mixed precision: the fused CSR search+force pass reads `f32`
+    /// mirrors of the hot columns through 8-wide SIMD lanes, while
+    /// per-agent force accumulation and displacement integration stay
+    /// `f64`. Deterministic (serial ≡ parallel, run ≡ rerun, bitwise) but
+    /// *different* from [`Precision::F64`] within a documented ±1e-5
+    /// per-step envelope; storage order (reorder on/off) changes lane
+    /// packing and therefore rounding, so trajectories are a function of
+    /// storage order too. Only the CSR uniform-grid environment has a
+    /// vectorized pass; every other environment ignores the knob and
+    /// runs `f64` (see `bdm_sim::mech`).
+    F32Simd,
+}
+
+impl Precision {
+    /// Short label for benchmark tables and metric dimensions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F64 => "fp64",
+            Precision::F32Simd => "fp32-simd",
+        }
+    }
+}
+
 /// Global parameters of a simulation (BioDynaMo's `Param`).
 #[derive(Debug, Clone)]
 pub struct SimParams {
@@ -44,6 +75,8 @@ pub struct SimParams {
     pub interaction_radius: Option<f64>,
     /// Host-side agent reorder policy (off by default).
     pub reorder: ReorderParams,
+    /// Arithmetic precision of the CPU force pass (`F64` default).
+    pub precision: Precision,
 }
 
 impl SimParams {
@@ -55,6 +88,7 @@ impl SimParams {
             seed: 0x5EED,
             interaction_radius: None,
             reorder: ReorderParams::default(),
+            precision: Precision::default(),
         }
     }
 
@@ -86,6 +120,12 @@ impl SimParams {
     /// Builder-style reorder-curve override.
     pub fn with_reorder_curve(mut self, curve: Curve) -> Self {
         self.reorder.curve = curve;
+        self
+    }
+
+    /// Builder-style precision override for the CPU force pass.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -131,5 +171,15 @@ mod tests {
         let p = SimParams::default();
         assert_eq!(p.reorder.every, 0, "reorder is opt-in");
         assert_eq!(p.reorder.curve, Curve::ZOrder);
+    }
+
+    #[test]
+    fn precision_defaults_to_f64() {
+        let p = SimParams::default();
+        assert_eq!(p.precision, Precision::F64, "mixed precision is opt-in");
+        let p = p.with_precision(Precision::F32Simd);
+        assert_eq!(p.precision, Precision::F32Simd);
+        assert_eq!(Precision::F64.label(), "fp64");
+        assert_eq!(Precision::F32Simd.label(), "fp32-simd");
     }
 }

@@ -20,45 +20,89 @@ pub struct ReorderScratch {
     behaviors: Vec<Vec<Behavior>>,
 }
 
-/// Cached population maximum diameter.
+/// Cached population maximum diameter, with a holder count.
 ///
 /// The uniform-grid box-length policy reads [`ResourceManager::largest_diameter`]
 /// on *every* grid build; re-scanning all agents each step is pure waste
 /// whenever no diameter changed (benchmark B never grows a cell). The
-/// cache is an `AtomicU64` holding the `f64` bit pattern so the read
+/// value is an `AtomicU64` holding the `f64` bit pattern so the read
 /// path works through `&self` (the resource manager is shared across
 /// rayon workers during the mechanical pass); `u64::MAX` — a NaN bit
 /// pattern no finite diameter produces — marks it invalid.
+///
+/// `holders` counts how many agents currently carry the maximum. Without
+/// it, removing *any* maximum-diameter agent had to pessimistically
+/// invalidate — and in a uniform-diameter population (every benchmark
+/// cloud) every death is a "maximum" death, so each step's
+/// `interaction_radius` lookup degenerated into a full column scan.
+/// With the count, removals and shrinks only invalidate when the *last*
+/// holder goes away. `scans` counts the full-column rescans actually
+/// performed, so tests and benches can pin cache effectiveness.
 #[derive(Debug)]
-struct MaxDiameterCache(AtomicU64);
+struct MaxDiameterCache {
+    bits: AtomicU64,
+    holders: AtomicU64,
+    scans: AtomicU64,
+}
 
 impl MaxDiameterCache {
     const INVALID: u64 = u64::MAX;
 
     fn get(&self) -> Option<f64> {
-        let bits = self.0.load(Ordering::Relaxed);
+        let bits = self.bits.load(Ordering::Relaxed);
         (bits != Self::INVALID).then(|| f64::from_bits(bits))
     }
 
-    fn set(&self, v: f64) {
+    fn set(&self, v: f64, holders: u64) {
         debug_assert!(v.to_bits() != Self::INVALID);
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.holders.store(holders, Ordering::Relaxed);
+    }
+
+    /// One more agent now carries the cached maximum.
+    fn add_holder(&self) {
+        self.holders.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One agent carrying the cached maximum went away (removed or
+    /// shrunk); only the last holder's departure invalidates.
+    fn drop_holder(&self) {
+        if self.holders.fetch_sub(1, Ordering::Relaxed) <= 1 {
+            self.invalidate();
+        }
     }
 
     fn invalidate(&self) {
-        self.0.store(Self::INVALID, Ordering::Relaxed);
+        self.bits.store(Self::INVALID, Ordering::Relaxed);
+        self.holders.store(0, Ordering::Relaxed);
+    }
+
+    fn note_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
     }
 }
 
 impl Default for MaxDiameterCache {
     fn default() -> Self {
-        Self(AtomicU64::new(Self::INVALID))
+        Self {
+            bits: AtomicU64::new(Self::INVALID),
+            holders: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+        }
     }
 }
 
 impl Clone for MaxDiameterCache {
     fn clone(&self) -> Self {
-        Self(AtomicU64::new(self.0.load(Ordering::Relaxed)))
+        Self {
+            bits: AtomicU64::new(self.bits.load(Ordering::Relaxed)),
+            holders: AtomicU64::new(self.holders.load(Ordering::Relaxed)),
+            scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -75,6 +119,15 @@ pub struct ResourceManager {
     uids: Column<u64>,
     next_uid: u64,
     largest: MaxDiameterCache,
+    /// Dirty epoch of the position columns: bumped by every mutation that
+    /// can change any stored coordinate (or the column length/order).
+    /// Consumers holding derived copies — the mechanical pass's `f32`
+    /// mirrors — compare epochs instead of data to decide whether to
+    /// re-convert (see `bdm_soa::F32Mirror`).
+    pos_epoch: u64,
+    /// Dirty epoch of the per-agent attribute columns (diameters,
+    /// adherences), same contract as `pos_epoch`.
+    attr_epoch: u64,
 }
 
 impl ResourceManager {
@@ -98,9 +151,13 @@ impl ResourceManager {
         let i = self.len();
         if let Some(cur) = self.largest.get() {
             if cell.diameter > cur {
-                self.largest.set(cell.diameter);
+                self.largest.set(cell.diameter, 1);
+            } else if cell.diameter == cur {
+                self.largest.add_holder();
             }
         }
+        self.pos_epoch += 1;
+        self.attr_epoch += 1;
         self.positions.push(cell.position);
         self.diameters.push(cell.diameter);
         self.adherences.push(cell.adherence);
@@ -123,11 +180,15 @@ impl ResourceManager {
     /// remap through the returned index.
     pub fn remove(&mut self, i: usize) -> Option<usize> {
         let last = self.len() - 1;
+        self.pos_epoch += 1;
+        self.attr_epoch += 1;
         self.positions.swap_remove(i);
         let d = self.diameters.swap_remove(i);
-        // The removed agent may have been the (sole) maximum holder.
+        // The removed agent may have been a maximum holder; only the last
+        // holder's departure forces a rescan (uniform-diameter populations
+        // lose "a maximum" on every death).
         if self.largest.get() == Some(d) {
-            self.largest.invalidate();
+            self.largest.drop_holder();
         }
         self.adherences.swap_remove(i);
         self.behaviors.swap_remove(i);
@@ -148,6 +209,10 @@ impl ResourceManager {
     /// costs zero copies (see `Permutation::apply_in_place`).
     pub fn apply_permutation(&mut self, perm: &Permutation, scratch: &mut ReorderScratch) {
         assert_eq!(perm.len(), self.len(), "permutation/population mismatch");
+        // Index-addressed consumers (the f32 mirrors) see a different
+        // column even though the multiset of agents is unchanged.
+        self.pos_epoch += 1;
+        self.attr_epoch += 1;
         self.positions.permute(perm, &mut scratch.f64s);
         self.diameters.permute(perm, &mut scratch.f64s);
         self.adherences.permute(perm, &mut scratch.f64s);
@@ -164,12 +229,14 @@ impl ResourceManager {
     /// Overwrite agent `i`'s position.
     #[inline]
     pub fn set_position(&mut self, i: usize, p: Vec3<f64>) {
+        self.pos_epoch += 1;
         self.positions.set(i, p);
     }
 
     /// Translate agent `i`.
     #[inline]
     pub fn translate(&mut self, i: usize, delta: Vec3<f64>) {
+        self.pos_epoch += 1;
         self.positions.add_assign(i, delta);
     }
 
@@ -182,12 +249,20 @@ impl ResourceManager {
     /// Overwrite agent `i`'s diameter.
     #[inline]
     pub fn set_diameter(&mut self, i: usize, d: f64) {
+        self.attr_epoch += 1;
         if let Some(cur) = self.largest.get() {
-            if d >= cur {
-                self.largest.set(d);
-            } else if *self.diameters.get(i) == cur {
-                // Shrinking a (possible) maximum holder: rescan lazily.
-                self.largest.invalidate();
+            let old = *self.diameters.get(i);
+            if d > cur {
+                self.largest.set(d, 1);
+            } else if d == cur {
+                if old != cur {
+                    // Grew into a tie with the maximum.
+                    self.largest.add_holder();
+                }
+            } else if old == cur {
+                // Shrunk a maximum holder; rescans only when it was the
+                // last one.
+                self.largest.drop_holder();
             }
         }
         self.diameters.set(i, d);
@@ -214,26 +289,43 @@ impl ResourceManager {
     /// Largest diameter in the population — BioDynaMo's uniform-grid box
     /// length policy ("each voxel … determined by the largest agent").
     ///
-    /// O(1) when the cache is valid; otherwise one rescan whose result is
-    /// memoized until the next diameter write invalidates it.
+    /// O(1) when the cache is valid; otherwise one counted rescan whose
+    /// result (maximum *and* how many agents hold it) is memoized until
+    /// the last holder is removed/shrunk or a raw write invalidates it.
     pub fn largest_diameter(&self) -> f64 {
         if let Some(v) = self.largest.get() {
-            debug_assert_eq!(
-                v,
-                self.diameters.iter().copied().fold(0.0, f64::max),
-                "stale largest-diameter cache"
-            );
             return v;
         }
-        let v = self.diameters.iter().copied().fold(0.0, f64::max);
-        self.largest.set(v);
+        self.largest.note_scan();
+        let mut v = 0.0f64;
+        let mut holders = 0u64;
+        for &d in self.diameters.iter() {
+            if d > v {
+                v = d;
+                holders = 1;
+            } else if d == v {
+                holders += 1;
+            }
+        }
+        // An empty population scans to (0.0, 0 holders); the count only
+        // matters while agents exist, and the first `add` re-seeds it.
+        self.largest.set(v, holders);
         v
+    }
+
+    /// Number of full diameter-column scans [`ResourceManager::largest_diameter`]
+    /// has performed over this manager's lifetime. Steady-state stepping
+    /// must not grow this — the cache (plus its maximum-holder count) is
+    /// what keeps the per-step `interaction_radius` lookup O(1).
+    pub fn diameter_scan_count(&self) -> u64 {
+        self.largest.scans()
     }
 
     /// Drop the cached largest diameter. Must be called by anything that
     /// writes diameters *around* [`ResourceManager::set_diameter`] — i.e.
     /// through the raw chunk views of [`ResourceManager::behavior_chunks`].
-    pub fn invalidate_largest_diameter(&self) {
+    pub fn invalidate_largest_diameter(&mut self) {
+        self.attr_epoch += 1;
         self.largest.invalidate();
     }
 
@@ -241,6 +333,20 @@ impl ResourceManager {
     /// the GPU pipeline uploads.
     pub fn position_columns(&self) -> (&[f64], &[f64], &[f64]) {
         self.positions.as_slices()
+    }
+
+    /// Dirty epoch of the position columns: changes whenever any stored
+    /// coordinate (or the column length/order) may have changed. Pass to
+    /// `bdm_soa::F32Mirror::refresh` to keep a cast copy current without
+    /// re-converting unchanged data.
+    pub fn positions_epoch(&self) -> u64 {
+        self.pos_epoch
+    }
+
+    /// Dirty epoch of the attribute columns (diameters, adherences);
+    /// same contract as [`ResourceManager::positions_epoch`].
+    pub fn attributes_epoch(&self) -> u64 {
+        self.attr_epoch
     }
 
     /// Split the per-agent *mutable* state (position, diameter) into
@@ -260,6 +366,12 @@ impl ResourceManager {
     /// behaviors operation does this in its merge phase).
     pub fn behavior_chunks(&mut self, chunk: usize) -> (Vec<AgentChunkMut<'_>>, AgentShared<'_>) {
         assert!(chunk > 0, "chunk size must be positive");
+        // Conservative: handing out raw mutable position views may dirty
+        // any coordinate (the bound-space clamp runs every step), so the
+        // position epoch advances up front. Raw *diameter* writes are
+        // covered by the caller's mandatory
+        // `invalidate_largest_diameter`, which bumps the attribute epoch.
+        self.pos_epoch += 1;
         let views = self
             .positions
             .chunks_mut(chunk)
@@ -533,6 +645,93 @@ mod tests {
         assert_eq!(rm.largest_diameter(), 7.0);
         rm.remove(0);
         assert_eq!(rm.largest_diameter(), 7.0);
+    }
+
+    #[test]
+    fn largest_diameter_holder_count_avoids_rescans() {
+        // The satellite fix: a uniform-diameter population (every
+        // benchmark cloud) removes "a maximum holder" on every death.
+        // The holder count must keep the cache valid until the *last*
+        // holder goes, so steady churn costs zero column scans.
+        let mut rm = ResourceManager::new();
+        for i in 0..100 {
+            rm.add(cell_at(i as f64).diameter(4.0));
+        }
+        assert_eq!(rm.diameter_scan_count(), 0, "adds never scan");
+        assert_eq!(rm.largest_diameter(), 4.0);
+        assert_eq!(rm.diameter_scan_count(), 1, "first lookup scans once");
+        for _ in 0..50 {
+            rm.remove(0);
+            assert_eq!(rm.largest_diameter(), 4.0);
+        }
+        assert_eq!(
+            rm.diameter_scan_count(),
+            1,
+            "tie-removals must reuse the cache, not rescan per step"
+        );
+        // Growing one agent re-seeds a single holder; shrinking it back
+        // below the rest is the only event that forces a second scan.
+        rm.set_diameter(0, 9.0);
+        assert_eq!(rm.largest_diameter(), 9.0);
+        assert_eq!(rm.diameter_scan_count(), 1);
+        rm.set_diameter(0, 1.0);
+        assert_eq!(rm.largest_diameter(), 4.0);
+        assert_eq!(rm.diameter_scan_count(), 2);
+        // Growing an agent into a tie, then removing the original holder:
+        // still no scan.
+        rm.set_diameter(1, 4.0); // already 4.0 → still a holder either way
+        rm.set_diameter(0, 4.0); // 1.0 → joins the tie
+        rm.remove(0);
+        assert_eq!(rm.largest_diameter(), 4.0);
+        assert_eq!(rm.diameter_scan_count(), 2);
+    }
+
+    #[test]
+    fn epochs_track_mutation_families() {
+        let mut rm = ResourceManager::new();
+        let (p0, a0) = (rm.positions_epoch(), rm.attributes_epoch());
+        rm.add(cell_at(0.0).diameter(2.0));
+        assert!(rm.positions_epoch() > p0, "add dirties positions");
+        assert!(rm.attributes_epoch() > a0, "add dirties attributes");
+
+        let (p1, a1) = (rm.positions_epoch(), rm.attributes_epoch());
+        rm.translate(0, Vec3::new(1.0, 0.0, 0.0));
+        rm.set_position(0, Vec3::zero());
+        assert!(rm.positions_epoch() > p1);
+        assert_eq!(rm.attributes_epoch(), a1, "moves leave attributes clean");
+
+        let (p2, a2) = (rm.positions_epoch(), rm.attributes_epoch());
+        rm.set_diameter(0, 3.0);
+        assert_eq!(rm.positions_epoch(), p2, "growth leaves positions clean");
+        assert!(rm.attributes_epoch() > a2);
+
+        let p3 = rm.positions_epoch();
+        let (chunks, _shared) = rm.behavior_chunks(8);
+        drop(chunks);
+        assert!(
+            rm.positions_epoch() > p3,
+            "raw chunk views conservatively dirty positions"
+        );
+        let a3 = rm.attributes_epoch();
+        rm.invalidate_largest_diameter();
+        assert!(
+            rm.attributes_epoch() > a3,
+            "raw diameter writes dirty attrs"
+        );
+
+        rm.add(cell_at(1.0));
+        let (p4, a4) = (rm.positions_epoch(), rm.attributes_epoch());
+        rm.apply_permutation(
+            &Permutation::new(vec![1, 0]),
+            &mut ReorderScratch::default(),
+        );
+        assert!(rm.positions_epoch() > p4, "reorder dirties positions");
+        assert!(rm.attributes_epoch() > a4, "reorder dirties attributes");
+
+        let (p5, a5) = (rm.positions_epoch(), rm.attributes_epoch());
+        rm.remove(0);
+        assert!(rm.positions_epoch() > p5);
+        assert!(rm.attributes_epoch() > a5);
     }
 
     #[test]

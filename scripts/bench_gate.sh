@@ -6,8 +6,13 @@
 #
 # Only deterministic metrics (modeled times, work counters, structural
 # integers) are gated; host wall clocks are emitted as informational
-# context and never compared. To re-baseline after an intentional perf
-# change:
+# context and never compared. The mixed-precision rows of
+# BENCH_layouts.json follow the same split: layouts.simd_*_wall_ms and
+# the f64/f32 speedup ratio are informational, while the SIMD
+# utilization counters (mech.simd_lanes_utilized,
+# mech.f32_refresh_copies) are deterministic functions of the
+# trajectory and gate at +/-2 %. To re-baseline after an intentional
+# perf change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
 set -euo pipefail

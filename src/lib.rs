@@ -73,7 +73,7 @@ pub mod prelude {
     pub use bdm_sim::environment::{EnvironmentKind, GpuSystem};
     pub use bdm_sim::io::Snapshot;
     pub use bdm_sim::operation::{OpContext, Operation, ReorderOp};
-    pub use bdm_sim::param::{ReorderParams, SimParams};
+    pub use bdm_sim::param::{Precision, ReorderParams, SimParams};
     pub use bdm_sim::profiler::OpRecord;
     pub use bdm_sim::scheduler::{ExecMode, Scheduler};
     pub use bdm_sim::simulation::Simulation;

@@ -1,0 +1,132 @@
+//! The mixed-precision force pass (`Precision::F32Simd`) inherits the
+//! platform's determinism guarantee: its f32 lane packing and f64
+//! lane-ordered reductions are pure functions of the CSR candidate
+//! sequence and the fixed chunk partition — never of thread scheduling.
+//! So for a *fixed* agent-storage order, the trajectory must be bitwise
+//! identical across serial/parallel grid builds and serial/parallel
+//! schedulers, with or without the Z-order reorder operation running.
+//!
+//! Note the contrast with the FP64 path: f32 *rounding* does depend on
+//! storage order (reorder changes which candidates share a lane), so
+//! reorder-on and reorder-off trajectories legitimately differ at
+//! `F32Simd`. Each reorder setting is therefore compared only against
+//! itself — four ways.
+//!
+//! Property-based: random mixed-behavior scenes (growth/division,
+//! apoptosis, chemotaxis, secretion) over a substance field, so births,
+//! deaths, and storage churn all interleave with the SIMD pass.
+
+use biodynamo::prelude::*;
+use proptest::prelude::*;
+
+const SUBSTANCE: usize = 0;
+
+fn behaviors_for(sel: u8) -> Vec<Behavior> {
+    let mut b = Vec::new();
+    if sel & 1 != 0 {
+        b.push(Behavior::GrowthDivision {
+            growth_rate: 80.0,
+            division_threshold: 10.2,
+        });
+    }
+    if sel & 2 != 0 {
+        b.push(Behavior::Apoptosis { probability: 0.25 });
+    }
+    if sel & 4 != 0 {
+        b.push(Behavior::Chemotaxis {
+            substance: SUBSTANCE,
+            speed: 0.5,
+        });
+    }
+    if sel & 8 != 0 {
+        b.push(Behavior::Secretion {
+            substance: SUBSTANCE,
+            rate: 1.5,
+        });
+    }
+    b
+}
+
+type AgentSpec = (f64, f64, f64, u8);
+
+/// Run the scene at `F32Simd` and return the trajectory keyed by stable
+/// uid (ascending), so comparisons are independent of storage order.
+fn trajectory(
+    agents: &[AgentSpec],
+    seed: u64,
+    env: EnvironmentKind,
+    mode: ExecMode,
+    reorder_every: u64,
+    steps: u64,
+) -> Vec<(u64, Vec3<f64>, f64)> {
+    let mut sim = Simulation::new(
+        SimParams::cube(30.0)
+            .with_seed(seed)
+            .with_reorder(reorder_every)
+            .with_precision(Precision::F32Simd),
+    );
+    sim.set_environment(env);
+    sim.set_exec_mode(mode);
+    let s = sim.add_diffusion_grid(DiffusionParams {
+        name: "signal",
+        coefficient: 0.05,
+        decay: 0.0,
+        resolution: 8,
+        boundary: BoundaryCondition::Closed,
+    });
+    assert_eq!(s, SUBSTANCE);
+    sim.diffusion_grid_mut(SUBSTANCE)
+        .secrete(Vec3::new(20.0, 10.0, -5.0), 500.0);
+    for &(x, y, z, sel) in agents {
+        let mut cell = CellBuilder::new(Vec3::new(x, y, z))
+            .diameter(9.8)
+            .adherence(0.05);
+        for b in behaviors_for(sel) {
+            cell = cell.behavior(b);
+        }
+        sim.add_cell(cell);
+    }
+    sim.simulate(steps);
+    let mut out: Vec<(u64, Vec3<f64>, f64)> = (0..sim.rm().len())
+        .map(|i| (sim.rm().uid(i), sim.rm().position(i), sim.rm().diameter(i)))
+        .collect();
+    out.sort_by_key(|t| t.0);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn f32simd_is_bitwise_deterministic_four_ways_per_reorder_setting(
+        agents in proptest::collection::vec(
+            (-25.0f64..25.0, -25.0f64..25.0, -25.0f64..25.0, 0u8..16),
+            20..100,
+        ),
+        steps in 2u64..4,
+        seed in 0u64..1_000,
+    ) {
+        for reorder_every in [0u64, 1] {
+            let runs = [
+                (EnvironmentKind::uniform_grid_csr_serial(), ExecMode::Serial),
+                (EnvironmentKind::uniform_grid_csr_serial(), ExecMode::Parallel),
+                (EnvironmentKind::uniform_grid_csr_parallel(), ExecMode::Serial),
+                (EnvironmentKind::uniform_grid_csr_parallel(), ExecMode::Parallel),
+            ];
+            let baseline = trajectory(&agents, seed, runs[0].0, runs[0].1, reorder_every, steps);
+            for (env, mode) in runs.into_iter().skip(1) {
+                let t = trajectory(&agents, seed, env, mode, reorder_every, steps);
+                // Exact equality on (uid, position, diameter): bitwise
+                // identity, no tolerance.
+                prop_assert_eq!(
+                    &baseline,
+                    &t,
+                    "F32Simd diverged (reorder_every={}, {:?}, {:?})",
+                    reorder_every,
+                    env,
+                    mode
+                );
+            }
+        }
+    }
+}

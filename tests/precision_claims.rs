@@ -5,8 +5,11 @@
 //! FP64 (GPU v0) and FP32 (GPU I) and bound the drift in the quantities
 //! a biologist would read off the simulation.
 
+use biodynamo::math::simd::{F32x8, F64x8};
 use biodynamo::math::SplitMix64;
 use biodynamo::prelude::*;
+use biodynamo::sim::mech;
+use biodynamo::sim::workload::benchmark_a;
 
 fn run_precision(fp32: bool, steps: u64) -> Simulation {
     let mut sim = Simulation::new(SimParams::cube(30.0).with_seed(13));
@@ -95,4 +98,124 @@ fn fp32_changes_no_contact_decisions_on_first_step() {
             .collect()
     };
     assert_eq!(moved(&a, 13), moved(&b, 13));
+}
+
+// ---------------------------------------------------------------------
+// CPU mixed-precision path (`Precision::F32Simd`): the same Improvement
+// I claim for the fused SIMD force pass, bounded per step and over a
+// whole trajectory.
+// ---------------------------------------------------------------------
+
+/// Per-step divergence, re-synced each step: starting from the *same*
+/// f64 state, one mechanical step at `F32Simd` must agree with the f64
+/// step to within 1e-5 of the largest displacement the step produces —
+/// the envelope documented on [`Precision`]. Re-syncing isolates the
+/// narrowing error of a single force pass from chaotic amplification.
+#[test]
+fn f32simd_per_step_displacement_error_within_1e5_relative() {
+    let sim = benchmark_a(8, 0x8);
+    let env = EnvironmentKind::uniform_grid_csr_parallel();
+    let p64 = sim.params().clone();
+    let p32 = sim.params().clone().with_precision(Precision::F32Simd);
+    let mut reference = sim.rm().clone();
+    for step in 0..8 {
+        let before = reference.clone();
+        let mut rm32 = reference.clone();
+        mech::mechanical_step(&mut reference, &p64, &env, None);
+        mech::mechanical_step(&mut rm32, &p32, &env, None);
+        let mut max_disp = 0.0f64;
+        let mut max_err = 0.0f64;
+        for i in 0..before.len() {
+            let d64 = reference.position(i) - before.position(i);
+            let d32 = rm32.position(i) - before.position(i);
+            max_disp = max_disp.max(d64.norm());
+            max_err = max_err.max((d64 - d32).norm());
+        }
+        assert!(max_disp > 0.0, "step {step}: forces acted");
+        assert!(
+            max_err <= 1e-5 * max_disp,
+            "step {step}: f32 SIMD error {max_err:e} exceeds 1e-5 of max displacement {max_disp:e}"
+        );
+    }
+}
+
+/// Whole-trajectory divergence at the `Simulation` level: ten steps of
+/// compounding f32 rounding on a dense random spheroid stay far below a
+/// cell radius, and the aggregate observables a biologist reads off the
+/// run are unaffected — the paper's §VI criterion applied to the CPU
+/// mixed-precision path.
+#[test]
+fn f32simd_cumulative_trajectory_stays_in_envelope() {
+    let run = |precision: Precision| -> Simulation {
+        let mut sim = Simulation::new(
+            SimParams::cube(30.0)
+                .with_seed(13)
+                .with_precision(precision),
+        );
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..500 {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(
+                    rng.uniform(-27.0, 27.0),
+                    rng.uniform(-27.0, 27.0),
+                    rng.uniform(-27.0, 27.0),
+                ))
+                .diameter(6.0)
+                .adherence(0.02),
+            );
+        }
+        sim.set_environment(EnvironmentKind::uniform_grid_csr_parallel());
+        sim.simulate(10);
+        sim
+    };
+    let a = run(Precision::F64);
+    let b = run(Precision::F32Simd);
+    let mut max_err = 0.0f64;
+    for i in 0..a.rm().len() {
+        max_err = max_err.max((a.rm().position(i) - b.rm().position(i)).norm());
+    }
+    assert!(max_err > 0.0, "the paths genuinely differ in precision");
+    assert!(max_err < 0.05, "cumulative f32 SIMD drift {max_err}");
+    let (ca, cb) = (a.rm().centroid(), b.rm().centroid());
+    assert!((ca - cb).norm() < 1e-3);
+}
+
+/// NaN robustness of the lane type itself: a NaN smuggled into a masked
+/// lane (the tail-padding / self-interaction case) never reaches the
+/// accumulator, because IEEE comparisons with NaN are false and the
+/// bitwise select substitutes exact `+0.0`.
+#[test]
+fn simd_lane_type_confines_nan_lanes() {
+    let mut vals = [1.0f32; 8];
+    vals[3] = f32::NAN;
+    vals[6] = -1.0; // sqrt(-1) → NaN inside the lane pipeline
+    let v = F32x8(vals);
+    let sq = v.sqrt();
+    assert!(sq.0[3].is_nan() && sq.0[6].is_nan());
+    // The contact mask rejects both NaN lanes (compare is false)...
+    let mask = sq.le(F32x8::splat(2.0));
+    assert_eq!(mask.count(), 6);
+    // ...and the select writes +0.0 bits for them, so accumulation in
+    // f64 is untouched by the poisoned lanes.
+    let picked = mask.select(sq, F32x8::zero());
+    assert_eq!(picked.0[3].to_bits(), 0);
+    assert_eq!(picked.0[6].to_bits(), 0);
+    let mut acc = F64x8::zero();
+    acc.accumulate(picked);
+    assert_eq!(acc.reduce(), 6.0);
+}
+
+/// Subnormal robustness: f32 subnormals (the magnitude regime a nearly
+/// touching cell pair can produce in Eq. 1's `δ`) survive the lane
+/// arithmetic without flush-to-zero, and widen exactly into the f64
+/// accumulator.
+#[test]
+fn simd_lane_type_preserves_subnormals() {
+    let tiny = f32::from_bits(1); // smallest positive subnormal
+    let v = F32x8::splat(tiny);
+    let doubled = v + v;
+    assert_eq!(doubled.0[0].to_bits(), 2, "no FTZ on add");
+    let mut acc = F64x8::zero();
+    acc.accumulate(v);
+    assert_eq!(acc.reduce(), 8.0 * tiny as f64, "exact widening");
 }
