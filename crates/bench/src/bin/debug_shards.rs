@@ -1,0 +1,59 @@
+//! Diagnostic: per-phase wall breakdown of the Hilbert-sharded
+//! mechanical pass (canonical sort / per-shard CSR builds with ghost
+//! halos / force pass) across shard counts, on the `bench_layouts`
+//! random cloud.
+use bdm_math::{SplitMix64, Vec3};
+use bdm_sim::{CellBuilder, EnvironmentKind, SimParams, Simulation};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(110_592);
+    let half = (n as f64 / 2.0).cbrt() * 2.0;
+    println!("random cloud, {n} cells, uniform grid CSR (parallel)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "shards", "sort ms", "build ms", "force ms", "reorder ms", "halo frac", "imbalance"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let mut sim = Simulation::new(SimParams::cube(half).with_seed(0x2b).with_shards(shards));
+        sim.set_environment(EnvironmentKind::uniform_grid_csr_parallel());
+        let mut rng = SplitMix64::new(0x2b);
+        for _ in 0..n {
+            sim.add_cell(
+                CellBuilder::new(Vec3::new(
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                    rng.uniform(-half, half),
+                ))
+                .diameter(4.0)
+                .adherence(0.01),
+            );
+        }
+        sim.simulate(4);
+        let wall = |name: &str| {
+            sim.profiler()
+                .steps()
+                .last()
+                .unwrap()
+                .records
+                .iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.wall_s)
+                .sum::<f64>()
+                * 1e3
+        };
+        let sh = sim.sharding().unwrap();
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.4} {:>10.3}",
+            shards,
+            wall("shard sort"),
+            wall("neighborhood build"),
+            wall("mechanical forces"),
+            wall("reorder"),
+            sh.halo_agents() as f64 / n as f64,
+            sh.imbalance(),
+        );
+    }
+}

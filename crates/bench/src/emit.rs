@@ -57,7 +57,13 @@ pub fn default_policy(name: &str) -> GatePolicy {
         || name.starts_with("gpu.step.")
         || name.starts_with("gpu.mech.")
         || name == "layouts.csr_index_gap"
+        || name.starts_with("layouts.shard_")
     {
+        // `layouts.shard_*` wall clocks never reach this tier — the
+        // `wall` branch above catches them — so what gates here is the
+        // deterministic shard-map telemetry (imbalance, halo fraction)
+        // and the System A modeled mech times / speedup, which are pure
+        // functions of the trajectory's phase counters.
         GatePolicy::with_tol(0.02)
     } else {
         GatePolicy::gated()
@@ -171,6 +177,21 @@ mod tests {
         assert_eq!(default_policy("gpu.sort_gathers").tol, Some(0.0));
         assert_eq!(default_policy("layouts.csr_index_gap").tol, Some(0.02));
         assert!(!default_policy("layouts.reorder_mech_wall_ms").gate);
+        assert_eq!(default_policy("layouts.shard_imbalance").tol, Some(0.02));
+        assert_eq!(
+            default_policy("layouts.shard_halo_fraction").tol,
+            Some(0.02)
+        );
+        assert_eq!(
+            default_policy("layouts.shard_mech_modeled_ms").tol,
+            Some(0.02)
+        );
+        assert_eq!(
+            default_policy("layouts.shard_speedup_modeled_x").tol,
+            Some(0.02)
+        );
+        assert!(!default_policy("layouts.shard_step_wall_ms").gate);
+        assert!(!default_policy("layouts.shard_mech_wall_ms").gate);
         let modeled = default_policy("profiler.modeled_total_s");
         assert!(modeled.gate && modeled.tol.is_none());
         assert!(default_policy("gpu.total_s").gate);

@@ -1,0 +1,240 @@
+//! Contiguous curve-span sharding of the key space.
+//!
+//! A [`ShardMap`] partitions the 63-bit curve key space into `shards`
+//! contiguous half-open spans `[bounds[s], bounds[s+1])`. Because every
+//! agent in a grid voxel shares one key (`crate::cell_keys`), a span
+//! boundary can never split a voxel — a voxel belongs to exactly one
+//! shard, which is what makes a read-only ghost halo of *whole voxels*
+//! well defined.
+//!
+//! When agents are kept sorted by `(key, uid)` the span partition turns
+//! into a partition of the storage index range into contiguous slices
+//! ([`ShardMap::ranges`]), so per-shard stepping is per-slice stepping:
+//! no gather, no copy.
+//!
+//! The map is a pure function of its bounds; [`ShardMap::balanced`]
+//! re-derives bounds from a sorted key column (equal-population quantile
+//! split snapped to key-run starts), so rebalancing is deterministic —
+//! the same population always yields the same map, regardless of thread
+//! count or history.
+
+use std::ops::Range;
+
+/// A partition of the curve key space into contiguous spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `shards + 1` non-decreasing bounds; `bounds[0] == 0` and
+    /// `bounds[shards] == u64::MAX`. Shard `s` owns keys in
+    /// `[bounds[s], bounds[s+1])`. (Curve keys use at most 63 bits, so
+    /// the `u64::MAX` sentinel is never an actual key.)
+    bounds: Vec<u64>,
+}
+
+impl ShardMap {
+    /// A map that splits the raw `u64` key space into `shards` equal
+    /// spans. Population balance is whatever the key distribution gives;
+    /// use [`Self::balanced`] once a population exists.
+    pub fn even(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be at least 1");
+        let step = u64::MAX / shards as u64;
+        let mut bounds: Vec<u64> = (0..shards as u64).map(|s| s * step).collect();
+        bounds.push(u64::MAX);
+        Self { bounds }
+    }
+
+    /// Equal-population split of a **sorted** key column: span boundaries
+    /// at the population quantiles, snapped forward to the next key-run
+    /// start so a run of equal keys (one voxel) never straddles two
+    /// shards. Deterministic: a pure function of the key multiset.
+    pub fn balanced(sorted_keys: &[u64], shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be at least 1");
+        debug_assert!(
+            sorted_keys.windows(2).all(|w| w[0] <= w[1]),
+            "balanced() requires a sorted key column"
+        );
+        let n = sorted_keys.len();
+        if n == 0 {
+            return Self::even(shards);
+        }
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u64);
+        for s in 1..shards {
+            let mut t = s * n / shards;
+            // Snap forward past the tail of a key run: index t must be
+            // the first of its run (or n) for keys[t] to be a clean
+            // lower bound.
+            while t > 0 && t < n && sorted_keys[t] == sorted_keys[t - 1] {
+                t += 1;
+            }
+            let b = if t >= n { u64::MAX } else { sorted_keys[t] };
+            let prev = *bounds.last().expect("bounds is non-empty");
+            bounds.push(b.max(prev));
+        }
+        bounds.push(u64::MAX);
+        Self { bounds }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The span bounds (`shards + 1` entries, see type docs).
+    #[inline]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// The shard owning `key`: the last span whose lower bound is ≤
+    /// `key`. Empty spans (equal consecutive bounds) own nothing.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        // bounds[0] == 0 ≤ key always, so the partition point is ≥ 1.
+        let p = self.bounds.partition_point(|&b| b <= key);
+        (p - 1).min(self.shards() - 1)
+    }
+
+    /// Storage ranges of each shard in a column sorted by key: shard `s`
+    /// holds `sorted_keys[ranges[s]]`. The ranges are contiguous,
+    /// ascending, and partition `0..sorted_keys.len()`.
+    pub fn ranges(&self, sorted_keys: &[u64]) -> Vec<Range<usize>> {
+        debug_assert!(
+            sorted_keys.windows(2).all(|w| w[0] <= w[1]),
+            "ranges() requires a sorted key column"
+        );
+        let mut out = Vec::with_capacity(self.shards());
+        let mut lo = 0usize;
+        for s in 0..self.shards() {
+            let hi = if s + 1 == self.shards() {
+                sorted_keys.len()
+            } else {
+                let bound = self.bounds[s + 1];
+                lo + sorted_keys[lo..].partition_point(|&k| k < bound)
+            };
+            out.push(lo..hi);
+            lo = hi;
+        }
+        out
+    }
+
+    /// Load imbalance of a range partition: max shard population over the
+    /// mean (1.0 = perfectly balanced; `shards` = everything on one
+    /// shard). An empty population reports 1.0.
+    pub fn imbalance(ranges: &[Range<usize>]) -> f64 {
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        if total == 0 || ranges.is_empty() {
+            return 1.0;
+        }
+        let max = ranges.iter().map(|r| r.len()).max().expect("non-empty");
+        max as f64 * ranges.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_the_key_space() {
+        let m = ShardMap::even(4);
+        assert_eq!(m.shards(), 4);
+        assert_eq!(m.bounds()[0], 0);
+        assert_eq!(*m.bounds().last().unwrap(), u64::MAX);
+        assert_eq!(m.shard_of(0), 0);
+        assert_eq!(m.shard_of(u64::MAX / 2), 2);
+        assert_eq!(m.shard_of(u64::MAX - 1), 3);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let m = ShardMap::even(1);
+        for k in [0u64, 1, 1 << 40, u64::MAX - 1] {
+            assert_eq!(m.shard_of(k), 0);
+        }
+        assert_eq!(m.ranges(&[1, 2, 3]), vec![0..3]);
+    }
+
+    #[test]
+    fn balanced_splits_at_population_quantiles() {
+        let keys: Vec<u64> = (0..100).collect();
+        let m = ShardMap::balanced(&keys, 4);
+        let r = m.ranges(&keys);
+        assert_eq!(r, vec![0..25, 25..50, 50..75, 75..100]);
+        assert!((ShardMap::imbalance(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_never_splits_a_key_run() {
+        // 50 agents share key 7 straddling the naive midpoint.
+        let mut keys = vec![3u64; 30];
+        keys.extend(std::iter::repeat_n(7u64, 50));
+        keys.extend(std::iter::repeat_n(9u64, 20));
+        let m = ShardMap::balanced(&keys, 2);
+        let r = m.ranges(&keys);
+        // The whole key-7 run lands in shard 0; shard 1 starts at key 9.
+        assert_eq!(r, vec![0..80, 80..100]);
+        for (s, range) in r.iter().enumerate() {
+            for &k in &keys[range.clone()] {
+                assert_eq!(m.shard_of(k), s, "key {k} must map into its range's shard");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_key_runs_leaves_trailing_shards_empty() {
+        let keys = vec![5u64; 10];
+        let m = ShardMap::balanced(&keys, 4);
+        let r = m.ranges(&keys);
+        assert_eq!(r[0], 0..10);
+        assert!(r[1..].iter().all(|r| r.is_empty()));
+        let total: usize = r.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_population_is_valid() {
+        let m = ShardMap::balanced(&[], 3);
+        let r = m.ranges(&[]);
+        assert_eq!(r, vec![0..0, 0..0, 0..0]);
+        assert_eq!(ShardMap::imbalance(&r), 1.0);
+    }
+
+    #[test]
+    fn ranges_agree_with_shard_of() {
+        let keys: Vec<u64> = [1u64, 1, 2, 2, 2, 9, 9, 40, 41, 42, 90, 95]
+            .iter()
+            .flat_map(|&k| std::iter::repeat_n(k, 3))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        for shards in 1..=6 {
+            let m = ShardMap::balanced(&sorted, shards);
+            let r = m.ranges(&sorted);
+            assert_eq!(r.len(), shards);
+            assert_eq!(r[0].start, 0);
+            assert_eq!(r.last().unwrap().end, sorted.len());
+            for w in r.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must tile the column");
+            }
+            for (s, range) in r.iter().enumerate() {
+                for &k in &sorted[range.clone()] {
+                    assert_eq!(m.shard_of(k), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_of_a_skewed_partition() {
+        // 4 shards, all 8 agents on shard 0 → max/mean = 8 / 2 = 4.
+        let r = vec![0..8, 8..8, 8..8, 8..8];
+        assert_eq!(ShardMap::imbalance(&r), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_is_rejected() {
+        ShardMap::even(0);
+    }
+}

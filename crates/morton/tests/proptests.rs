@@ -1,7 +1,11 @@
-//! Property-based tests for the Z-order curve.
+//! Property-based tests for the Z-order curve, the Hilbert curve, and
+//! the curve-span shard map built on top of them.
 
 use bdm_math::{Aabb, Vec3};
-use bdm_morton::{compact, decode3, encode2, encode3, quantize, spread, COORD_MAX};
+use bdm_morton::{
+    cell_keys, compact, decode3, encode2, encode3, hilbert_decode3, hilbert_encode3, quantize,
+    spread, Curve, ShardMap, COORD_BITS, COORD_MAX,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -84,5 +88,80 @@ proptest! {
             quantize(p, &space, 1.0),
             quantize(ps, &shifted, 1.0)
         );
+    }
+
+    /// Hilbert keys over a clamped grid are a bijection on voxel
+    /// coordinates: distinct voxels get distinct keys, and decoding
+    /// recovers the voxel. (Injectivity + left inverse = bijection onto
+    /// the key image, which is what the shard splitter needs: one key ↔
+    /// one voxel.)
+    #[test]
+    fn hilbert_is_a_bijection_on_voxel_coords(
+        dx in 1u32..=6, dy in 1u32..=6, dz in 1u32..=6,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for z in 0..dz {
+            for y in 0..dy {
+                for x in 0..dx {
+                    let k = hilbert_encode3(x, y, z);
+                    prop_assert!(seen.insert(k), "key collision at {:?}", (x, y, z));
+                    prop_assert_eq!(hilbert_decode3(k), (x, y, z));
+                }
+            }
+        }
+    }
+
+    /// Consecutive Hilbert curve positions are face-adjacent voxels:
+    /// walking from key k to k+1 moves exactly one unit step along
+    /// exactly one axis, anywhere in the 63-bit key space. This is the
+    /// locality property the shard splitter relies on — a contiguous
+    /// key span is a connected blob of voxels, so shard surfaces (and
+    /// with them the ghost halos) stay small.
+    #[test]
+    fn hilbert_consecutive_positions_are_face_adjacent(
+        k in 0u64..((1u64 << (3 * COORD_BITS)) - 1),
+    ) {
+        let (ax, ay, az) = hilbert_decode3(k);
+        let (bx, by, bz) = hilbert_decode3(k + 1);
+        let d = (ax as i64 - bx as i64).abs()
+            + (ay as i64 - by as i64).abs()
+            + (az as i64 - bz as i64).abs();
+        prop_assert_eq!(d, 1, "keys {} and {} are not face-adjacent", k, k + 1);
+    }
+
+    /// ShardMap over clamped-grid Hilbert keys: `ranges` on the sorted
+    /// key column and `shard_of` on individual keys agree, the ranges
+    /// tile the column, and no voxel (key run) straddles two shards.
+    #[test]
+    fn shard_map_ranges_agree_with_shard_of(
+        points in proptest::collection::vec(
+            (0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..200),
+        shards in 1usize..=8,
+    ) {
+        let space = Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::splat(50.0));
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let zs: Vec<f64> = points.iter().map(|p| p.2).collect();
+        let mut keys = cell_keys(&xs, &ys, &zs, &space, 5.0, Curve::Hilbert);
+        keys.sort_unstable();
+        let map = ShardMap::balanced(&keys, shards);
+        let ranges = map.ranges(&keys);
+        prop_assert_eq!(ranges.len(), shards);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, keys.len());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        for (s, range) in ranges.iter().enumerate() {
+            for &k in &keys[range.clone()] {
+                prop_assert_eq!(map.shard_of(k), s);
+            }
+        }
+        // No key run straddles a shard boundary.
+        for w in keys.windows(2) {
+            if w[0] == w[1] {
+                prop_assert_eq!(map.shard_of(w[0]), map.shard_of(w[1]));
+            }
+        }
     }
 }

@@ -381,7 +381,7 @@ fn force_phase(
     (results.into_iter().map(|r| r.0).collect(), contacts)
 }
 
-fn apply_displacements(rm: &mut ResourceManager, disp: &[Vec3<f64>]) {
+pub(crate) fn apply_displacements(rm: &mut ResourceManager, disp: &[Vec3<f64>]) {
     for (i, &d) in disp.iter().enumerate() {
         if d != Vec3::zero() {
             rm.translate(i, d);
@@ -582,7 +582,7 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
 /// rayon schedules it; each agent's FP64 accumulation is independent, so
 /// the displacements are bitwise reproducible across serial and parallel
 /// runs.
-const CSR_PASS_CHUNK: usize = 4 * 1024;
+pub(crate) const CSR_PASS_CHUNK: usize = 4 * 1024;
 
 fn cpu_grid_csr_step(
     rm: &mut ResourceManager,

@@ -1,0 +1,558 @@
+//! Hilbert-sharded domain decomposition.
+//!
+//! The simulation space is partitioned into contiguous spans of the
+//! Hilbert curve ([`ShardMap`]): every grid voxel hashes to a curve key,
+//! and shard `s` owns the keys in `[bounds[s], bounds[s+1])`. Because
+//! the mechanical pass keeps agent storage sorted by `(voxel key, uid)`,
+//! each shard's population is one contiguous slice of every SoA column —
+//! no gather, no copy — and each shard builds its own CSR grid over its
+//! agents plus a read-only **ghost halo** of boundary agents from
+//! neighboring shards, then runs the fused force pass on its own rayon
+//! task.
+//!
+//! # Bitwise determinism (serial == sharded, any shard count)
+//!
+//! The sharded pass reproduces the unsharded CSR pass *bit for bit*:
+//!
+//! 1. **Halo completeness.** An owned agent's 27-voxel stencil only
+//!    touches voxels that are owned or explicitly imported as halo, so
+//!    every candidate the global grid would test is present.
+//! 2. **Per-voxel list equality.** Same-key ⇔ same-voxel (the curve keys
+//!    quantize exactly like [`bdm_grid::GridGeometry::box_coords`]), so
+//!    a voxel's agents form one contiguous ascending run of the sorted
+//!    storage; the stable member build
+//!    ([`CsrGrid::rebuild_from_members`]) therefore reproduces every
+//!    per-voxel id slice of the full build exactly.
+//! 3. **Geometric enumeration order.** The stencil is walked through the
+//!    shared [`bdm_grid::GridGeometry`] x-runs, a pure function of the
+//!    agent's position — never of the shard partition.
+//!
+//! Together these make each agent's candidate sequence — and hence its
+//! f64 force accumulation order — identical for 1, 2, 4, 8, … shards
+//! and for the unsharded pass, which is what the `shard_determinism`
+//! proptests pin.
+
+use crate::mech::{self, MechWork};
+use crate::param::SimParams;
+use crate::rm::{ReorderScratch, ResourceManager};
+use bdm_device::cpu::Phase;
+use bdm_grid::{CsrBuildScratch, CsrGrid, GridGeometry, QueryCounters};
+use bdm_math::interaction;
+use bdm_math::{Aabb, Vec3};
+use bdm_morton::{cell_keys, hilbert_decode3, hilbert_encode3, Curve, ShardMap};
+use bdm_soa::{AgentId, Permutation};
+use rayon::prelude::*;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Per-shard reusable state: the shard-local CSR grid (owned + halo
+/// members, global agent ids), its build scratch, and the member /
+/// halo-key staging buffers. Everything persists across steps so a
+/// steady-state step allocates nothing.
+#[derive(Default)]
+struct ShardState {
+    grid: Option<CsrGrid<f64>>,
+    build: CsrBuildScratch,
+    members: Vec<AgentId>,
+    halo_keys: Vec<u64>,
+}
+
+/// The sharded step driver: shard map, sorted-key cache, per-shard CSR
+/// grids, and the telemetry the `shard.*` metrics publish.
+///
+/// Owned by [`crate::Simulation`] when `SimParams::shards.count > 0`;
+/// the mechanical operation routes the CSR/f64 path through
+/// [`ShardedEnvironment::step`] and the scheduled rebalance op calls
+/// [`ShardedEnvironment::rebalance`].
+pub struct ShardedEnvironment {
+    map: ShardMap,
+    /// Hilbert voxel key of every agent, in (sorted) storage order —
+    /// refreshed by [`Self::step`] after the sort.
+    keys: Vec<u64>,
+    /// `(key, uid)` sort staging.
+    pairs: Vec<(u64, u64)>,
+    sort_scratch: ReorderScratch,
+    shards: Vec<ShardState>,
+    /// Flat voxel index → Hilbert key, rebuilt when the grid dims
+    /// change; turns halo discovery into table lookups.
+    key_of_voxel: Vec<u64>,
+    key_table_dims: [u32; 3],
+    /// Current shard ranges over sorted storage (tile `0..n`).
+    ranges: Vec<Range<usize>>,
+    /// Per-agent displacement buffer of the fused pass.
+    disp: Vec<Vec3<f64>>,
+    /// `(uid, shard)` snapshot of the last rebalance run, sorted by uid
+    /// — the base the migration diff counts against.
+    prev_assignment: Vec<(u64, u32)>,
+    // ---- telemetry (read by Simulation::metrics) ----
+    agents_per_shard: Vec<u64>,
+    halo_per_shard: Vec<u64>,
+    imbalance: f64,
+    migrations: u64,
+    rebalances: u64,
+}
+
+impl ShardedEnvironment {
+    /// New driver with an even key-space split across `count` shards.
+    pub fn new(count: usize) -> Self {
+        Self {
+            map: ShardMap::even(count),
+            keys: Vec::new(),
+            pairs: Vec::new(),
+            sort_scratch: ReorderScratch::default(),
+            shards: Vec::new(),
+            key_of_voxel: Vec::new(),
+            key_table_dims: [0; 3],
+            ranges: Vec::new(),
+            disp: Vec::new(),
+            prev_assignment: Vec::new(),
+            agents_per_shard: Vec::new(),
+            halo_per_shard: Vec::new(),
+            imbalance: 1.0,
+            migrations: 0,
+            rebalances: 0,
+        }
+    }
+
+    /// The current shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// Agents owned per shard, as of the last sharded mechanical step.
+    pub fn agents_per_shard(&self) -> &[u64] {
+        &self.agents_per_shard
+    }
+
+    /// Halo agents imported per shard, as of the last sharded step.
+    pub fn halo_per_shard(&self) -> &[u64] {
+        &self.halo_per_shard
+    }
+
+    /// Max/mean shard population of the last sharded step.
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance
+    }
+
+    /// Cumulative agents whose key crossed a shard boundary between
+    /// rebalance checks.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// How many times the span boundaries were re-split.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Total halo agents of the last sharded step.
+    pub fn halo_agents(&self) -> u64 {
+        self.halo_per_shard.iter().sum()
+    }
+
+    /// Shard-then-chunk cut points for the behavior/bound-space agent
+    /// loops: every shard range, subdivided at `chunk`. `None` when the
+    /// cached ranges don't tile the current population (population
+    /// changed since the last sharded mechanical step, or none ran yet)
+    /// — callers fall back to plain fixed-size chunking. Both
+    /// partitions are ascending tilings of `0..n`, so the chunk-ordered
+    /// context merge produces bitwise-identical outcomes either way;
+    /// the shard cuts just keep each execution context shard-local.
+    pub(crate) fn behavior_cuts(&self, n: usize, chunk: usize) -> Option<Vec<usize>> {
+        let last = self.ranges.last()?;
+        if last.end != n {
+            return None;
+        }
+        let mut cuts = Vec::with_capacity(self.ranges.len() + n / chunk + 1);
+        cuts.push(0);
+        for r in &self.ranges {
+            let mut c = r.start;
+            while c < r.end {
+                c = (c + chunk).min(r.end);
+                cuts.push(c);
+            }
+        }
+        debug_assert_eq!(cuts.last(), Some(&n));
+        Some(cuts)
+    }
+
+    /// Rebuild the voxel→key table when the grid dimensions change
+    /// (growth can enlarge the interaction radius and shrink the dims).
+    fn refresh_key_table(&mut self, space: Aabb<f64>, radius: f64) -> GridGeometry<f64> {
+        let geom = GridGeometry::new(space, radius);
+        let dims = geom.dims();
+        if self.key_table_dims != dims || self.key_of_voxel.is_empty() {
+            self.key_table_dims = dims;
+            self.key_of_voxel.clear();
+            self.key_of_voxel.reserve(geom.num_boxes());
+            // x-major, matching `GridGeometry::flat_index`.
+            for cz in 0..dims[2] {
+                for cy in 0..dims[1] {
+                    for cx in 0..dims[0] {
+                        self.key_of_voxel.push(hilbert_encode3(cx, cy, cz));
+                    }
+                }
+            }
+        }
+        geom
+    }
+
+    /// One sharded CSR mechanical step (f64). Drop-in replacement for
+    /// the unsharded fused CSR pass — bitwise-identical displacements,
+    /// identical work counters — with the build + force phases running
+    /// per shard.
+    pub(crate) fn step(
+        &mut self,
+        rm: &mut ResourceManager,
+        params: &SimParams,
+        parallel: bool,
+    ) -> MechWork {
+        let n = rm.len();
+        if n == 0 {
+            return MechWork {
+                phases: Vec::new(),
+                wall_s: Vec::new(),
+                gpu: None,
+                candidates: 0,
+                contacts: 0,
+                neighbors: 0,
+                index_gap: None,
+                simd: None,
+            };
+        }
+        let radius = mech::interaction_radius(rm, params);
+        let space = params.space;
+
+        // Phase 1: keep storage sorted by (Hilbert voxel key, uid) so
+        // shard populations are contiguous slices. The (key, uid) pair
+        // is a strict total order, so the layout is a pure function of
+        // agent state — and within a voxel the order is ascending uid,
+        // exactly the order a never-reordered run stores (insertion
+        // order); this is what makes the sharded pass bitwise-equal to
+        // the unsharded baseline rather than merely equivalent.
+        let t0 = Instant::now();
+        {
+            let (xs, ys, zs) = rm.position_columns();
+            let cells = cell_keys(xs, ys, zs, &space, radius, Curve::Hilbert);
+            self.pairs.clear();
+            self.pairs
+                .extend(cells.into_iter().zip(rm.uid_column().iter().copied()));
+        }
+        let mut moved = 0u64;
+        self.keys.clear();
+        if self.pairs.is_sorted() {
+            self.keys.extend(self.pairs.iter().map(|&(k, _)| k));
+        } else {
+            let perm = Permutation::sorting_by_key(&self.pairs);
+            self.keys.extend(
+                perm.gather_indices()
+                    .iter()
+                    .map(|&s| self.pairs[s as usize].0),
+            );
+            rm.apply_permutation(&perm, &mut self.sort_scratch);
+            moved = n as u64;
+        }
+        let wall_sort = t0.elapsed().as_secs_f64();
+
+        // Phase 2: shard ranges, then per-shard grids with ghost halos.
+        let t1 = Instant::now();
+        self.ranges = self.map.ranges(&self.keys);
+        let geom = self.refresh_key_table(space, radius);
+        if self.shards.len() != self.map.shards() {
+            self.shards = (0..self.map.shards())
+                .map(|_| ShardState::default())
+                .collect();
+        }
+        let (xs, ys, zs) = rm.position_columns();
+        let keys = &self.keys;
+        let ranges = &self.ranges;
+        let map = &self.map;
+        let key_of_voxel = &self.key_of_voxel;
+        let dims = geom.dims();
+        let build_shard = |s: usize, st: &mut ShardState| -> u64 {
+            let own = ranges[s].clone();
+            st.halo_keys.clear();
+            // Owned occupied voxels → off-shard stencil voxels (halo).
+            let mut i = own.start;
+            while i < own.end {
+                let k = keys[i];
+                while i < own.end && keys[i] == k {
+                    i += 1;
+                }
+                let (cx, cy, cz) = hilbert_decode3(k);
+                debug_assert_eq!(
+                    key_of_voxel[geom.flat_index(cx, cy, cz)],
+                    k,
+                    "agent key must match its voxel's table entry"
+                );
+                let lo = |c: u32| c.saturating_sub(1);
+                let hi = |c: u32, d: u32| (c + 1).min(d - 1);
+                for nz in lo(cz)..=hi(cz, dims[2]) {
+                    for ny in lo(cy)..=hi(cy, dims[1]) {
+                        for nx in lo(cx)..=hi(cx, dims[0]) {
+                            let nk = key_of_voxel[geom.flat_index(nx, ny, nz)];
+                            if map.shard_of(nk) != s {
+                                st.halo_keys.push(nk);
+                            }
+                        }
+                    }
+                }
+            }
+            st.halo_keys.sort_unstable();
+            st.halo_keys.dedup();
+            // Members: the owned slice plus each halo voxel's agent run
+            // (binary search over the globally sorted key column). Every
+            // voxel's agents enter as one ascending-id run, which is the
+            // stable member build's bitwise-equality precondition.
+            st.members.clear();
+            st.members.extend(own.clone().map(AgentId::from_index));
+            for &hk in &st.halo_keys {
+                let lo = keys.partition_point(|&k| k < hk);
+                let hi = lo + keys[lo..].partition_point(|&k| k == hk);
+                st.members.extend((lo..hi).map(AgentId::from_index));
+            }
+            let halo = (st.members.len() - own.len()) as u64;
+            let grid = st
+                .grid
+                .get_or_insert_with(|| CsrGrid::build_serial(&[], &[], &[], space, radius));
+            grid.rebuild_from_members(xs, ys, zs, &st.members, space, radius, &mut st.build);
+            halo
+        };
+        let halo_per_shard: Vec<u64> = if parallel {
+            self.shards
+                .par_iter_mut()
+                .enumerate()
+                .map(|(s, st)| build_shard(s, st))
+                .collect()
+        } else {
+            self.shards
+                .iter_mut()
+                .enumerate()
+                .map(|(s, st)| build_shard(s, st))
+                .collect()
+        };
+        let wall_build = t1.elapsed().as_secs_f64();
+
+        // Phase 3: fused neighbor scan + force pass, per shard over its
+        // owned slice of the displacement buffer. The inner loop is the
+        // unsharded CSR pass verbatim; only the grid it streams ids from
+        // is shard-local.
+        let t2 = Instant::now();
+        let diam = rm.diameter_column();
+        let adh = rm.adherence_column();
+        let mech_p = &params.mech;
+        let r2 = radius * radius;
+        self.disp.clear();
+        self.disp.resize(n, Vec3::zero());
+        let mut cuts = Vec::with_capacity(self.ranges.len() + 1);
+        cuts.push(0);
+        cuts.extend(self.ranges.iter().map(|r| r.end));
+        let slices = bdm_soa::split_mut_at(&mut self.disp, &cuts);
+        let shards = &self.shards;
+        // The shard is the unit of parallelism — each shard's force
+        // sweep runs serially on its own rayon task (the chunked global
+        // pass already covers intra-grid parallelism; the sharded pass
+        // exists to make the *decomposition* the parallel grain). Per
+        // agent results are independent writes into the shard's disjoint
+        // displacement slice, so the schedule cannot affect a bit.
+        let force_shard = |s: usize, out: &mut [Vec3<f64>]| -> (QueryCounters, u64, u64) {
+            let base = ranges[s].start;
+            let grid = shards[s].grid.as_ref().expect("shard grid built this step");
+            let mut counters = QueryCounters::default();
+            let mut contacts = 0u64;
+            let mut gap_sum = 0u64;
+            for (k, slot) in out.iter_mut().enumerate() {
+                let i = base + k;
+                let p1 = Vec3::new(xs[i], ys[i], zs[i]);
+                let r1 = diam[i] * 0.5;
+                let mut force = Vec3::zero();
+                for (first, count) in grid.geometry().x_runs(p1) {
+                    counters.boxes_scanned += count as u64;
+                    for &id in grid.run_range(first, count) {
+                        let j = id.index();
+                        if j == i {
+                            continue;
+                        }
+                        counters.points_tested += 1;
+                        gap_sum += i.abs_diff(j) as u64;
+                        let p2 = Vec3::new(xs[j], ys[j], zs[j]);
+                        if (p2 - p1).norm_squared() <= r2 {
+                            counters.neighbors_found += 1;
+                            if let Some(f) = interaction::collision_force(
+                                p1,
+                                r1,
+                                p2,
+                                diam[j] * 0.5,
+                                mech_p.repulsion,
+                                mech_p.attraction,
+                            ) {
+                                force += f;
+                                contacts += 1;
+                            }
+                        }
+                    }
+                }
+                *slot = interaction::displacement(force, adh[i], mech_p);
+            }
+            (counters, contacts, gap_sum)
+        };
+        let shard_stats: Vec<(QueryCounters, u64, u64)> = if parallel {
+            slices
+                .into_par_iter()
+                .enumerate()
+                .map(|(s, out)| force_shard(s, out))
+                .collect()
+        } else {
+            slices
+                .into_iter()
+                .enumerate()
+                .map(|(s, out)| force_shard(s, out))
+                .collect()
+        };
+        let mut counters = QueryCounters::default();
+        let mut contacts = 0u64;
+        let mut gap_sum = 0u64;
+        for (c, k, g) in &shard_stats {
+            counters.merge(c);
+            contacts += k;
+            gap_sum += g;
+        }
+        mech::apply_displacements(rm, &self.disp);
+        let wall_force = t2.elapsed().as_secs_f64();
+
+        // Telemetry for the `shard.*` gauges.
+        self.agents_per_shard.clear();
+        self.agents_per_shard
+            .extend(self.ranges.iter().map(|r| r.len() as u64));
+        self.halo_per_shard = halo_per_shard;
+        self.imbalance = ShardMap::imbalance(&self.ranges);
+        let members_total = n as u64 + self.halo_agents();
+
+        let neighbors = counters.neighbors_found;
+        // Build and force phases parallelize across *shards* (each shard
+        // is one serial task), so a single-shard run is honestly serial
+        // in the machine model; the sort is a global rayon argsort.
+        let shard_parallel = parallel && self.map.shards() > 1;
+        use mech::work_model as wm;
+        let phases = vec![
+            // Key computation + argsort + (amortized) column gathers —
+            // the same model as the host reorder op, because it is the
+            // same work.
+            Phase {
+                name: "shard sort",
+                flops: 30.0 * n as f64,
+                bytes: 32.0 * n as f64 + 136.0 * moved as f64,
+                random_accesses: moved as f64,
+                parallel,
+                fp64: true,
+            },
+            // The counting-sort build streams owned + halo members.
+            Phase {
+                name: "neighborhood build",
+                flops: 0.0,
+                bytes: wm::CSR_BUILD_BYTES_PER_AGENT * members_total as f64,
+                random_accesses: wm::CSR_BUILD_RANDOM_PER_AGENT * members_total as f64,
+                parallel: shard_parallel,
+                fp64: true,
+            },
+            Phase {
+                name: "mechanical forces",
+                flops: wm::CSR_FLOPS_PER_CANDIDATE * counters.points_tested as f64
+                    + wm::UG_FLOPS_PER_CONTACT * contacts as f64
+                    + wm::UG_FIXED_FLOPS_PER_AGENT * n as f64,
+                bytes: wm::CSR_BYTES_PER_CANDIDATE * counters.points_tested as f64
+                    + wm::UG_FIXED_BYTES_PER_AGENT * n as f64,
+                random_accesses: wm::CSR_RANDOM_PER_BOX * counters.boxes_scanned as f64,
+                parallel: shard_parallel,
+                fp64: true,
+            },
+        ];
+        MechWork {
+            phases,
+            wall_s: vec![wall_sort, wall_build, wall_force],
+            gpu: None,
+            candidates: counters.points_tested,
+            contacts,
+            neighbors,
+            index_gap: (counters.points_tested > 0)
+                .then(|| gap_sum as f64 / counters.points_tested as f64),
+            simd: None,
+        }
+    }
+
+    /// Curve-order load rebalancing, run at the scheduled cadence:
+    /// count boundary crossings since the last check (the
+    /// `shard.migrations` counter), then re-split the span boundaries
+    /// with [`ShardMap::balanced`] when the population imbalance has
+    /// drifted past `params.shards.imbalance_threshold`.
+    ///
+    /// Returns `(migrations counted this run, whether a re-split
+    /// happened)`. Purely observational with respect to the trajectory:
+    /// the map only decides *where* work runs, never what it computes.
+    pub(crate) fn rebalance(&mut self, rm: &ResourceManager, params: &SimParams) -> (u64, bool) {
+        let n = rm.len();
+        if n == 0 {
+            self.prev_assignment.clear();
+            return (0, false);
+        }
+        let (xs, ys, zs) = rm.position_columns();
+        let radius = mech::interaction_radius(rm, params);
+        let cells = cell_keys(xs, ys, zs, &params.space, radius, Curve::Hilbert);
+
+        // Migration diff under the map both snapshots were taken with:
+        // an agent migrated iff its uid appears in both snapshots with
+        // different shards. Uids absent from the old snapshot are
+        // births, absent from the new are deaths — neither migrates.
+        let mut cur: Vec<(u64, u32)> = cells
+            .iter()
+            .zip(rm.uid_column())
+            .map(|(&k, &uid)| (uid, self.map.shard_of(k) as u32))
+            .collect();
+        cur.sort_unstable_by_key(|&(uid, _)| uid);
+        let mut moved = 0u64;
+        let (mut a, mut b) = (0, 0);
+        while a < self.prev_assignment.len() && b < cur.len() {
+            let (pu, ps) = self.prev_assignment[a];
+            let (cu, cs) = cur[b];
+            match pu.cmp(&cu) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    if ps != cs {
+                        moved += 1;
+                    }
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        self.migrations += moved;
+
+        // Re-split when the split of the *current* population drifted.
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        let ranges = self.map.ranges(&sorted);
+        let imbalance = ShardMap::imbalance(&ranges);
+        let mut resplit = false;
+        if imbalance > params.shards.imbalance_threshold {
+            self.map = ShardMap::balanced(&sorted, self.map.shards());
+            self.rebalances += 1;
+            resplit = true;
+            // Re-snapshot under the new map so the boundary move itself
+            // is not counted as agent migration at the next check.
+            cur = cells
+                .iter()
+                .zip(rm.uid_column())
+                .map(|(&k, &uid)| (uid, self.map.shard_of(k) as u32))
+                .collect();
+            cur.sort_unstable_by_key(|&(uid, _)| uid);
+        }
+        self.prev_assignment = cur;
+        (moved, resplit)
+    }
+}

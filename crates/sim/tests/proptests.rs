@@ -8,6 +8,17 @@ use bdm_sim::param::SimParams;
 use bdm_sim::simulation::Simulation;
 use proptest::prelude::*;
 
+/// `SimParams::with_reorder` rejects 0 at the builder (a scheduled op
+/// that never fires); the purity sweeps here use `every == 0` to mean
+/// "reorder off", which is the default — so just skip the builder.
+fn reorder_every(p: SimParams, every: u64) -> SimParams {
+    if every == 0 {
+        p
+    } else {
+        p.with_reorder(every)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -181,10 +192,8 @@ proptest! {
         use std::collections::HashMap;
 
         let curve = if hilbert { Curve::Hilbert } else { Curve::ZOrder };
-        let build = |reorder_every: u64, env: EnvironmentKind, mode: ExecMode| {
-            let params = SimParams::cube(10.0)
-                .with_seed(seed)
-                .with_reorder(reorder_every)
+        let build = |every: u64, env: EnvironmentKind, mode: ExecMode| {
+            let params = reorder_every(SimParams::cube(10.0).with_seed(seed), every)
                 .with_reorder_curve(curve);
             let mut sim = Simulation::new(params);
             sim.set_environment(env);
@@ -257,9 +266,9 @@ proptest! {
         use bdm_sim::environment::EnvironmentKind;
         use std::collections::HashMap;
 
-        let build = |reorder_every: u64, env: EnvironmentKind| {
+        let build = |every: u64, env: EnvironmentKind| {
             let mut sim = Simulation::new(
-                SimParams::cube(10.0).with_seed(seed).with_reorder(reorder_every),
+                reorder_every(SimParams::cube(10.0).with_seed(seed), every),
             );
             sim.set_environment(env);
             let mut rng = SplitMix64::new(seed.wrapping_add(1));
@@ -309,10 +318,8 @@ proptest! {
         use bdm_sim::environment::EnvironmentKind;
         use std::collections::HashMap;
 
-        let build = |reorder_every: u64| {
-            let params = SimParams::cube(60.0)
-                .with_seed(seed)
-                .with_reorder(reorder_every);
+        let build = |every: u64| {
+            let params = reorder_every(SimParams::cube(60.0).with_seed(seed), every);
             let mut sim = Simulation::new(params);
             sim.set_environment(EnvironmentKind::uniform_grid_csr_parallel());
             sim.add_diffusion_grid(DiffusionParams {

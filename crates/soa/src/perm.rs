@@ -116,11 +116,10 @@ impl Permutation {
     /// Gather `src` through the permutation into `dst`, reusing `dst`'s
     /// capacity (`dst[i] = src[perm[i]]`; `dst` is cleared first).
     pub fn gather_into<T: Clone + Send + Sync>(&self, src: &[T], dst: &mut Vec<T>) {
-        dst.clear();
-        if self.is_identity() {
-            dst.extend_from_slice(src);
-            return;
-        }
+        // Check the length up front — including on the identity fast
+        // path — so a mismatched column fails here with a clear message
+        // instead of deep inside the gather (or, worse for identity,
+        // silently copying a wrong-sized column).
         assert_eq!(
             src.len(),
             self.gather.len(),
@@ -128,6 +127,11 @@ impl Permutation {
             src.len(),
             self.gather.len()
         );
+        dst.clear();
+        if self.is_identity() {
+            dst.extend_from_slice(src);
+            return;
+        }
         dst.extend(self.gather.iter().map(|&g| src[g as usize].clone()));
     }
 
@@ -326,6 +330,21 @@ mod tests {
     #[should_panic]
     fn apply_rejects_length_mismatch() {
         Permutation::identity(3).apply(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length 2 does not match permutation length 3")]
+    fn gather_into_rejects_length_mismatch_even_for_identity() {
+        let mut dst = Vec::new();
+        Permutation::identity(3).gather_into(&[1, 2], &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match permutation length")]
+    fn apply_columns_in_place_rejects_length_mismatch() {
+        let mut short = vec![1.0];
+        let mut scratch = Vec::new();
+        Permutation::identity(3).apply_columns_in_place(&mut [&mut short], &mut scratch);
     }
 
     #[test]

@@ -11,8 +11,13 @@
 # the f64/f32 speedup ratio are informational, while the SIMD
 # utilization counters (mech.simd_lanes_utilized,
 # mech.f32_refresh_copies) are deterministic functions of the
-# trajectory and gate at +/-2 %. To re-baseline after an intentional
-# perf change:
+# trajectory and gate at +/-2 %. The Hilbert-sharding rows split the
+# same way: layouts.shard_*_wall_ms are informational, while the
+# shard-map telemetry (layouts.shard_imbalance,
+# layouts.shard_halo_fraction) and the System A modeled mech times
+# (layouts.shard_mech_modeled_ms, layouts.shard_speedup_modeled_x)
+# are deterministic and gate at +/-2 %. To re-baseline after an
+# intentional perf change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
 set -euo pipefail

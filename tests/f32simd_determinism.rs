@@ -59,12 +59,15 @@ fn trajectory(
     reorder_every: u64,
     steps: u64,
 ) -> Vec<(u64, Vec3<f64>, f64)> {
-    let mut sim = Simulation::new(
-        SimParams::cube(30.0)
-            .with_seed(seed)
-            .with_reorder(reorder_every)
-            .with_precision(Precision::F32Simd),
-    );
+    // `with_reorder` rejects 0 at the builder; the sweep uses 0 to mean
+    // "reorder off", which is the default.
+    let mut params = SimParams::cube(30.0)
+        .with_seed(seed)
+        .with_precision(Precision::F32Simd);
+    if reorder_every > 0 {
+        params = params.with_reorder(reorder_every);
+    }
+    let mut sim = Simulation::new(params);
     sim.set_environment(env);
     sim.set_exec_mode(mode);
     let s = sim.add_diffusion_grid(DiffusionParams {
