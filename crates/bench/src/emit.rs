@@ -43,13 +43,17 @@ fn is_exact(name: &str) -> bool {
             | "scheduler.op_frequency"
             | "scheduler.op_enabled"
             | "gpu.sort_gathers"
+            | "checkpoint.agents"
+            | "checkpoint.sections"
     )
 }
 
 /// The standard gating policy for every emitted document (see the
 /// module docs for the tiers).
 pub fn default_policy(name: &str) -> GatePolicy {
-    if name.contains("wall") {
+    if name.contains("wall") || matches!(name, "checkpoint.write_ms" | "checkpoint.read_ms") {
+        // The checkpoint serialize/parse timings are host wall clocks
+        // too — they just don't carry `wall` in their names.
         GatePolicy::informational()
     } else if is_exact(name) {
         GatePolicy::with_tol(0.0)
@@ -58,6 +62,7 @@ pub fn default_policy(name: &str) -> GatePolicy {
         || name.starts_with("gpu.mech.")
         || name == "layouts.csr_index_gap"
         || name.starts_with("layouts.shard_")
+        || name.starts_with("checkpoint.bytes")
     {
         // `layouts.shard_*` wall clocks never reach this tier — the
         // `wall` branch above catches them — so what gates here is the
@@ -192,6 +197,12 @@ mod tests {
         );
         assert!(!default_policy("layouts.shard_step_wall_ms").gate);
         assert!(!default_policy("layouts.shard_mech_wall_ms").gate);
+        assert!(!default_policy("checkpoint.write_ms").gate);
+        assert!(!default_policy("checkpoint.read_ms").gate);
+        assert_eq!(default_policy("checkpoint.bytes_total").tol, Some(0.02));
+        assert_eq!(default_policy("checkpoint.bytes_per_agent").tol, Some(0.02));
+        assert_eq!(default_policy("checkpoint.agents").tol, Some(0.0));
+        assert_eq!(default_policy("checkpoint.sections").tol, Some(0.0));
         let modeled = default_policy("profiler.modeled_total_s");
         assert!(modeled.gate && modeled.tol.is_none());
         assert!(default_policy("gpu.total_s").gate);

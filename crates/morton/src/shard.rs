@@ -74,6 +74,33 @@ impl ShardMap {
         Self { bounds }
     }
 
+    /// Rebuild a map from previously exported [`Self::bounds`] — the
+    /// checkpoint/restore path. Rejects anything that violates the bounds
+    /// invariant (≥ 2 entries, `bounds[0] == 0`, last `== u64::MAX`,
+    /// non-decreasing) instead of constructing a map whose
+    /// [`Self::shard_of`]/[`Self::ranges`] answers would be nonsense.
+    pub fn from_bounds(bounds: Vec<u64>) -> Result<Self, String> {
+        if bounds.len() < 2 {
+            return Err(format!(
+                "shard bounds need at least 2 entries (got {})",
+                bounds.len()
+            ));
+        }
+        if bounds[0] != 0 {
+            return Err(format!("shard bounds must start at 0 (got {})", bounds[0]));
+        }
+        if *bounds.last().expect("len >= 2") != u64::MAX {
+            return Err("shard bounds must end at u64::MAX".to_string());
+        }
+        if let Some(w) = bounds.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "shard bounds must be non-decreasing ({} > {})",
+                w[0], w[1]
+            ));
+        }
+        Ok(Self { bounds })
+    }
+
     /// Number of shards.
     #[inline]
     pub fn shards(&self) -> usize {
@@ -236,5 +263,29 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn zero_shards_is_rejected() {
         ShardMap::even(0);
+    }
+
+    #[test]
+    fn from_bounds_roundtrips_and_validates() {
+        let m = ShardMap::even(4);
+        let back = ShardMap::from_bounds(m.bounds().to_vec()).unwrap();
+        assert_eq!(back, m);
+        assert!(ShardMap::from_bounds(vec![]).is_err(), "empty");
+        assert!(ShardMap::from_bounds(vec![0]).is_err(), "single entry");
+        assert!(
+            ShardMap::from_bounds(vec![1, u64::MAX]).is_err(),
+            "must start at 0"
+        );
+        assert!(
+            ShardMap::from_bounds(vec![0, 42]).is_err(),
+            "must end at u64::MAX"
+        );
+        assert!(
+            ShardMap::from_bounds(vec![0, 9, 3, u64::MAX]).is_err(),
+            "must be non-decreasing"
+        );
+        // Empty spans (equal consecutive bounds) are legal.
+        let m = ShardMap::from_bounds(vec![0, 7, 7, u64::MAX]).unwrap();
+        assert_eq!(m.shards(), 3);
     }
 }

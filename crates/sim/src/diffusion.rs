@@ -79,9 +79,39 @@ impl DiffusionGrid {
         }
     }
 
+    /// Rebuild a grid from exported state — the checkpoint import path.
+    /// The concentration column must have exactly `resolution.max(2)³`
+    /// entries (the same clamp [`DiffusionGrid::new`] applies); anything
+    /// else is rejected rather than silently reshaped.
+    pub fn from_parts(
+        params: DiffusionParams,
+        space: Aabb<f64>,
+        c: Vec<f64>,
+    ) -> Result<Self, String> {
+        let mut g = Self::new(params, space);
+        if c.len() != g.c.len() {
+            return Err(format!(
+                "substance '{}': {} concentration values for a {}³ lattice \
+                 (expected {})",
+                params.name,
+                c.len(),
+                g.res,
+                g.c.len()
+            ));
+        }
+        g.c = c;
+        Ok(g)
+    }
+
     /// Substance parameters.
     pub fn params(&self) -> &DiffusionParams {
         &self.params
+    }
+
+    /// The raw concentration column, x-major (checkpoint export; the
+    /// update-sweep scratch buffer is derived state and never exported).
+    pub fn concentrations(&self) -> &[f64] {
+        &self.c
     }
 
     /// Lattice resolution per axis.

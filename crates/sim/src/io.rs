@@ -200,6 +200,76 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bin_edges_assign_and_clamp() {
+        // Diameters 1, 2, 3 over 2 bins → width 1.0 with edges [1, 2, 3].
+        let rows = [1.0, 2.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| SnapshotRow {
+                uid: i as u64,
+                position: Vec3::zero(),
+                diameter: d,
+            })
+            .collect();
+        let snap = Snapshot { step: 0, rows };
+        let hist = snap.diameter_histogram(2);
+        // A value on an interior edge opens the upper bin; the maximum
+        // sits exactly on the top edge and must clamp into the last bin
+        // instead of indexing out of range.
+        assert_eq!(hist, vec![(1.5, 1), (2.5, 2)]);
+    }
+
+    #[test]
+    fn histogram_of_identical_diameters_uses_floored_width() {
+        // lo == hi collapses the range; the 1e-12 width floor keeps the
+        // bucket index finite and everything lands in bin 0.
+        let rows = (0..4)
+            .map(|i| SnapshotRow {
+                uid: i,
+                position: Vec3::zero(),
+                diameter: 2.5,
+            })
+            .collect();
+        let snap = Snapshot { step: 0, rows };
+        let hist = snap.diameter_histogram(3);
+        assert_eq!(hist.iter().map(|&(_, c)| c).sum::<usize>(), 4);
+        assert_eq!(hist[0].1, 4);
+        assert!((hist[0].0 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_full_float_precision() {
+        // Stepped positions carry full-mantissa f64s; Rust's shortest
+        // round-trip float formatting must bring every bit back.
+        let mut sim = sample_sim();
+        sim.simulate(2);
+        let snap = Snapshot::capture(&sim);
+        let mut buf = Vec::new();
+        snap.write_csv(&mut buf).unwrap();
+        let parsed = Snapshot::read_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), snap.len());
+        for (a, b) in snap.rows.iter().zip(&parsed.rows) {
+            assert_eq!(a.uid, b.uid);
+            assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+            assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+            assert_eq!(a.position.z.to_bits(), b.position.z.to_bits());
+            assert_eq!(a.diameter.to_bits(), b.diameter.to_bits());
+        }
+    }
+
+    #[test]
+    fn step_header_roundtrips_and_rejects_garbage() {
+        let snap = Snapshot {
+            step: 17,
+            rows: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        snap.write_csv(&mut buf).unwrap();
+        assert_eq!(Snapshot::read_csv(buf.as_slice()).unwrap().step, 17);
+        assert!(Snapshot::read_csv("# step = banana\n".as_bytes()).is_err());
+    }
+
+    #[test]
     fn empty_snapshot_is_fine() {
         let snap = Snapshot::default();
         let mut buf = Vec::new();

@@ -30,6 +30,7 @@
 
 pub mod behavior;
 pub mod cell;
+pub mod checkpoint;
 pub mod diffusion;
 pub mod environment;
 pub mod exec;
@@ -48,6 +49,7 @@ pub mod workload;
 
 pub use behavior::Behavior;
 pub use cell::CellBuilder;
+pub use checkpoint::CheckpointError;
 pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
 pub use environment::{EnvironmentKind, GridLayout};
 pub use exec::ExecutionContext;

@@ -233,6 +233,47 @@ impl SimParams {
                 self.mech.timestep
             ));
         }
+        if let Some(r) = self.interaction_radius {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(format!(
+                    "interaction_radius override must be positive and finite; got {r}"
+                ));
+            }
+        }
+        let e = self.space.extents();
+        if !(e.x > 0.0 && e.y > 0.0 && e.z > 0.0) {
+            return Err(format!(
+                "space must have positive, finite extent on every axis; got \
+                 ({}, {}, {})",
+                e.x, e.y, e.z
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] plus the checkpoint-restore cross-checks: the
+    /// parameter knobs must agree with the *state* the checkpoint
+    /// actually carries. A sharded checkpoint (one with a shard-state
+    /// section) restored under `shards.count == 0` would silently drop
+    /// the rebalancer's counters and span map; the inverse combination
+    /// would start a sharded pipeline from a fabricated even split
+    /// instead of the checkpointed one. Both diverge from the
+    /// resume-equivalence contract, so both are rejected here — called
+    /// by `Simulation::restore` before any state is installed.
+    pub fn validate_for_restore(&self, has_shard_state: bool) -> Result<(), String> {
+        self.validate()?;
+        if has_shard_state && self.shards.count == 0 {
+            return Err("checkpoint carries sharded state but shards.count == 0; \
+                 a restore would silently discard the shard map and counters"
+                .to_string());
+        }
+        if !has_shard_state && self.shards.count > 0 {
+            return Err(format!(
+                "params configure {} shards but the checkpoint carries no \
+                 shard state; a restore would fabricate an even span map",
+                self.shards.count
+            ));
+        }
         Ok(())
     }
 }
@@ -338,6 +379,50 @@ mod tests {
         let mut p = SimParams::cube(1.0);
         p.mech.timestep = 0.0;
         assert!(p.validate().unwrap_err().contains("timestep"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_interaction_radius_and_degenerate_space() {
+        // Zero, negative, and non-finite radius overrides.
+        for r in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut p = SimParams::cube(10.0);
+            p.interaction_radius = Some(r);
+            let err = p.validate().unwrap_err();
+            assert!(err.contains("interaction_radius"), "{r}: {err}");
+        }
+        // The builder path stays valid.
+        assert!(SimParams::cube(10.0)
+            .with_interaction_radius(2.0)
+            .validate()
+            .is_ok());
+        // Degenerate (zero/negative/NaN extent) spaces.
+        let mut p = SimParams::cube(10.0);
+        p.space.max = p.space.min;
+        assert!(p.validate().unwrap_err().contains("extent"));
+        p.space.max.x = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_for_restore_rejects_shard_state_mismatches() {
+        // Sharded checkpoint, unsharded params: state would be dropped.
+        let p = SimParams::cube(10.0);
+        let err = p.validate_for_restore(true).unwrap_err();
+        assert!(err.contains("shards.count == 0"), "{err}");
+        // Sharded params, no shard state: a span map would be fabricated.
+        let p = SimParams::cube(10.0).with_shards(2);
+        let err = p.validate_for_restore(false).unwrap_err();
+        assert!(err.contains("no"), "{err}");
+        // Matching combinations pass.
+        assert!(SimParams::cube(10.0).validate_for_restore(false).is_ok());
+        assert!(SimParams::cube(10.0)
+            .with_shards(2)
+            .validate_for_restore(true)
+            .is_ok());
+        // And the underlying validate() still runs first.
+        let mut p = SimParams::cube(10.0);
+        p.mech.timestep = -1.0;
+        assert!(p.validate_for_restore(false).is_err());
     }
 
     #[test]

@@ -435,6 +435,74 @@ impl ResourceManager {
         self.adherences.as_slice()
     }
 
+    /// Per-agent behavior lists, storage order (checkpoint export).
+    pub fn behaviors_column(&self) -> &[Vec<Behavior>] {
+        self.behaviors.as_slice()
+    }
+
+    /// The next uid [`ResourceManager::add`] would assign — strictly
+    /// greater than every live uid. Checkpointed so restored runs keep
+    /// minting fresh, never-recycled uids (the uid-seeded RNG streams
+    /// and the uid-keyed merges both depend on that).
+    pub fn next_uid(&self) -> u64 {
+        self.next_uid
+    }
+
+    /// Rebuild a manager from exported column state — the checkpoint
+    /// import path. Validates what silent acceptance would corrupt:
+    /// column lengths must agree, uids must be unique, and `next_uid`
+    /// must exceed every live uid. The largest-diameter cache starts
+    /// invalid (it is derived state; the first lookup rescans), and the
+    /// dirty epochs are restored verbatim so a re-checkpoint of the
+    /// restored state is byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        positions: SoaVec3<f64>,
+        diameters: Vec<f64>,
+        adherences: Vec<f64>,
+        behaviors: Vec<Vec<Behavior>>,
+        uids: Vec<u64>,
+        next_uid: u64,
+        pos_epoch: u64,
+        attr_epoch: u64,
+    ) -> Result<Self, String> {
+        let n = positions.len();
+        if diameters.len() != n || adherences.len() != n || behaviors.len() != n || uids.len() != n
+        {
+            return Err(format!(
+                "column lengths disagree: positions {n}, diameters {}, \
+                 adherences {}, behaviors {}, uids {}",
+                diameters.len(),
+                adherences.len(),
+                behaviors.len(),
+                uids.len()
+            ));
+        }
+        let mut sorted = uids.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate agent uid {}", w[0]));
+        }
+        if let Some(&max) = sorted.last() {
+            if next_uid <= max {
+                return Err(format!(
+                    "next_uid {next_uid} must exceed the largest live uid {max}"
+                ));
+            }
+        }
+        Ok(Self {
+            positions,
+            diameters: Column::from_vec(diameters),
+            adherences: Column::from_vec(adherences),
+            behaviors: Column::from_vec(behaviors),
+            uids: Column::from_vec(uids),
+            next_uid,
+            largest: MaxDiameterCache::default(),
+            pos_epoch,
+            attr_epoch,
+        })
+    }
+
     /// Sum of all agent volumes (conservation diagnostics in tests).
     pub fn total_volume(&self) -> f64 {
         self.diameters
@@ -838,6 +906,74 @@ mod tests {
         rm.add(cell_at(1.0));
         rm.translate(0, Vec3::new(0.5, -1.0, 2.0));
         assert_eq!(rm.position(0), Vec3::new(1.5, -1.0, 2.0));
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_and_validates() {
+        let mut rm = ResourceManager::new();
+        rm.add(
+            cell_at(1.0)
+                .diameter(2.0)
+                .behavior(Behavior::Apoptosis { probability: 0.5 }),
+        );
+        rm.add(cell_at(3.0).diameter(4.0));
+        rm.remove(0); // uid 1 survives, next_uid stays 2
+        let (x, y, z) = rm.position_columns();
+        let rebuilt = ResourceManager::from_raw_parts(
+            SoaVec3::from_columns(x.to_vec(), y.to_vec(), z.to_vec()),
+            rm.diameter_column().to_vec(),
+            rm.adherence_column().to_vec(),
+            rm.behaviors_column().to_vec(),
+            rm.uid_column().to_vec(),
+            rm.next_uid(),
+            rm.positions_epoch(),
+            rm.attributes_epoch(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), 1);
+        assert_eq!(rebuilt.uid(0), 1);
+        assert_eq!(rebuilt.next_uid(), 2);
+        assert_eq!(rebuilt.position(0), rm.position(0));
+        assert_eq!(rebuilt.largest_diameter(), 4.0, "cache lazily rebuilt");
+        assert_eq!(rebuilt.positions_epoch(), rm.positions_epoch());
+        assert_eq!(rebuilt.attributes_epoch(), rm.attributes_epoch());
+
+        // Length mismatch.
+        assert!(ResourceManager::from_raw_parts(
+            SoaVec3::from_columns(vec![0.0], vec![0.0], vec![0.0]),
+            vec![1.0, 2.0],
+            vec![0.4],
+            vec![vec![]],
+            vec![0],
+            1,
+            0,
+            0,
+        )
+        .is_err());
+        // Duplicate uids.
+        assert!(ResourceManager::from_raw_parts(
+            SoaVec3::from_columns(vec![0.0, 1.0], vec![0.0; 2], vec![0.0; 2]),
+            vec![1.0; 2],
+            vec![0.4; 2],
+            vec![vec![], vec![]],
+            vec![7, 7],
+            8,
+            0,
+            0,
+        )
+        .is_err());
+        // next_uid not past the maximum live uid.
+        assert!(ResourceManager::from_raw_parts(
+            SoaVec3::from_columns(vec![0.0], vec![0.0], vec![0.0]),
+            vec![1.0],
+            vec![0.4],
+            vec![vec![]],
+            vec![5],
+            5,
+            0,
+            0,
+        )
+        .is_err());
     }
 
     #[test]

@@ -172,6 +172,33 @@ impl Scheduler {
         }
     }
 
+    /// Restore one operation's scheduling state from a checkpoint:
+    /// frequency, enabled flag, and the run counter (which anchors the
+    /// gate-deterministic `scheduler.op_runs` metric — a resumed run must
+    /// report the same totals as an uninterrupted one). Accumulated wall
+    /// time is host-nondeterministic and deliberately not restorable.
+    /// Returns `false` when no operation has that name (checkpoints may
+    /// reference user operations the restored pipeline doesn't carry) or
+    /// `frequency` is 0.
+    pub(crate) fn restore_slot(
+        &mut self,
+        name: &str,
+        frequency: u64,
+        enabled: bool,
+        runs: u64,
+    ) -> bool {
+        if frequency == 0 {
+            return false;
+        }
+        self.slot_mut(name)
+            .map(|s| {
+                s.frequency = frequency;
+                s.enabled = enabled;
+                s.runs = runs;
+            })
+            .is_some()
+    }
+
     fn slot_mut(&mut self, name: &str) -> Option<&mut OpSlot> {
         self.ops.iter_mut().find(|s| s.op.name() == name)
     }

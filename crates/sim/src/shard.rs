@@ -155,6 +155,33 @@ impl ShardedEnvironment {
         self.halo_per_shard.iter().sum()
     }
 
+    /// `(uid, shard)` snapshot of the last rebalance run, sorted by uid
+    /// (checkpoint export — the base the migration diff counts against).
+    pub(crate) fn assignment_snapshot(&self) -> &[(u64, u32)] {
+        &self.prev_assignment
+    }
+
+    /// Restore the trajectory-relevant rebalancer state from a
+    /// checkpoint: the span map, the migration-diff base snapshot, and
+    /// the cumulative counters. Everything else in this driver is
+    /// per-step scratch that the next sharded step rebuilds from the
+    /// agent columns; the map and snapshot, however, anchor when the
+    /// *next* rebalance fires and what it counts, so a resumed run's
+    /// `shard.migrations` / `shard.rebalances` metrics stay identical to
+    /// an uninterrupted run's.
+    pub(crate) fn restore_state(
+        &mut self,
+        map: ShardMap,
+        prev_assignment: Vec<(u64, u32)>,
+        migrations: u64,
+        rebalances: u64,
+    ) {
+        self.map = map;
+        self.prev_assignment = prev_assignment;
+        self.migrations = migrations;
+        self.rebalances = rebalances;
+    }
+
     /// Shard-then-chunk cut points for the behavior/bound-space agent
     /// loops: every shard range, subdivided at `chunk`. `None` when the
     /// cached ranges don't tile the current population (population

@@ -181,6 +181,30 @@ impl Simulation {
         &self.diffusion[i]
     }
 
+    /// All substance grids, in `add_diffusion_grid` order (behaviors
+    /// reference substances by that index).
+    pub fn diffusion_grids(&self) -> &[DiffusionGrid] {
+        &self.diffusion
+    }
+
+    /// Install an already-built substance grid (checkpoint restore).
+    pub(crate) fn install_diffusion_grid(&mut self, grid: DiffusionGrid) {
+        self.diffusion.push(grid);
+    }
+
+    /// Overwrite the global step counter (checkpoint restore). Frequency
+    /// anchoring and the per-(seed, uid, step) RNG streams both derive
+    /// from this value, so restoring it is what makes a resumed run's
+    /// step `k` behave exactly like an uninterrupted run's step `k`.
+    pub(crate) fn set_steps_executed(&mut self, n: u64) {
+        self.steps_executed = n;
+    }
+
+    /// Mutable sharded-environment access (checkpoint restore).
+    pub(crate) fn sharding_mut(&mut self) -> Option<&mut ShardedEnvironment> {
+        self.shards.as_mut()
+    }
+
     /// Mutable access to a substance grid (initial conditions).
     pub fn diffusion_grid_mut(&mut self, i: usize) -> &mut DiffusionGrid {
         &mut self.diffusion[i]

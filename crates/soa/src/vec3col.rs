@@ -56,6 +56,25 @@ impl<R: Scalar> SoaVec3<R> {
         out
     }
 
+    /// Build directly from three raw component columns (the
+    /// checkpoint-restore import path: deserialized SoA data never takes
+    /// an AoS detour). Panics when the column lengths disagree — callers
+    /// deserializing untrusted data must length-check first.
+    pub fn from_columns(x: Vec<R>, y: Vec<R>, z: Vec<R>) -> Self {
+        assert!(
+            x.len() == y.len() && y.len() == z.len(),
+            "component columns must have equal lengths ({}/{}/{})",
+            x.len(),
+            y.len(),
+            z.len()
+        );
+        Self {
+            x: Column::from_vec(x),
+            y: Column::from_vec(y),
+            z: Column::from_vec(z),
+        }
+    }
+
     /// Number of agents.
     pub fn len(&self) -> usize {
         self.x.len()
@@ -265,6 +284,21 @@ impl<R: Scalar> Vec3ChunkMut<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_columns_roundtrips_as_slices() {
+        let s = sample();
+        let (x, y, z) = s.as_slices();
+        let rebuilt = SoaVec3::from_columns(x.to_vec(), y.to_vec(), z.to_vec());
+        assert_eq!(rebuilt.as_slices(), s.as_slices());
+        assert_eq!(rebuilt.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn from_columns_rejects_ragged_input() {
+        let _ = SoaVec3::from_columns(vec![1.0, 2.0], vec![3.0], vec![4.0]);
+    }
 
     fn sample() -> SoaVec3<f64> {
         SoaVec3::from_vecs(&[

@@ -16,10 +16,14 @@
 # shard-map telemetry (layouts.shard_imbalance,
 # layouts.shard_halo_fraction) and the System A modeled mech times
 # (layouts.shard_mech_modeled_ms, layouts.shard_speedup_modeled_x)
-# are deterministic and gate at +/-2 %. To re-baseline after an
-# intentional perf change:
+# are deterministic and gate at +/-2 %. BENCH_checkpoint.json gates the
+# stream-shape metrics (checkpoint.bytes_total, checkpoint.bytes_per_agent
+# at +/-2 %; checkpoint.agents, checkpoint.sections exactly) while the
+# serialize/parse wall clocks (checkpoint.write_ms, checkpoint.read_ms)
+# are informational. To re-baseline after an intentional perf change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
+#   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_checkpoint -- --json=results
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,4 +32,5 @@ trap 'rm -rf "$FRESH"' EXIT
 
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_json -- --out="$FRESH"
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_layouts -- --json="$FRESH"
+BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_checkpoint -- --json="$FRESH"
 cargo run --release --offline -p bdm-bench --bin bench_gate -- --baseline=results --fresh="$FRESH" "$@"
