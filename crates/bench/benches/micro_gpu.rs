@@ -81,7 +81,7 @@ fn bench_pipeline_step(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{version:?}")),
             &version,
             |b, &version| {
-                let p = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, version, 8);
+                let mut p = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, version, 8);
                 b.iter(|| black_box(p.step(&scene, &params)))
             },
         );

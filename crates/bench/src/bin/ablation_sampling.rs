@@ -31,7 +31,7 @@ fn main() {
     );
     let mut full = None;
     for stride in [1u64, 4, 16, 64] {
-        let p = MechanicalPipeline::new(
+        let mut p = MechanicalPipeline::new(
             bdm_device::specs::SYSTEM_B,
             ApiFrontend::Cuda,
             KernelVersion::V2Sorted,

@@ -26,7 +26,7 @@ fn main() {
             space: sim.params().space,
             box_len: sim.rm().largest_diameter(),
         };
-        let p = MechanicalPipeline::new(
+        let mut p = MechanicalPipeline::new(
             bdm_device::specs::SYSTEM_A,
             ApiFrontend::Cuda,
             KernelVersion::V2Sorted,

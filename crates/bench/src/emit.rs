@@ -60,6 +60,10 @@ pub fn default_policy(name: &str) -> GatePolicy {
     } else if name.starts_with("mech.")
         || name.starts_with("gpu.step.")
         || name.starts_with("gpu.mech.")
+        || matches!(
+            name,
+            "gpu.bytes_h2d" | "gpu.bytes_d2h" | "gpu.midstep_syncs" | "gpu.resident_steps"
+        )
         || name == "layouts.csr_index_gap"
         || name.starts_with("layouts.shard_")
         || name.starts_with("checkpoint.bytes")
@@ -103,14 +107,20 @@ pub fn sim_doc(scale: &BenchScale) -> BenchDoc {
 }
 
 /// The `BENCH_gpu.json` document: benchmark A offloaded through the
-/// paper's best kernel (version II) and the post-paper CSR kernel,
+/// paper's best kernel (version II) and the post-paper CSR kernel —
+/// the latter also with cross-step device residency —
 /// covering the per-step pipeline timing breakdown (H2D / build / mech /
 /// D2H — all modeled, hence gated) and the kernel counters.
 pub fn gpu_doc(scale: &BenchScale) -> BenchDoc {
     let mut doc = new_doc("gpu", scale);
-    for (key, version) in [
-        ("v2", KernelVersion::V2Sorted),
-        ("v4csr", KernelVersion::V4Csr),
+    for (key, version, resident) in [
+        ("v2", KernelVersion::V2Sorted, false),
+        ("v4csr", KernelVersion::V4Csr, false),
+        // The same CSR kernel with cross-step device residency: gates
+        // the transfer counters (`gpu.bytes_h2d`/`gpu.bytes_d2h`) and
+        // `gpu.resident_steps` that the non-resident rows hold at their
+        // re-upload-everything baseline.
+        ("v4csr_resident", KernelVersion::V4Csr, true),
     ] {
         let mut sim = benchmark_a(scale.a_cells_per_dim, 0x8);
         sim.set_environment(EnvironmentKind::Gpu {
@@ -119,6 +129,7 @@ pub fn gpu_doc(scale: &BenchScale) -> BenchDoc {
             version,
             trace_sample: trace_sample_for(scale.a_cells(), scale.trace_budget),
         });
+        sim.set_gpu_resident(resident);
         sim.simulate(scale.a_steps);
         let mut reg = MetricsRegistry::new();
         for step in sim.profiler().steps() {

@@ -205,14 +205,23 @@ impl<R: Scalar + DeviceWord> Kernel for MechCsrKernel<'_, R> {
 /// Host-side exclusive prefix sum of the downloaded counts — the scan
 /// between the two build passes. Returns `counts.len() + 1` offsets.
 pub fn exclusive_scan(counts: &[u32]) -> Vec<u32> {
-    let mut starts = Vec::with_capacity(counts.len() + 1);
+    let mut starts = Vec::new();
+    exclusive_scan_into(counts, &mut starts);
+    starts
+}
+
+/// [`exclusive_scan`] into a caller-owned buffer, so the per-step scan of
+/// a pipeline that keeps its scratch resident allocates nothing in steady
+/// state.
+pub fn exclusive_scan_into(counts: &[u32], starts: &mut Vec<u32>) {
+    starts.clear();
+    starts.reserve(counts.len() + 1);
     let mut acc = 0u32;
     starts.push(0);
     for &c in counts {
         acc += c;
         starts.push(acc);
     }
-    starts
 }
 
 #[cfg(test)]

@@ -211,6 +211,57 @@ impl<R: Scalar + DeviceWord> Kernel for ChildKernel<'_, R> {
     }
 }
 
+/// On-device column compaction after host-side deaths (the resident
+/// step loop's use of the dynamic-parallelism machinery: the host
+/// enqueues a small work list, the device redistributes the rows).
+///
+/// `ResourceManager::remove` is a swap-remove — the freed slot is
+/// back-filled from the tail — so a batch of deaths compacts the SoA
+/// columns with a short list of `(dst, src)` row moves where every `src`
+/// lies in the truncated tail. The host uploads only that move list
+/// (charged by the pipeline); the five agent columns themselves never
+/// cross the bus. Moves are disjoint by construction (distinct dsts,
+/// srcs beyond the new length), so one thread per move needs no
+/// synchronization.
+pub struct CompactKernel<'a, R: Scalar + DeviceWord> {
+    /// Number of `(dst, src)` move pairs.
+    pub n_moves: usize,
+    /// Move list: `moves[2k] = dst`, `moves[2k + 1] = src`.
+    pub moves: &'a DeviceBuffer<u32>,
+    /// Position columns.
+    pub pos_x: &'a DeviceBuffer<R>,
+    /// Y coordinates.
+    pub pos_y: &'a DeviceBuffer<R>,
+    /// Z coordinates.
+    pub pos_z: &'a DeviceBuffer<R>,
+    /// Cell diameters.
+    pub diameter: &'a DeviceBuffer<R>,
+    /// Cell adherence thresholds.
+    pub adherence: &'a DeviceBuffer<R>,
+}
+
+impl<R: Scalar + DeviceWord> Kernel for CompactKernel<'_, R> {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let k = tid.global() as usize;
+        if k >= self.n_moves {
+            return;
+        }
+        let dst = ctx.ld(self.moves, 2 * k) as usize;
+        let src = ctx.ld(self.moves, 2 * k + 1) as usize;
+        ctx.iops(4);
+        for col in [
+            self.pos_x,
+            self.pos_y,
+            self.pos_z,
+            self.diameter,
+            self.adherence,
+        ] {
+            let v = ctx.ld(col, src);
+            ctx.st(col, dst, v);
+        }
+    }
+}
+
 /// Finish kernel: per queued cell, reduce the 27 partial forces and
 /// convert to a displacement.
 pub struct FinishKernel<'a, R: Scalar + DeviceWord> {

@@ -20,6 +20,10 @@
 //! * [`csr::{CsrCountKernel, CsrScatterKernel, MechCsrKernel}`] — the
 //!   post-paper version IV: counting-sort CSR grid, force kernel streams
 //!   contiguous candidate slices instead of chasing successor links.
+//! * [`resident::IntegrateKernel`] + [`dynpar::CompactKernel`] — the
+//!   device-resident step loop: on-device `pos += disp` integration and
+//!   on-device column compaction after host-side deaths, so steady-state
+//!   steps move no agent columns over the bus.
 
 pub mod csr;
 pub mod dynpar;
@@ -27,3 +31,4 @@ pub mod geom;
 pub mod grid_build;
 pub mod mech;
 pub mod mech_shared;
+pub mod resident;

@@ -1,0 +1,98 @@
+//! Kernels of the device-resident step loop.
+//!
+//! When agent state stays resident on the device across steps (see
+//! `MechanicalPipeline::step_resident`), the displacement columns the
+//! mechanical kernels produce are folded into the position columns *on
+//! the device* instead of being shipped to the host and re-uploaded next
+//! step. [`IntegrateKernel`] is that fold: `pos += disp`, one thread per
+//! agent, three coalesced load/store pairs. It is the device twin of the
+//! host-side `apply_displacements` (a plain add — the displacement
+//! magnitude clamp already happened in `store_displacement`).
+
+use crate::engine::{Kernel, ThreadCtx, ThreadId};
+use crate::mem::{DeviceBuffer, DeviceWord};
+use bdm_math::Scalar;
+
+/// `pos += disp` over the three SoA position columns.
+pub struct IntegrateKernel<'a, R: Scalar + DeviceWord> {
+    /// Number of agents.
+    pub n: usize,
+    /// Position columns (updated in place).
+    pub pos_x: &'a DeviceBuffer<R>,
+    /// Y coordinates.
+    pub pos_y: &'a DeviceBuffer<R>,
+    /// Z coordinates.
+    pub pos_z: &'a DeviceBuffer<R>,
+    /// Displacement columns (the mech kernels' output).
+    pub disp_x: &'a DeviceBuffer<R>,
+    /// Displacements (y).
+    pub disp_y: &'a DeviceBuffer<R>,
+    /// Displacements (z).
+    pub disp_z: &'a DeviceBuffer<R>,
+}
+
+impl<R: Scalar + DeviceWord> Kernel for IntegrateKernel<'_, R> {
+    fn thread(&self, _phase: usize, tid: ThreadId, ctx: &mut ThreadCtx<'_>) {
+        let i = tid.global() as usize;
+        if i >= self.n {
+            return;
+        }
+        let x = ctx.ld(self.pos_x, i) + ctx.ld(self.disp_x, i);
+        let y = ctx.ld(self.pos_y, i) + ctx.ld(self.disp_y, i);
+        let z = ctx.ld(self.pos_z, i) + ctx.ld(self.disp_z, i);
+        ctx.flops::<R>(3);
+        ctx.st(self.pos_x, i, x);
+        ctx.st(self.pos_y, i, y);
+        ctx.st(self.pos_z, i, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{GpuDevice, LaunchConfig};
+    use crate::mem::DeviceAllocator;
+    use bdm_device::specs::SYSTEM_A;
+
+    #[test]
+    fn integrate_adds_displacements_in_place() {
+        let n = 100;
+        let mut alloc = DeviceAllocator::new();
+        let px = alloc.alloc::<f64>(n);
+        let py = alloc.alloc::<f64>(n);
+        let pz = alloc.alloc::<f64>(n);
+        let dx = alloc.alloc::<f64>(n);
+        let dy = alloc.alloc::<f64>(n);
+        let dz = alloc.alloc::<f64>(n);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        px.upload(&xs);
+        py.upload(&xs);
+        pz.upload(&xs);
+        dx.upload(&vec![0.5; n]);
+        dy.upload(&vec![-0.25; n]);
+        dz.upload(&vec![0.0; n]);
+        let dev = GpuDevice::new(SYSTEM_A.gpu);
+        let r = dev.launch(
+            &IntegrateKernel {
+                n,
+                pos_x: &px,
+                pos_y: &py,
+                pos_z: &pz,
+                disp_x: &dx,
+                disp_y: &dy,
+                disp_z: &dz,
+            },
+            LaunchConfig::for_items(n, 128),
+        );
+        assert!(r.counters.flops_fp64 > 0.0);
+        let mut out = vec![0.0; n];
+        px.download(&mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f64 + 0.5);
+        }
+        py.download(&mut out);
+        assert_eq!(out[3], 3.0 - 0.25);
+        pz.download(&mut out);
+        assert_eq!(out[7], 7.0);
+    }
+}

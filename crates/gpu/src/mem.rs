@@ -177,11 +177,40 @@ impl<T: DeviceWord> DeviceBuffer<T> {
         }
     }
 
+    /// Host → device copy into `[offset, offset + src.len())` — the
+    /// ranged form persistent (capacity-sized) buffers need: a resident
+    /// pipeline uploads only the live prefix, or only an appended tail.
+    pub fn upload_at(&self, offset: usize, src: &[T]) {
+        let end = offset + src.len();
+        assert!(end <= self.data.len(), "ranged upload out of bounds");
+        for (a, &v) in self.data[offset..end].iter().zip(src) {
+            T::store(a, v);
+        }
+    }
+
     /// Device → host copy.
     pub fn download(&self, dst: &mut [T]) {
         assert_eq!(dst.len(), self.data.len(), "download size mismatch");
         for (a, d) in self.data.iter().zip(dst.iter_mut()) {
             *d = T::load(a);
+        }
+    }
+
+    /// Device → host copy of `[offset, offset + dst.len())`.
+    pub fn download_at(&self, offset: usize, dst: &mut [T]) {
+        let end = offset + dst.len();
+        assert!(end <= self.data.len(), "ranged download out of bounds");
+        for (a, d) in self.data[offset..end].iter().zip(dst.iter_mut()) {
+            *d = T::load(a);
+        }
+    }
+
+    /// Fill `[offset, offset + len)` with `v`.
+    pub fn fill_at(&self, offset: usize, len: usize, v: T) {
+        let end = offset + len;
+        assert!(end <= self.data.len(), "ranged fill out of bounds");
+        for a in &self.data[offset..end] {
+            T::store(a, v);
         }
     }
 
@@ -284,6 +313,24 @@ mod tests {
         let b = a.alloc::<f64>(1000);
         assert_eq!(b.bytes(), 8000);
         assert_eq!(a.allocated_bytes(), 8000);
+    }
+
+    #[test]
+    fn ranged_transfers_touch_only_their_window() {
+        let mut a = DeviceAllocator::new();
+        let buf = a.alloc::<u32>(8);
+        buf.fill(9);
+        buf.upload_at(2, &[1, 2, 3]);
+        let mut out = [0u32; 8];
+        buf.download(&mut out);
+        assert_eq!(out, [9, 9, 1, 2, 3, 9, 9, 9]);
+        let mut tail = [0u32; 3];
+        buf.download_at(5, &mut tail);
+        assert_eq!(tail, [9, 9, 9]);
+        buf.fill_at(0, 2, 0);
+        assert_eq!(buf.read(0), 0);
+        assert_eq!(buf.read(1), 0);
+        assert_eq!(buf.read(2), 1);
     }
 
     #[test]

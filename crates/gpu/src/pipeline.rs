@@ -16,21 +16,49 @@
 //! | `V3Shared` | FP32 | Morton-sorted | [`SharedMechKernel`] |
 //! | `DynPar`   | FP32 | Morton-sorted | [`ParentKernel`]+[`ChildKernel`]+[`FinishKernel`] |
 //! | `V4Csr`    | FP32 | Morton-sorted | [`CsrCountKernel`]+[`CsrScatterKernel`]+[`MechCsrKernel`] |
+//!
+//! # Device residency
+//!
+//! The pipeline owns a persistent [`DeviceState`]: every device buffer is
+//! allocated once and grown geometrically, so steady-state steps perform
+//! zero allocations. Two entry points share it:
+//!
+//! * [`MechanicalPipeline::step`] — the classic rebuilt step: upload the
+//!   five columns, build, compute, download displacements. Buffers are
+//!   reused but the device copy is treated as scratch.
+//! * [`MechanicalPipeline::step_resident`] — agent state *stays* on the
+//!   device across steps. The host hands in its (FP64) columns plus a
+//!   UID column; the pipeline diffs them against its mirror of the
+//!   device state and moves only the difference over the bus: appended
+//!   births as ranged tail uploads, swap-remove deaths as an uploaded
+//!   `(dst, src)` move list compacted *on the device*
+//!   ([`CompactKernel`]), scalar host-side edits as element patches.
+//!   Displacements are folded into the position columns on the device
+//!   ([`IntegrateKernel`]) and only the three position columns come back
+//!   for inspection. A steady-state step therefore uploads nothing.
+//!
+//! The resident path also maintains the grid incrementally: it keeps the
+//! clamped voxel key of every agent and skips the whole grid build —
+//! including version IV's counting sort and its PCIe scan round trip —
+//! when no key changed since the last build. Skipping is bitwise safe
+//! because both grid builds are pure functions of the (unchanged) keys.
 
 use crate::counters::KernelCounters;
 use crate::engine::FromWord;
 use crate::frontend::{ApiFrontend, Runtime};
-use crate::kernels::csr::{exclusive_scan, CsrCountKernel, CsrScatterKernel, MechCsrKernel};
-use crate::kernels::dynpar::{ChildKernel, FinishKernel, ParentKernel};
+use crate::kernels::csr::{exclusive_scan_into, CsrCountKernel, CsrScatterKernel, MechCsrKernel};
+use crate::kernels::dynpar::{ChildKernel, CompactKernel, FinishKernel, ParentKernel};
 use crate::kernels::geom::GridGeom;
 use crate::kernels::grid_build::{reset_grid_buffers, GridBuildKernel};
 use crate::kernels::mech::MechKernel;
 use crate::kernels::mech_shared::{shared_words_for, SharedMechKernel};
-use crate::mem::{DeviceAllocator, DeviceWord};
+use crate::kernels::resident::IntegrateKernel;
+use crate::mem::{DeviceAllocator, DeviceBuffer, DeviceWord};
 use bdm_device::specs::SystemSpec;
 use bdm_device::transfer::PcieModel;
 use bdm_math::interaction::MechParams;
 use bdm_math::{Aabb, Scalar, Vec3};
+use std::collections::HashMap;
 
 /// Which of the paper's kernel versions to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +123,8 @@ pub struct GpuStepReport {
     pub h2d_s: f64,
     /// Device→host transfer seconds.
     pub d2h_s: f64,
-    /// Grid-construction kernel seconds.
+    /// Grid-construction kernel seconds (for a resident step this also
+    /// includes the state-sync work: compaction moves, tail uploads).
     pub build_s: f64,
     /// Mechanical kernel(s) seconds.
     pub mech_s: f64,
@@ -111,7 +140,21 @@ pub struct GpuStepReport {
     /// `sort_curve` order (or the version does not sort). The host
     /// `reorder` operation keeps resident state in curve order exactly
     /// so this stays 0 and the upload degenerates to a straight memcpy.
+    /// A resident step never gathers: device order is never disturbed.
     pub sort_gathers: u32,
+    /// Host→device payload bytes this step actually moved. The pinned
+    /// residency invariant: a steady-state resident step reports 0.
+    pub bytes_h2d: u64,
+    /// Device→host payload bytes this step moved.
+    pub bytes_d2h: u64,
+    /// Synchronous host round trips *inside* the step (device→host
+    /// readback whose result gates the next launch): version IV's scan,
+    /// version III's occupancy readback, dynpar's queue-length read.
+    /// Each one is a pipeline stall on real hardware; the resident
+    /// grid-skip path eliminates version IV's.
+    pub midstep_syncs: u32,
+    /// Whether this step ran with device-resident agent state.
+    pub resident: bool,
 }
 
 impl GpuStepReport {
@@ -131,6 +174,14 @@ impl GpuStepReport {
         reg.observe("gpu.mech_s", labels, self.mech_s);
         reg.observe("gpu.total_s", labels, self.total_s);
         reg.inc_counter("gpu.sort_gathers", labels, self.sort_gathers as f64);
+        reg.inc_counter("gpu.bytes_h2d", labels, self.bytes_h2d as f64);
+        reg.inc_counter("gpu.bytes_d2h", labels, self.bytes_d2h as f64);
+        reg.inc_counter("gpu.midstep_syncs", labels, self.midstep_syncs as f64);
+        reg.inc_counter(
+            "gpu.resident_steps",
+            labels,
+            if self.resident { 1.0 } else { 0.0 },
+        );
         self.counters.publish_metrics("gpu.step", labels, reg);
         self.mech_counters.publish_metrics("gpu.mech", labels, reg);
     }
@@ -156,17 +207,621 @@ pub struct SceneRef<'a> {
     pub box_len: f64,
 }
 
+/// Per-step transfer/launch cost of one pipeline phase.
+#[derive(Default)]
+struct PhaseCost {
+    counters: KernelCounters,
+    secs: f64,
+    h2d_bytes: u64,
+    h2d_transfers: u32,
+    d2h_bytes: u64,
+    d2h_transfers: u32,
+    midstep_syncs: u32,
+}
+
+/// Everything the pipeline keeps alive across steps for one scalar
+/// width: the device buffers (allocated once, grown geometrically), the
+/// host-side scratch (narrowed columns, scan offsets, download
+/// staging), and the residency bookkeeping (a host mirror of the device
+/// columns, the UID column identifying each device row, and the voxel
+/// keys of the last grid build for the incremental-rebuild check).
+struct DeviceState<R: Scalar + DeviceWord> {
+    /// One bump allocator for the lifetime of the pipeline. Growth
+    /// allocates fresh buffers and abandons the old ranges — addresses
+    /// are never recycled, so the L2 model can never alias a stale
+    /// line with a new buffer.
+    alloc: DeviceAllocator,
+    cap_agents: usize,
+    cap_boxes: usize,
+    cap_partials: usize,
+    // Agent-sized device columns (allocated to `cap_agents`).
+    px: DeviceBuffer<R>,
+    py: DeviceBuffer<R>,
+    pz: DeviceBuffer<R>,
+    dd: DeviceBuffer<R>,
+    da: DeviceBuffer<R>,
+    ox: DeviceBuffer<R>,
+    oy: DeviceBuffer<R>,
+    oz: DeviceBuffer<R>,
+    successors: DeviceBuffer<u32>,
+    csr_agents: DeviceBuffer<u32>,
+    queue: DeviceBuffer<u32>,
+    /// `(dst, src)` pairs for on-device death compaction (2·cap).
+    moves: DeviceBuffer<u32>,
+    // Box-sized device buffers (allocated to `cap_boxes`).
+    box_start: DeviceBuffer<u32>,
+    box_length: DeviceBuffer<u32>,
+    csr_cursor: DeviceBuffer<u32>,
+    counts: DeviceBuffer<u32>,
+    voxel_ids: DeviceBuffer<u32>,
+    queue_count: DeviceBuffer<u32>,
+    partials: DeviceBuffer<R>,
+    // Host scratch, persistent so the steady state allocates nothing.
+    hx: Vec<R>,
+    hy: Vec<R>,
+    hz: Vec<R>,
+    hd: Vec<R>,
+    ha: Vec<R>,
+    /// Scan/occupancy readback staging (satellite of the mid-step
+    /// stall fix: the scan no longer allocates per step).
+    host_counts: Vec<u32>,
+    starts: Vec<u32>,
+    out_x: Vec<R>,
+    out_y: Vec<R>,
+    out_z: Vec<R>,
+    perm_scratch: Vec<R>,
+    // Residency bookkeeping.
+    /// Device agent columns mirror `m*`/`uids` below.
+    resident_valid: bool,
+    /// Device grid buffers describe the *current* device positions.
+    grid_valid: bool,
+    /// Live agent count on the device.
+    n: usize,
+    mx: Vec<R>,
+    my: Vec<R>,
+    mz: Vec<R>,
+    md: Vec<R>,
+    ma: Vec<R>,
+    uids: Vec<u64>,
+    /// Clamped voxel keys at the last grid build (the incremental
+    /// check: identical keys ⇒ identical grid ⇒ skip the build).
+    prev_keys: Vec<u32>,
+    keys_cur: Vec<u32>,
+    prev_geom: Option<GridGeom<R>>,
+    /// Version III occupancy cache, refreshed whenever the grid is.
+    v3_non_empty: Vec<u32>,
+    v3_block_dim: u32,
+    uid_slot: HashMap<u64, u32>,
+    moves_host: Vec<u32>,
+}
+
+impl<R: Scalar + DeviceWord> DeviceState<R> {
+    fn new() -> Self {
+        let mut alloc = DeviceAllocator::new();
+        let queue_count = alloc.alloc::<u32>(1);
+        let px = alloc.alloc::<R>(0);
+        let py = alloc.alloc::<R>(0);
+        let pz = alloc.alloc::<R>(0);
+        let dd = alloc.alloc::<R>(0);
+        let da = alloc.alloc::<R>(0);
+        let ox = alloc.alloc::<R>(0);
+        let oy = alloc.alloc::<R>(0);
+        let oz = alloc.alloc::<R>(0);
+        let successors = alloc.alloc::<u32>(0);
+        let csr_agents = alloc.alloc::<u32>(0);
+        let queue = alloc.alloc::<u32>(0);
+        let moves = alloc.alloc::<u32>(0);
+        let box_start = alloc.alloc::<u32>(0);
+        let box_length = alloc.alloc::<u32>(0);
+        let csr_cursor = alloc.alloc::<u32>(0);
+        let counts = alloc.alloc::<u32>(0);
+        let voxel_ids = alloc.alloc::<u32>(0);
+        let partials = alloc.alloc::<R>(0);
+        Self {
+            alloc,
+            cap_agents: 0,
+            cap_boxes: 0,
+            cap_partials: 0,
+            px,
+            py,
+            pz,
+            dd,
+            da,
+            ox,
+            oy,
+            oz,
+            successors,
+            csr_agents,
+            queue,
+            moves,
+            box_start,
+            box_length,
+            csr_cursor,
+            counts,
+            voxel_ids,
+            queue_count,
+            partials,
+            hx: Vec::new(),
+            hy: Vec::new(),
+            hz: Vec::new(),
+            hd: Vec::new(),
+            ha: Vec::new(),
+            host_counts: Vec::new(),
+            starts: Vec::new(),
+            out_x: Vec::new(),
+            out_y: Vec::new(),
+            out_z: Vec::new(),
+            perm_scratch: Vec::new(),
+            resident_valid: false,
+            grid_valid: false,
+            n: 0,
+            mx: Vec::new(),
+            my: Vec::new(),
+            mz: Vec::new(),
+            md: Vec::new(),
+            ma: Vec::new(),
+            uids: Vec::new(),
+            prev_keys: Vec::new(),
+            keys_cur: Vec::new(),
+            prev_geom: None,
+            v3_non_empty: Vec::new(),
+            v3_block_dim: 0,
+            uid_slot: HashMap::new(),
+            moves_host: Vec::new(),
+        }
+    }
+
+    /// Grow the agent-sized buffers to hold `n` agents (geometric, so
+    /// amortized O(1) allocations). Returns `true` when it reallocated —
+    /// which drops residency: the new buffers hold nothing yet.
+    fn ensure_agents(&mut self, n: usize) -> bool {
+        if n <= self.cap_agents {
+            return false;
+        }
+        let cap = n.max(self.cap_agents * 2).max(64);
+        self.px = self.alloc.alloc::<R>(cap);
+        self.py = self.alloc.alloc::<R>(cap);
+        self.pz = self.alloc.alloc::<R>(cap);
+        self.dd = self.alloc.alloc::<R>(cap);
+        self.da = self.alloc.alloc::<R>(cap);
+        self.ox = self.alloc.alloc::<R>(cap);
+        self.oy = self.alloc.alloc::<R>(cap);
+        self.oz = self.alloc.alloc::<R>(cap);
+        self.successors = self.alloc.alloc::<u32>(cap);
+        self.csr_agents = self.alloc.alloc::<u32>(cap);
+        self.queue = self.alloc.alloc::<u32>(cap);
+        self.moves = self.alloc.alloc::<u32>(2 * cap);
+        self.cap_agents = cap;
+        self.resident_valid = false;
+        self.grid_valid = false;
+        true
+    }
+
+    /// Grow the box-sized buffers to hold `b` voxels.
+    fn ensure_boxes(&mut self, b: usize) -> bool {
+        if b <= self.cap_boxes {
+            return false;
+        }
+        let cap = b.max(self.cap_boxes * 2).max(64);
+        self.box_start = self.alloc.alloc::<u32>(cap);
+        self.box_length = self.alloc.alloc::<u32>(cap);
+        self.csr_cursor = self.alloc.alloc::<u32>(cap);
+        self.counts = self.alloc.alloc::<u32>(cap);
+        self.voxel_ids = self.alloc.alloc::<u32>(cap);
+        self.cap_boxes = cap;
+        self.grid_valid = false;
+        true
+    }
+
+    /// Grow the dynpar partial-force scratch to `len` words.
+    fn ensure_partials(&mut self, len: usize) {
+        if len <= self.cap_partials {
+            return;
+        }
+        let cap = len.max(self.cap_partials * 2);
+        self.partials = self.alloc.alloc::<R>(cap);
+        self.cap_partials = cap;
+    }
+
+    /// Drop residency: the next resident step re-uploads everything.
+    fn invalidate(&mut self) {
+        self.resident_valid = false;
+        self.grid_valid = false;
+    }
+
+    /// Upload the full narrowed columns and rebase the mirror on them.
+    fn full_resync(&mut self, uids: &[u64], cost: &mut PhaseCost) {
+        let n = self.hx.len();
+        self.px.upload_at(0, &self.hx);
+        self.py.upload_at(0, &self.hy);
+        self.pz.upload_at(0, &self.hz);
+        self.dd.upload_at(0, &self.hd);
+        self.da.upload_at(0, &self.ha);
+        cost.h2d_bytes += 5 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        cost.h2d_transfers += 5;
+        self.mx.clear();
+        self.mx.extend_from_slice(&self.hx);
+        self.my.clear();
+        self.my.extend_from_slice(&self.hy);
+        self.mz.clear();
+        self.mz.extend_from_slice(&self.hz);
+        self.md.clear();
+        self.md.extend_from_slice(&self.hd);
+        self.ma.clear();
+        self.ma.extend_from_slice(&self.ha);
+        self.uids.clear();
+        self.uids.extend_from_slice(uids);
+        self.n = n;
+        self.resident_valid = true;
+        self.grid_valid = false;
+    }
+}
+
+/// The two scalar widths a pipeline can hold resident state in. The
+/// width is fixed by the kernel version, so in practice only one
+/// variant is ever constructed per pipeline.
+enum ResidentState {
+    F32(DeviceState<f32>),
+    F64(DeviceState<f64>),
+}
+
+/// Maps a scalar type to its slot in [`ResidentState`] (creating the
+/// state on first use).
+trait ResidentSlot: Scalar + DeviceWord + Sized {
+    fn slot(state: &mut Option<ResidentState>) -> &mut DeviceState<Self>;
+}
+
+impl ResidentSlot for f32 {
+    fn slot(state: &mut Option<ResidentState>) -> &mut DeviceState<f32> {
+        if !matches!(state, Some(ResidentState::F32(_))) {
+            *state = Some(ResidentState::F32(DeviceState::new()));
+        }
+        match state {
+            Some(ResidentState::F32(s)) => s,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl ResidentSlot for f64 {
+    fn slot(state: &mut Option<ResidentState>) -> &mut DeviceState<f64> {
+        if !matches!(state, Some(ResidentState::F64(_))) {
+            *state = Some(ResidentState::F64(DeviceState::new()));
+        }
+        match state {
+            Some(ResidentState::F64(s)) => s,
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn narrow_into<R: Scalar>(src: &[f64], dst: &mut Vec<R>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&v| R::from_f64(v)));
+}
+
+/// Patch device elements that differ from the mirror; returns how many.
+/// Each patch moves one index + one value over the bus.
+fn patch_column<R: Scalar + DeviceWord>(
+    buf: &DeviceBuffer<R>,
+    host: &[R],
+    mirror: &mut [R],
+) -> u64 {
+    let mut changed = 0u64;
+    for i in 0..host.len() {
+        if host[i] != mirror[i] {
+            buf.write(i, host[i]);
+            mirror[i] = host[i];
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Device grid build: atomic list insertion for the paper versions; for
+/// version IV, the two-pass counting sort with a host-side prefix sum
+/// in between. The scan is a grid-wide dependency, so it reads the
+/// counts back and re-uploads the offsets — a PCIe round trip (and a
+/// mid-step sync) charged the same way version III's occupancy readback
+/// is.
+fn build_grid<R: Scalar + DeviceWord>(
+    runtime: &Runtime,
+    version: KernelVersion,
+    st: &mut DeviceState<R>,
+    n: usize,
+    num_boxes: usize,
+    geom: GridGeom<R>,
+) -> PhaseCost {
+    let mut cost = PhaseCost::default();
+    if version == KernelVersion::V4Csr {
+        st.counts.fill_at(0, num_boxes, 0);
+        let count = runtime.dispatch(
+            &CsrCountKernel {
+                n,
+                geom,
+                pos_x: &st.px,
+                pos_y: &st.py,
+                pos_z: &st.pz,
+                counts: &st.counts,
+            },
+            n,
+            128,
+            0,
+        );
+        cost.counters.merge(&count.counters);
+        cost.secs += count.timing.total_s;
+
+        st.host_counts.clear();
+        st.host_counts.resize(num_boxes, 0);
+        st.counts.download_at(0, &mut st.host_counts);
+        cost.d2h_bytes += 4 * num_boxes as u64;
+        cost.d2h_transfers += 1;
+        cost.midstep_syncs += 1;
+        exclusive_scan_into(&st.host_counts, &mut st.starts);
+        st.csr_cursor.upload_at(0, &st.starts[..num_boxes]);
+        cost.h2d_bytes += 4 * num_boxes as u64;
+        cost.h2d_transfers += 1;
+
+        let scatter = runtime.dispatch(
+            &CsrScatterKernel {
+                n,
+                geom,
+                pos_x: &st.px,
+                pos_y: &st.py,
+                pos_z: &st.pz,
+                cursor: &st.csr_cursor,
+                cell_agents: &st.csr_agents,
+            },
+            n,
+            128,
+            0,
+        );
+        cost.counters.merge(&scatter.counters);
+        cost.secs += scatter.timing.total_s;
+    } else {
+        reset_grid_buffers(&st.box_start, &st.box_length);
+        let build = runtime.dispatch(
+            &GridBuildKernel {
+                n,
+                geom,
+                pos_x: &st.px,
+                pos_y: &st.py,
+                pos_z: &st.pz,
+                box_start: &st.box_start,
+                box_length: &st.box_length,
+                successors: &st.successors,
+            },
+            n,
+            128,
+            0,
+        );
+        cost.counters.merge(&build.counters);
+        cost.secs += build.timing.total_s;
+    }
+    cost
+}
+
+/// The mechanical kernel(s) of one step. `refresh_occupancy` tells
+/// version III whether the grid changed since its cached non-empty
+/// voxel list (the occupancy readback is skipped when the resident path
+/// skipped the build).
+#[allow(clippy::too_many_arguments)]
+fn run_mech<R: Scalar + DeviceWord + FromWord>(
+    runtime: &Runtime,
+    version: KernelVersion,
+    system: &SystemSpec,
+    dynpar_threshold: u32,
+    st: &mut DeviceState<R>,
+    n: usize,
+    num_boxes: usize,
+    geom: GridGeom<R>,
+    params_r: MechParams<R>,
+    refresh_occupancy: bool,
+) -> PhaseCost {
+    let mut cost = PhaseCost::default();
+    match version {
+        KernelVersion::V0 | KernelVersion::V1Fp32 | KernelVersion::V2Sorted => {
+            let r = runtime.dispatch(
+                &MechKernel {
+                    n,
+                    geom,
+                    pos_x: &st.px,
+                    pos_y: &st.py,
+                    pos_z: &st.pz,
+                    diameter: &st.dd,
+                    adherence: &st.da,
+                    box_start: &st.box_start,
+                    successors: &st.successors,
+                    out_x: &st.ox,
+                    out_y: &st.oy,
+                    out_z: &st.oz,
+                    params: params_r,
+                },
+                n,
+                128,
+                0,
+            );
+            cost.counters.merge(&r.counters);
+            cost.secs += r.timing.total_s;
+        }
+        KernelVersion::V4Csr => {
+            let r = runtime.dispatch(
+                &MechCsrKernel {
+                    n,
+                    geom,
+                    pos_x: &st.px,
+                    pos_y: &st.py,
+                    pos_z: &st.pz,
+                    diameter: &st.dd,
+                    adherence: &st.da,
+                    cell_ends: &st.csr_cursor,
+                    cell_agents: &st.csr_agents,
+                    out_x: &st.ox,
+                    out_y: &st.oy,
+                    out_z: &st.oz,
+                    params: params_r,
+                },
+                n,
+                128,
+                0,
+            );
+            cost.counters.merge(&r.counters);
+            cost.secs += r.timing.total_s;
+        }
+        KernelVersion::V3Shared => {
+            if refresh_occupancy {
+                // Host needs the voxel occupancy to enumerate non-empty
+                // voxels and size the blocks — a D2H readback the fused
+                // version avoids; charge it (and the stall).
+                st.host_counts.clear();
+                st.host_counts.resize(num_boxes, 0);
+                st.box_length.download_at(0, &mut st.host_counts);
+                cost.d2h_bytes += 4 * num_boxes as u64;
+                cost.d2h_transfers += 1;
+                cost.midstep_syncs += 1;
+                st.v3_non_empty.clear();
+                for b in 0..num_boxes as u32 {
+                    if st.host_counts[b as usize] > 0 {
+                        st.v3_non_empty.push(b);
+                    }
+                }
+                let max_len = st.host_counts.iter().copied().max().unwrap_or(0);
+                st.v3_block_dim = (max_len.max(28)).div_ceil(32) * 32;
+                st.voxel_ids.upload_at(0, &st.v3_non_empty);
+                cost.h2d_bytes += 4 * st.v3_non_empty.len() as u64;
+                cost.h2d_transfers += 1;
+            }
+            let block_dim = st.v3_block_dim;
+            let non_empty_len = st.v3_non_empty.len();
+
+            let spec = system.gpu;
+            // The tile is allocated statically for the worst case —
+            // the paper's kernel cannot know per-voxel occupancy at
+            // compile time. The near-full shared-memory footprint
+            // limits residency to ~1 block/SM, which (together with
+            // the cursor atomics and boundary-check divergence) is
+            // why version III loses to version II.
+            let tile_cap = ((spec.shared_mem_per_sm as usize / 8).saturating_sub(2) / 5).min(2048);
+            let k = SharedMechKernel {
+                geom,
+                voxel_ids: &st.voxel_ids,
+                pos_x: &st.px,
+                pos_y: &st.py,
+                pos_z: &st.pz,
+                diameter: &st.dd,
+                adherence: &st.da,
+                box_start: &st.box_start,
+                box_length: &st.box_length,
+                successors: &st.successors,
+                out_x: &st.ox,
+                out_y: &st.oy,
+                out_z: &st.oz,
+                tile_cap,
+                params: params_r,
+            };
+            let items = non_empty_len * block_dim as usize;
+            let r = runtime.dispatch(&k, items, block_dim, shared_words_for(tile_cap) * 8);
+            cost.counters.merge(&r.counters);
+            cost.secs += r.timing.total_s;
+        }
+        KernelVersion::DynPar => {
+            // The queue cursor persists across steps now — zero it.
+            st.queue_count.fill_at(0, 1, 0);
+            let parent = runtime.dispatch(
+                &ParentKernel {
+                    n,
+                    geom,
+                    pos_x: &st.px,
+                    pos_y: &st.py,
+                    pos_z: &st.pz,
+                    diameter: &st.dd,
+                    adherence: &st.da,
+                    box_start: &st.box_start,
+                    box_length: &st.box_length,
+                    successors: &st.successors,
+                    out_x: &st.ox,
+                    out_y: &st.oy,
+                    out_z: &st.oz,
+                    queue: &st.queue,
+                    queue_count: &st.queue_count,
+                    threshold: dynpar_threshold,
+                    params: params_r,
+                },
+                n,
+                128,
+                0,
+            );
+            cost.counters.merge(&parent.counters);
+            cost.secs += parent.timing.total_s;
+
+            let queue_len = st.queue_count.read(0) as usize;
+            cost.midstep_syncs += 1;
+            if queue_len > 0 {
+                st.ensure_partials(queue_len * 27 * 3);
+                // The child kernel only stores nonzero partials, so a
+                // persistent scratch must be re-zeroed each launch.
+                st.partials.fill_at(0, queue_len * 27 * 3, R::ZERO);
+                let child = runtime.dispatch(
+                    &ChildKernel {
+                        queue_len,
+                        geom,
+                        pos_x: &st.px,
+                        pos_y: &st.py,
+                        pos_z: &st.pz,
+                        diameter: &st.dd,
+                        box_start: &st.box_start,
+                        successors: &st.successors,
+                        queue: &st.queue,
+                        partials: &st.partials,
+                        params: params_r,
+                    },
+                    queue_len * 27,
+                    128,
+                    0,
+                );
+                cost.counters.merge(&child.counters);
+                cost.secs += child.timing.total_s;
+                let finish = runtime.dispatch(
+                    &FinishKernel {
+                        queue_len,
+                        queue: &st.queue,
+                        partials: &st.partials,
+                        adherence: &st.da,
+                        out_x: &st.ox,
+                        out_y: &st.oy,
+                        out_z: &st.oz,
+                        params: params_r,
+                    },
+                    queue_len,
+                    128,
+                    0,
+                );
+                cost.counters.merge(&finish.counters);
+                cost.secs += finish.timing.total_s;
+            }
+        }
+    }
+    cost
+}
+
 /// The full offload pipeline.
 pub struct MechanicalPipeline {
     system: SystemSpec,
     runtime: Runtime,
     version: KernelVersion,
     pcie: PcieModel,
+    /// Persistent device + host state, created lazily on the first step.
+    state: Option<ResidentState>,
     /// Candidate threshold for the dynamic-parallelism parent kernel.
     pub dynpar_threshold: u32,
     /// Space-filling curve used by the sorting versions (II, III,
     /// dynpar). Z-order is the paper's choice; Hilbert is the ablation.
     pub sort_curve: bdm_morton::Curve,
+    /// Debug/ablation knob: make the resident path rebuild the grid
+    /// every step even when no agent crossed a voxel boundary. The
+    /// incremental skip must be bitwise-invisible, so flipping this
+    /// never changes results (pinned by test).
+    pub force_full_rebuild: bool,
 }
 
 impl MechanicalPipeline {
@@ -184,8 +839,10 @@ impl MechanicalPipeline {
             runtime: Runtime::new(frontend, system.gpu, trace_sample),
             version,
             pcie: PcieModel::new(system.pcie_bandwidth, system.pcie_latency_s),
+            state: None,
             dynpar_threshold: 96,
             sort_curve: bdm_morton::Curve::ZOrder,
+            force_full_rebuild: false,
         }
     }
 
@@ -199,10 +856,49 @@ impl MechanicalPipeline {
         &self.system
     }
 
+    /// Drop device residency: the next [`Self::step_resident`] performs
+    /// a full re-upload. Callers must invalidate after anything that
+    /// reorders or rewrites host columns wholesale behind the UID
+    /// column's back — the host `reorder` operation, checkpoint restore,
+    /// a shard recut.
+    pub fn invalidate_residency(&mut self) {
+        match &mut self.state {
+            Some(ResidentState::F32(s)) => s.invalidate(),
+            Some(ResidentState::F64(s)) => s.invalidate(),
+            None => {}
+        }
+    }
+
+    /// Whether valid device-resident agent state exists right now: the
+    /// next [`Self::step_resident`] may take the diff fast path instead
+    /// of a full upload. `false` after construction, after
+    /// [`Self::invalidate_residency`], and until the first resident step.
+    pub fn is_resident(&self) -> bool {
+        match &self.state {
+            Some(ResidentState::F32(s)) => s.resident_valid,
+            Some(ResidentState::F64(s)) => s.resident_valid,
+            None => false,
+        }
+    }
+
+    /// Total device bytes ever allocated (monotone; constant across
+    /// steady-state steps — pinned by test).
+    pub fn device_allocated_bytes(&self) -> u64 {
+        match &self.state {
+            Some(ResidentState::F32(s)) => s.alloc.allocated_bytes(),
+            Some(ResidentState::F64(s)) => s.alloc.allocated_bytes(),
+            None => 0,
+        }
+    }
+
     /// Execute one mechanical-interaction step. Returns per-agent
     /// displacements (in the caller's original agent order) and a report.
+    ///
+    /// Device buffers are reused across calls, but the device state is
+    /// treated as scratch: everything is re-uploaded. For cross-step
+    /// residency use [`Self::step_resident`].
     pub fn step(
-        &self,
+        &mut self,
         scene: &SceneRef<'_>,
         params: &MechParams<f64>,
     ) -> (Vec<Vec3<f64>>, GpuStepReport) {
@@ -216,49 +912,39 @@ impl MechanicalPipeline {
         }
     }
 
-    fn run<R: Scalar + DeviceWord + FromWord>(
-        &self,
+    /// Execute one step with device-resident agent state. `uids`
+    /// identifies each column row (same order as the scene columns); the
+    /// pipeline diffs against its device mirror and ships only changes:
+    /// appended births, swap-removed deaths (compacted on the device),
+    /// element-level host edits. Displacements are integrated on the
+    /// device and the *new positions* (in the caller's order, which the
+    /// device preserves) are returned. Steady state moves zero bytes
+    /// host→device and skips the grid build when no agent crossed a
+    /// voxel boundary.
+    pub fn step_resident(
+        &mut self,
+        scene: &SceneRef<'_>,
+        uids: &[u64],
+        params: &MechParams<f64>,
+    ) -> (Vec<Vec3<f64>>, GpuStepReport) {
+        // No reset_l2: cross-step cache reuse is real for resident state.
+        if self.version.fp32() {
+            self.run_resident::<f32>(scene, uids, params)
+        } else {
+            self.run_resident::<f64>(scene, uids, params)
+        }
+    }
+
+    fn run<R: Scalar + DeviceWord + FromWord + ResidentSlot>(
+        &mut self,
         scene: &SceneRef<'_>,
         params: &MechParams<f64>,
     ) -> (Vec<Vec3<f64>>, GpuStepReport) {
         let n = scene.xs.len();
         assert!(n > 0, "empty scene");
         let params_r: MechParams<R> = params.cast();
-        let narrow = |col: &[f64]| -> Vec<R> { col.iter().map(|&v| R::from_f64(v)).collect() };
-
-        let mut xs = narrow(scene.xs);
-        let mut ys = narrow(scene.ys);
-        let mut zs = narrow(scene.zs);
-        let mut diam = narrow(scene.diameters);
-        let mut adh = narrow(scene.adherences);
         let space = Aabb::new(scene.space.min.cast::<R>(), scene.space.max.cast::<R>());
         let box_len = R::from_f64(scene.box_len);
-
-        // Improvement II: host-side space-filling-curve sort of the SoA
-        // columns (Z-order by default; see `sort_curve`). Keys are
-        // voxel keys clamped to the grid dims — the same keys the
-        // resident `reorder` operation sorts by — so when the caller's
-        // columns already arrive in curve order the keys come out
-        // non-decreasing and the whole permutation (5 upload gathers +
-        // 3 inverse gathers after download) is skipped: the upload is a
-        // straight memcpy of the host columns.
-        let mut sort_gathers = 0u32;
-        let perm = if self.version.sorts() {
-            let keys = bdm_morton::cell_keys(&xs, &ys, &zs, &space, box_len, self.sort_curve);
-            if keys.is_sorted() {
-                None
-            } else {
-                let p = bdm_soa::Permutation::sorting_by_key(&keys);
-                let mut scratch = Vec::new();
-                for col in [&mut xs, &mut ys, &mut zs, &mut diam, &mut adh] {
-                    p.apply_in_place(col, &mut scratch);
-                    sort_gathers += 1;
-                }
-                Some(p)
-            }
-        } else {
-            None
-        };
 
         // Grid geometry (host-side, matches bdm_grid layout).
         let dims = {
@@ -273,321 +959,389 @@ impl MechanicalPipeline {
         };
         let num_boxes = geom.num_boxes();
 
-        // Allocate + upload.
-        let mut alloc = DeviceAllocator::new();
-        let px = alloc.alloc::<R>(n);
-        let py = alloc.alloc::<R>(n);
-        let pz = alloc.alloc::<R>(n);
-        let dd = alloc.alloc::<R>(n);
-        let da = alloc.alloc::<R>(n);
-        px.upload(&xs);
-        py.upload(&ys);
-        pz.upload(&zs);
-        dd.upload(&diam);
-        da.upload(&adh);
-        let box_start = alloc.alloc::<u32>(num_boxes);
-        let box_length = alloc.alloc::<u32>(num_boxes);
-        let successors = alloc.alloc::<u32>(n);
-        // Version IV's CSR grid (unused by the linked-list versions;
-        // allocation alone costs nothing in the model). The cursor is
-        // pre-loaded with the scanned start offsets and, once the scatter
-        // exhausts it, doubles as the end-offset array the force kernel
-        // reads.
-        let csr_cursor = alloc.alloc::<u32>(num_boxes);
-        let csr_agents = alloc.alloc::<u32>(n);
-        let ox = alloc.alloc::<R>(n);
-        let oy = alloc.alloc::<R>(n);
-        let oz = alloc.alloc::<R>(n);
+        let st = R::slot(&mut self.state);
+        st.ensure_agents(n);
+        st.ensure_boxes(num_boxes);
+        // A rebuilt step overwrites the device columns below; whatever
+        // mirror a previous resident run kept is stale now.
+        st.resident_valid = false;
+        st.grid_valid = false;
 
-        let mut h2d_bytes = 5 * n as u64 * <R as DeviceWord>::BYTES as u64;
-        let mut h2d_transfers = 5;
-        let mut d2h_bytes = 3 * n as u64 * <R as DeviceWord>::BYTES as u64;
-        let mut d2h_transfers = 3;
+        narrow_into(scene.xs, &mut st.hx);
+        narrow_into(scene.ys, &mut st.hy);
+        narrow_into(scene.zs, &mut st.hz);
+        narrow_into(scene.diameters, &mut st.hd);
+        narrow_into(scene.adherences, &mut st.ha);
 
-        // Device grid build: atomic list insertion for the paper
-        // versions; for version IV, the two-pass counting sort with a
-        // host-side prefix sum in between. The scan is a grid-wide
-        // dependency, so it reads the counts back and re-uploads the
-        // offsets — a PCIe round trip charged the same way version III's
-        // occupancy readback is.
-        let mut build_counters = KernelCounters::default();
-        let mut build_s = 0.0;
-        if self.version == KernelVersion::V4Csr {
-            let counts = alloc.alloc::<u32>(num_boxes);
-            let count = self.runtime.dispatch(
-                &CsrCountKernel {
-                    n,
-                    geom,
-                    pos_x: &px,
-                    pos_y: &py,
-                    pos_z: &pz,
-                    counts: &counts,
-                },
-                n,
-                128,
-                0,
-            );
-            build_counters.merge(&count.counters);
-            build_s += count.timing.total_s;
-
-            let mut host_counts = vec![0u32; num_boxes];
-            counts.download(&mut host_counts);
-            d2h_bytes += 4 * num_boxes as u64;
-            d2h_transfers += 1;
-            let starts = exclusive_scan(&host_counts);
-            csr_cursor.upload(&starts[..num_boxes]);
-            h2d_bytes += 4 * num_boxes as u64;
-            h2d_transfers += 1;
-
-            let scatter = self.runtime.dispatch(
-                &CsrScatterKernel {
-                    n,
-                    geom,
-                    pos_x: &px,
-                    pos_y: &py,
-                    pos_z: &pz,
-                    cursor: &csr_cursor,
-                    cell_agents: &csr_agents,
-                },
-                n,
-                128,
-                0,
-            );
-            build_counters.merge(&scatter.counters);
-            build_s += scatter.timing.total_s;
-        } else {
-            reset_grid_buffers(&box_start, &box_length);
-            let build = self.runtime.dispatch(
-                &GridBuildKernel {
-                    n,
-                    geom,
-                    pos_x: &px,
-                    pos_y: &py,
-                    pos_z: &pz,
-                    box_start: &box_start,
-                    box_length: &box_length,
-                    successors: &successors,
-                },
-                n,
-                128,
-                0,
-            );
-            build_counters.merge(&build.counters);
-            build_s += build.timing.total_s;
-        }
-
-        // Mechanical kernel(s).
-        let mut mech_counters = KernelCounters::default();
-        let mut mech_s = 0.0;
-        match self.version {
-            KernelVersion::V0 | KernelVersion::V1Fp32 | KernelVersion::V2Sorted => {
-                let r = self.runtime.dispatch(
-                    &MechKernel {
-                        n,
-                        geom,
-                        pos_x: &px,
-                        pos_y: &py,
-                        pos_z: &pz,
-                        diameter: &dd,
-                        adherence: &da,
-                        box_start: &box_start,
-                        successors: &successors,
-                        out_x: &ox,
-                        out_y: &oy,
-                        out_z: &oz,
-                        params: params_r,
-                    },
-                    n,
-                    128,
-                    0,
-                );
-                mech_counters.merge(&r.counters);
-                mech_s += r.timing.total_s;
-            }
-            KernelVersion::V4Csr => {
-                let r = self.runtime.dispatch(
-                    &MechCsrKernel {
-                        n,
-                        geom,
-                        pos_x: &px,
-                        pos_y: &py,
-                        pos_z: &pz,
-                        diameter: &dd,
-                        adherence: &da,
-                        cell_ends: &csr_cursor,
-                        cell_agents: &csr_agents,
-                        out_x: &ox,
-                        out_y: &oy,
-                        out_z: &oz,
-                        params: params_r,
-                    },
-                    n,
-                    128,
-                    0,
-                );
-                mech_counters.merge(&r.counters);
-                mech_s += r.timing.total_s;
-            }
-            KernelVersion::V3Shared => {
-                // Host needs the voxel occupancy to enumerate non-empty
-                // voxels and size the blocks — a D2H readback the fused
-                // version avoids; charge it.
-                let mut lengths = vec![0u32; num_boxes];
-                box_length.download(&mut lengths);
-                d2h_bytes += 4 * num_boxes as u64;
-                d2h_transfers += 1;
-                let non_empty: Vec<u32> = (0..num_boxes as u32)
-                    .filter(|&b| lengths[b as usize] > 0)
-                    .collect();
-                let max_len = lengths.iter().copied().max().unwrap_or(0);
-                let block_dim = (max_len.max(28)).div_ceil(32) * 32;
-                let voxel_ids = alloc.alloc::<u32>(non_empty.len());
-                voxel_ids.upload(&non_empty);
-                h2d_bytes += 4 * non_empty.len() as u64;
-                h2d_transfers += 1;
-
-                let spec = self.system.gpu;
-                // The tile is allocated statically for the worst case —
-                // the paper's kernel cannot know per-voxel occupancy at
-                // compile time. The near-full shared-memory footprint
-                // limits residency to ~1 block/SM, which (together with
-                // the cursor atomics and boundary-check divergence) is
-                // why version III loses to version II.
-                let tile_cap =
-                    ((spec.shared_mem_per_sm as usize / 8).saturating_sub(2) / 5).min(2048);
-                let _ = max_len;
-                let k = SharedMechKernel {
-                    geom,
-                    voxel_ids: &voxel_ids,
-                    pos_x: &px,
-                    pos_y: &py,
-                    pos_z: &pz,
-                    diameter: &dd,
-                    adherence: &da,
-                    box_start: &box_start,
-                    box_length: &box_length,
-                    successors: &successors,
-                    out_x: &ox,
-                    out_y: &oy,
-                    out_z: &oz,
-                    tile_cap,
-                    params: params_r,
-                };
-                let items = non_empty.len() * block_dim as usize;
-                let r = self
-                    .runtime
-                    .dispatch(&k, items, block_dim, shared_words_for(tile_cap) * 8);
-                mech_counters.merge(&r.counters);
-                mech_s += r.timing.total_s;
-            }
-            KernelVersion::DynPar => {
-                let queue = alloc.alloc::<u32>(n);
-                let queue_count = alloc.alloc::<u32>(1);
-                let parent = self.runtime.dispatch(
-                    &ParentKernel {
-                        n,
-                        geom,
-                        pos_x: &px,
-                        pos_y: &py,
-                        pos_z: &pz,
-                        diameter: &dd,
-                        adherence: &da,
-                        box_start: &box_start,
-                        box_length: &box_length,
-                        successors: &successors,
-                        out_x: &ox,
-                        out_y: &oy,
-                        out_z: &oz,
-                        queue: &queue,
-                        queue_count: &queue_count,
-                        threshold: self.dynpar_threshold,
-                        params: params_r,
-                    },
-                    n,
-                    128,
-                    0,
-                );
-                mech_counters.merge(&parent.counters);
-                mech_s += parent.timing.total_s;
-
-                let queue_len = queue_count.read(0) as usize;
-                if queue_len > 0 {
-                    let partials = alloc.alloc::<R>(queue_len * 27 * 3);
-                    let child = self.runtime.dispatch(
-                        &ChildKernel {
-                            queue_len,
-                            geom,
-                            pos_x: &px,
-                            pos_y: &py,
-                            pos_z: &pz,
-                            diameter: &dd,
-                            box_start: &box_start,
-                            successors: &successors,
-                            queue: &queue,
-                            partials: &partials,
-                            params: params_r,
-                        },
-                        queue_len * 27,
-                        128,
-                        0,
-                    );
-                    mech_counters.merge(&child.counters);
-                    mech_s += child.timing.total_s;
-                    let finish = self.runtime.dispatch(
-                        &FinishKernel {
-                            queue_len,
-                            queue: &queue,
-                            partials: &partials,
-                            adherence: &da,
-                            out_x: &ox,
-                            out_y: &oy,
-                            out_z: &oz,
-                            params: params_r,
-                        },
-                        queue_len,
-                        128,
-                        0,
-                    );
-                    mech_counters.merge(&finish.counters);
-                    mech_s += finish.timing.total_s;
+        // Improvement II: host-side space-filling-curve sort of the SoA
+        // columns (Z-order by default; see `sort_curve`). Keys are
+        // voxel keys clamped to the grid dims — the same keys the
+        // resident `reorder` operation sorts by — so when the caller's
+        // columns already arrive in curve order the keys come out
+        // non-decreasing and the whole permutation (5 upload gathers +
+        // 3 inverse gathers after download) is skipped: the upload is a
+        // straight memcpy of the host columns.
+        let mut sort_gathers = 0u32;
+        let perm = if self.version.sorts() {
+            let keys =
+                bdm_morton::cell_keys(&st.hx, &st.hy, &st.hz, &space, box_len, self.sort_curve);
+            if keys.is_sorted() {
+                None
+            } else {
+                let p = bdm_soa::Permutation::sorting_by_key(&keys);
+                for col in [&mut st.hx, &mut st.hy, &mut st.hz, &mut st.hd, &mut st.ha] {
+                    p.apply_in_place(col, &mut st.perm_scratch);
+                    sort_gathers += 1;
                 }
+                Some(p)
             }
-        }
+        } else {
+            None
+        };
+
+        // Upload the live prefix of the persistent columns.
+        st.px.upload_at(0, &st.hx);
+        st.py.upload_at(0, &st.hy);
+        st.pz.upload_at(0, &st.hz);
+        st.dd.upload_at(0, &st.hd);
+        st.da.upload_at(0, &st.ha);
+        let mut h2d_bytes = 5 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        let mut h2d_transfers = 5u32;
+        let mut d2h_bytes = 3 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        let mut d2h_transfers = 3u32;
+
+        let build = build_grid(&self.runtime, self.version, st, n, num_boxes, geom);
+        let mech = run_mech(
+            &self.runtime,
+            self.version,
+            &self.system,
+            self.dynpar_threshold,
+            st,
+            n,
+            num_boxes,
+            geom,
+            params_r,
+            true,
+        );
+        h2d_bytes += build.h2d_bytes + mech.h2d_bytes;
+        h2d_transfers += build.h2d_transfers + mech.h2d_transfers;
+        d2h_bytes += build.d2h_bytes + mech.d2h_bytes;
+        d2h_transfers += build.d2h_transfers + mech.d2h_transfers;
+        let midstep_syncs = build.midstep_syncs + mech.midstep_syncs;
 
         // Download and (if sorted) restore the caller's agent order.
-        let mut out_x = vec![R::ZERO; n];
-        let mut out_y = vec![R::ZERO; n];
-        let mut out_z = vec![R::ZERO; n];
-        ox.download(&mut out_x);
-        oy.download(&mut out_y);
-        oz.download(&mut out_z);
+        st.out_x.clear();
+        st.out_x.resize(n, R::ZERO);
+        st.out_y.clear();
+        st.out_y.resize(n, R::ZERO);
+        st.out_z.clear();
+        st.out_z.resize(n, R::ZERO);
+        st.ox.download_at(0, &mut st.out_x);
+        st.oy.download_at(0, &mut st.out_y);
+        st.oz.download_at(0, &mut st.out_z);
         if let Some(p) = &perm {
             let inv = p.inverse();
-            let mut scratch = Vec::new();
-            for col in [&mut out_x, &mut out_y, &mut out_z] {
-                inv.apply_in_place(col, &mut scratch);
+            for col in [&mut st.out_x, &mut st.out_y, &mut st.out_z] {
+                inv.apply_in_place(col, &mut st.perm_scratch);
                 sort_gathers += 1;
             }
         }
         let displacements: Vec<Vec3<f64>> = (0..n)
-            .map(|i| Vec3::new(out_x[i].to_f64(), out_y[i].to_f64(), out_z[i].to_f64()))
+            .map(|i| {
+                Vec3::new(
+                    st.out_x[i].to_f64(),
+                    st.out_y[i].to_f64(),
+                    st.out_z[i].to_f64(),
+                )
+            })
             .collect();
 
         let h2d_s = self.pcie.transfers_time(h2d_transfers, h2d_bytes);
         let d2h_s = self.pcie.transfers_time(d2h_transfers, d2h_bytes);
+        let mut counters = build.counters.clone();
+        counters.merge(&mech.counters);
+        let report = GpuStepReport {
+            h2d_s,
+            d2h_s,
+            build_s: build.secs,
+            mech_s: mech.secs,
+            total_s: h2d_s + build.secs + mech.secs + d2h_s,
+            counters,
+            mech_counters: mech.counters,
+            sort_gathers,
+            bytes_h2d: h2d_bytes,
+            bytes_d2h: d2h_bytes,
+            midstep_syncs,
+            resident: false,
+        };
+        (displacements, report)
+    }
+
+    fn run_resident<R: Scalar + DeviceWord + FromWord + ResidentSlot>(
+        &mut self,
+        scene: &SceneRef<'_>,
+        uids: &[u64],
+        params: &MechParams<f64>,
+    ) -> (Vec<Vec3<f64>>, GpuStepReport) {
+        let n = scene.xs.len();
+        assert!(n > 0, "empty scene");
+        assert_eq!(uids.len(), n, "uid column length mismatch");
+        let params_r: MechParams<R> = params.cast();
+        let space = Aabb::new(scene.space.min.cast::<R>(), scene.space.max.cast::<R>());
+        let box_len = R::from_f64(scene.box_len);
+        let dims = {
+            let e = space.extents();
+            let dim = |len: R| -> u32 { ((len / box_len).ceil().to_f64() as u32).max(1) };
+            [dim(e.x), dim(e.y), dim(e.z)]
+        };
+        let geom = GridGeom {
+            dims,
+            min: space.min,
+            box_len,
+        };
+        let num_boxes = geom.num_boxes();
+
+        let force_full = self.force_full_rebuild;
+        let st = R::slot(&mut self.state);
+        st.ensure_agents(n);
+        st.ensure_boxes(num_boxes);
+
+        narrow_into(scene.xs, &mut st.hx);
+        narrow_into(scene.ys, &mut st.hy);
+        narrow_into(scene.zs, &mut st.hz);
+        narrow_into(scene.diameters, &mut st.hd);
+        narrow_into(scene.adherences, &mut st.ha);
+
+        // --- Sync host → device (only the difference crosses the bus).
+        let mut sync = PhaseCost::default();
+        if !st.resident_valid {
+            st.full_resync(uids, &mut sync);
+        } else {
+            let mut resynced = false;
+            if uids == st.uids.as_slice() {
+                // No structural change; scalar edits handled below.
+            } else if n > st.n && uids[..st.n] == st.uids[..] {
+                // Births appended: upload only the new tail rows.
+                let add = n - st.n;
+                st.px.upload_at(st.n, &st.hx[st.n..]);
+                st.py.upload_at(st.n, &st.hy[st.n..]);
+                st.pz.upload_at(st.n, &st.hz[st.n..]);
+                st.dd.upload_at(st.n, &st.hd[st.n..]);
+                st.da.upload_at(st.n, &st.ha[st.n..]);
+                sync.h2d_bytes += 5 * add as u64 * <R as DeviceWord>::BYTES as u64;
+                sync.h2d_transfers += 5;
+                st.mx.extend_from_slice(&st.hx[st.n..]);
+                st.my.extend_from_slice(&st.hy[st.n..]);
+                st.mz.extend_from_slice(&st.hz[st.n..]);
+                st.md.extend_from_slice(&st.hd[st.n..]);
+                st.ma.extend_from_slice(&st.ha[st.n..]);
+                st.uids.extend_from_slice(&uids[st.n..]);
+                st.n = n;
+                st.grid_valid = false;
+            } else if n < st.n {
+                // Deaths: the host's swap-remove leaves a short
+                // `(dst, src)` move list with every source in the
+                // truncated tail. Upload the list, compact on-device.
+                st.uid_slot.clear();
+                for (slot, &u) in st.uids.iter().enumerate() {
+                    st.uid_slot.insert(u, slot as u32);
+                }
+                st.moves_host.clear();
+                let mut compactable = true;
+                for (i, &u) in uids.iter().enumerate() {
+                    if u == st.uids[i] {
+                        continue;
+                    }
+                    match st.uid_slot.get(&u) {
+                        Some(&src) if src as usize >= n => {
+                            st.moves_host.push(i as u32);
+                            st.moves_host.push(src);
+                        }
+                        _ => {
+                            compactable = false;
+                            break;
+                        }
+                    }
+                }
+                if compactable {
+                    let n_moves = st.moves_host.len() / 2;
+                    if n_moves > 0 {
+                        st.moves.upload_at(0, &st.moves_host);
+                        sync.h2d_bytes += st.moves_host.len() as u64 * 4;
+                        sync.h2d_transfers += 1;
+                        let r = self.runtime.dispatch(
+                            &CompactKernel {
+                                n_moves,
+                                moves: &st.moves,
+                                pos_x: &st.px,
+                                pos_y: &st.py,
+                                pos_z: &st.pz,
+                                diameter: &st.dd,
+                                adherence: &st.da,
+                            },
+                            n_moves,
+                            128,
+                            0,
+                        );
+                        sync.counters.merge(&r.counters);
+                        sync.secs += r.timing.total_s;
+                        for k in 0..n_moves {
+                            let dst = st.moves_host[2 * k] as usize;
+                            let src = st.moves_host[2 * k + 1] as usize;
+                            st.mx[dst] = st.mx[src];
+                            st.my[dst] = st.my[src];
+                            st.mz[dst] = st.mz[src];
+                            st.md[dst] = st.md[src];
+                            st.ma[dst] = st.ma[src];
+                            st.uids[dst] = st.uids[src];
+                        }
+                    }
+                    st.mx.truncate(n);
+                    st.my.truncate(n);
+                    st.mz.truncate(n);
+                    st.md.truncate(n);
+                    st.ma.truncate(n);
+                    st.uids.truncate(n);
+                    st.n = n;
+                    st.grid_valid = false;
+                } else {
+                    st.full_resync(uids, &mut sync);
+                    resynced = true;
+                }
+            } else {
+                // Reorder or unknown churn: start over.
+                st.full_resync(uids, &mut sync);
+                resynced = true;
+            }
+            if !resynced {
+                // Element-level host edits (growth, chemotaxis nudges):
+                // patch individual device words. Each costs an index +
+                // a value on the wire; a quiet column costs nothing.
+                let mut patched_cols = 0u32;
+                let mut patched = 0u64;
+                for (buf, host, mirror) in [
+                    (&st.px, &st.hx, &mut st.mx),
+                    (&st.py, &st.hy, &mut st.my),
+                    (&st.pz, &st.hz, &mut st.mz),
+                    (&st.dd, &st.hd, &mut st.md),
+                    (&st.da, &st.ha, &mut st.ma),
+                ] {
+                    let c = patch_column(buf, host, mirror);
+                    if c > 0 {
+                        patched_cols += 1;
+                        patched += c;
+                    }
+                }
+                sync.h2d_bytes += patched * (4 + <R as DeviceWord>::BYTES as u64);
+                sync.h2d_transfers += patched_cols;
+            }
+        }
+
+        // --- Incremental grid maintenance: recompute the clamped voxel
+        // key of every (mirrored) agent; identical keys ⇒ the grid the
+        // device already holds is still exact ⇒ skip the build (and,
+        // for version IV, the counting sort + scan round trip).
+        st.keys_cur.clear();
+        for i in 0..n {
+            let p = Vec3::new(st.mx[i], st.my[i], st.mz[i]);
+            st.keys_cur.push(geom.box_index(p) as u32);
+        }
+        let rebuild = !(st.grid_valid
+            && !force_full
+            && st.prev_geom == Some(geom)
+            && st.keys_cur == st.prev_keys);
+        let mut build = PhaseCost::default();
+        if rebuild {
+            build = build_grid(&self.runtime, self.version, st, n, num_boxes, geom);
+            std::mem::swap(&mut st.prev_keys, &mut st.keys_cur);
+            st.prev_geom = Some(geom);
+            st.grid_valid = true;
+        }
+
+        let mut mech = run_mech(
+            &self.runtime,
+            self.version,
+            &self.system,
+            self.dynpar_threshold,
+            st,
+            n,
+            num_boxes,
+            geom,
+            params_r,
+            rebuild,
+        );
+
+        // --- Fold displacements into positions on the device.
+        let integ = self.runtime.dispatch(
+            &IntegrateKernel {
+                n,
+                pos_x: &st.px,
+                pos_y: &st.py,
+                pos_z: &st.pz,
+                disp_x: &st.ox,
+                disp_y: &st.oy,
+                disp_z: &st.oz,
+            },
+            n,
+            128,
+            0,
+        );
+        mech.counters.merge(&integ.counters);
+        mech.secs += integ.timing.total_s;
+
+        // --- Inspect: only the three position columns come back.
+        st.out_x.clear();
+        st.out_x.resize(n, R::ZERO);
+        st.out_y.clear();
+        st.out_y.resize(n, R::ZERO);
+        st.out_z.clear();
+        st.out_z.resize(n, R::ZERO);
+        st.px.download_at(0, &mut st.out_x);
+        st.py.download_at(0, &mut st.out_y);
+        st.pz.download_at(0, &mut st.out_z);
+        let d2h_bytes =
+            build.d2h_bytes + mech.d2h_bytes + 3 * n as u64 * <R as DeviceWord>::BYTES as u64;
+        let d2h_transfers = build.d2h_transfers + mech.d2h_transfers + 3;
+        st.mx.clear();
+        st.mx.extend_from_slice(&st.out_x);
+        st.my.clear();
+        st.my.extend_from_slice(&st.out_y);
+        st.mz.clear();
+        st.mz.extend_from_slice(&st.out_z);
+        let positions: Vec<Vec3<f64>> = (0..n)
+            .map(|i| {
+                Vec3::new(
+                    st.out_x[i].to_f64(),
+                    st.out_y[i].to_f64(),
+                    st.out_z[i].to_f64(),
+                )
+            })
+            .collect();
+
+        let h2d_bytes = sync.h2d_bytes + build.h2d_bytes + mech.h2d_bytes;
+        let h2d_transfers = sync.h2d_transfers + build.h2d_transfers + mech.h2d_transfers;
+        let h2d_s = self.pcie.transfers_time(h2d_transfers, h2d_bytes);
+        let d2h_s = self.pcie.transfers_time(d2h_transfers, d2h_bytes);
+        let build_s = sync.secs + build.secs;
+        let mut build_counters = sync.counters;
+        build_counters.merge(&build.counters);
         let mut counters = build_counters.clone();
-        counters.merge(&mech_counters);
+        counters.merge(&mech.counters);
         let report = GpuStepReport {
             h2d_s,
             d2h_s,
             build_s,
-            mech_s,
-            total_s: h2d_s + build_s + mech_s + d2h_s,
+            mech_s: mech.secs,
+            total_s: h2d_s + build_s + mech.secs + d2h_s,
             counters,
-            mech_counters,
-            sort_gathers,
+            mech_counters: mech.counters,
+            sort_gathers: 0,
+            bytes_h2d: h2d_bytes,
+            bytes_d2h: d2h_bytes,
+            midstep_syncs: sync.midstep_syncs + build.midstep_syncs + mech.midstep_syncs,
+            resident: true,
         };
-        (displacements, report)
+        (positions, report)
     }
 }
 
@@ -607,6 +1361,14 @@ mod tests {
         (xs, ys, zs, vec![1.0; n], vec![0.01; n])
     }
 
+    fn split(positions: &[Vec3<f64>]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            positions.iter().map(|p| p.x).collect(),
+            positions.iter().map(|p| p.y).collect(),
+            positions.iter().map(|p| p.z).collect(),
+        )
+    }
+
     fn run_version(v: KernelVersion, frontend: ApiFrontend) -> (Vec<Vec3<f64>>, GpuStepReport) {
         let n = 400;
         let extent = 8.0;
@@ -620,7 +1382,7 @@ mod tests {
             space: Aabb::new(Vec3::zero(), Vec3::splat(extent)),
             box_len: 1.0,
         };
-        let p = MechanicalPipeline::new(SYSTEM_A, frontend, v, 1);
+        let mut p = MechanicalPipeline::new(SYSTEM_A, frontend, v, 1);
         p.step(&sr, &MechParams::default_params())
     }
 
@@ -661,6 +1423,7 @@ mod tests {
         // Wire time scales with element width (same latency terms).
         assert!(r64.h2d_s > r32.h2d_s);
         assert!(r64.d2h_s > r32.d2h_s);
+        assert!(r64.bytes_h2d > r32.bytes_h2d);
     }
 
     #[test]
@@ -710,7 +1473,8 @@ mod tests {
             box_len: 1.0,
         };
         let params = MechParams::default_params();
-        let z = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
+        let mut z =
+            MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
         let mut h =
             MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
         h.sort_curve = bdm_morton::Curve::Hilbert;
@@ -729,7 +1493,9 @@ mod tests {
     /// uploads + 3 inverse downloads); a scene whose columns already
     /// arrive in `sort_curve` order costs 0 — the pipeline detects the
     /// non-decreasing keys and uploads the columns as-is. Non-sorting
-    /// versions never gather.
+    /// versions never gather. And the resident path tops both: a
+    /// steady-state resident step performs 0 gathers *and* 0 upload
+    /// bytes — the agent columns never cross the bus again.
     #[test]
     fn presorted_input_skips_the_sort_gathers() {
         let n = 500;
@@ -778,6 +1544,31 @@ mod tests {
         assert_eq!(
             rs.sort_gathers, 0,
             "curve-ordered input must skip the permutation"
+        );
+
+        // Resident path: the first step uploads the columns; a
+        // steady-state step (host columns == device mirror) uploads
+        // nothing at all.
+        let uids: Vec<u64> = (0..n as u64).collect();
+        let mut rp = pipe(KernelVersion::V2Sorted);
+        let (p1, r1) = rp.step_resident(&sorted, &uids, &params);
+        assert!(r1.resident);
+        assert!(r1.bytes_h2d > 0, "first resident step uploads the columns");
+        let (x2, y2, z2) = split(&p1);
+        let scene2 = SceneRef {
+            xs: &x2,
+            ys: &y2,
+            zs: &z2,
+            diameters: &dm,
+            adherences: &ad,
+            space,
+            box_len: 1.0,
+        };
+        let (_, r2) = rp.step_resident(&scene2, &uids, &params);
+        assert_eq!(r2.sort_gathers, 0, "resident step never gathers");
+        assert_eq!(
+            r2.bytes_h2d, 0,
+            "steady-state resident step must move zero bytes host->device"
         );
     }
 
@@ -834,6 +1625,9 @@ mod tests {
             r4.counters.l2_misses,
             r2.counters.l2_misses
         );
+        // The CSR scan is the only mid-step stall in the rebuilt path.
+        assert_eq!(r4.midstep_syncs, 1);
+        assert_eq!(r2.midstep_syncs, 0);
     }
 
     #[test]
@@ -842,5 +1636,226 @@ mod tests {
         assert!((r.total_s - (r.h2d_s + r.build_s + r.mech_s + r.d2h_s)).abs() < 1e-15);
         assert!(r.mech_counters.total_flops() > 0.0);
         assert!(r.counters.total_flops() >= r.mech_counters.total_flops());
+    }
+
+    /// The resident path must be bitwise-invisible: a pipeline that
+    /// keeps state on the device (skipping re-uploads, compacting
+    /// deaths on-device, skipping grid builds) produces exactly the
+    /// positions of a pipeline forced to re-upload and rebuild every
+    /// step — across births, deaths, and host-side edits mid-sequence.
+    #[test]
+    fn resident_trajectory_matches_full_rebuild_bitwise() {
+        for v in KernelVersion::ALL {
+            let params = MechParams::default_params();
+            let extent = 8.0;
+            let space = Aabb::new(Vec3::zero(), Vec3::splat(extent));
+            let (mut xs, mut ys, mut zs, mut dm, mut ad) = scene(150, extent, 99);
+            let mut uids: Vec<u64> = (0..150).collect();
+            let mut next_uid = 150u64;
+            let mut a = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1);
+            let mut b = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1);
+            b.force_full_rebuild = true;
+            for step in 0..6 {
+                let sr = SceneRef {
+                    xs: &xs,
+                    ys: &ys,
+                    zs: &zs,
+                    diameters: &dm,
+                    adherences: &ad,
+                    space,
+                    box_len: 1.0,
+                };
+                let (pa, ra) = a.step_resident(&sr, &uids, &params);
+                b.invalidate_residency();
+                let (pb, _) = b.step_resident(&sr, &uids, &params);
+                assert_eq!(pa.len(), pb.len());
+                for i in 0..pa.len() {
+                    assert_eq!(pa[i], pb[i], "{v:?} step {step} agent {i}");
+                }
+                if step == 3 && !matches!(v, KernelVersion::V4Csr | KernelVersion::V3Shared) {
+                    // The death step uploads exactly the move list
+                    // (3 moves x 2 u32), not the agent columns. (IV
+                    // re-uploads its scan offsets and III its non-empty
+                    // voxel list after the rebuild deaths force.)
+                    assert_eq!(
+                        ra.bytes_h2d, 24,
+                        "{v:?}: death step must upload only the move list"
+                    );
+                }
+                for (i, p) in pa.iter().enumerate() {
+                    xs[i] = p.x;
+                    ys[i] = p.y;
+                    zs[i] = p.z;
+                }
+                match step {
+                    1 => {
+                        // Births: appended rows with fresh uids.
+                        let mut rng = SplitMix64::new(1234);
+                        for _ in 0..12 {
+                            xs.push(rng.uniform(0.0, extent));
+                            ys.push(rng.uniform(0.0, extent));
+                            zs.push(rng.uniform(0.0, extent));
+                            dm.push(1.0);
+                            ad.push(0.01);
+                            uids.push(next_uid);
+                            next_uid += 1;
+                        }
+                    }
+                    2 => {
+                        // Deaths: swap-remove (what ResourceManager
+                        // does), sources all in the truncated tail.
+                        for &i in &[40usize, 17, 3] {
+                            xs.swap_remove(i);
+                            ys.swap_remove(i);
+                            zs.swap_remove(i);
+                            dm.swap_remove(i);
+                            ad.swap_remove(i);
+                            uids.swap_remove(i);
+                        }
+                    }
+                    3 => {
+                        // Host-side scalar edits: a chemotaxis-style
+                        // nudge across voxel boundaries + growth.
+                        xs[5] += 2.5;
+                        ys[9] -= 1.5;
+                        for d in dm.iter_mut().take(20) {
+                            *d *= 1.05;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// When no agent crossed a voxel boundary since the last build, the
+    /// resident step skips the grid build entirely — for version IV
+    /// that includes the counting sort and its scan round trip (the
+    /// only mid-step sync of that version). Results stay bitwise
+    /// identical to a forced rebuild.
+    #[test]
+    fn no_crossing_step_skips_the_grid_build() {
+        // Agents 4.0 apart with diameter 1.0 never interact: zero
+        // forces, zero displacement, keys frozen after step 1.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut zs = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    xs.push(1.0 + 4.0 * i as f64);
+                    ys.push(1.0 + 4.0 * j as f64);
+                    zs.push(1.0 + 4.0 * k as f64);
+                }
+            }
+        }
+        let n = xs.len();
+        let dm = vec![1.0; n];
+        let ad = vec![0.01; n];
+        let space = Aabb::new(Vec3::zero(), Vec3::splat(16.0));
+        let uids: Vec<u64> = (0..n as u64).collect();
+        let params = MechParams::default_params();
+        let sr = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space,
+            box_len: 2.0,
+        };
+        for v in KernelVersion::ALL {
+            let mut p = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1);
+            let mut f = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, v, 1);
+            f.force_full_rebuild = true;
+            let (p1, r1) = p.step_resident(&sr, &uids, &params);
+            let (q1, _) = f.step_resident(&sr, &uids, &params);
+            assert!(r1.build_s > 0.0, "{v:?}: first step must build the grid");
+            let (x2, y2, z2) = split(&p1);
+            let sr2 = SceneRef {
+                xs: &x2,
+                ys: &y2,
+                zs: &z2,
+                diameters: &dm,
+                adherences: &ad,
+                space,
+                box_len: 2.0,
+            };
+            let (p2, r2) = p.step_resident(&sr2, &uids, &params);
+            let (q2, rf2) = f.step_resident(&sr2, &uids, &params);
+            assert_eq!(
+                r2.build_s, 0.0,
+                "{v:?}: no-crossing step must skip the build"
+            );
+            assert!(rf2.build_s > 0.0, "{v:?}: forced rebuild must not skip");
+            assert_eq!(r2.bytes_h2d, 0, "{v:?}: frozen scene uploads nothing");
+            if v == KernelVersion::V4Csr {
+                assert_eq!(
+                    r2.midstep_syncs, 0,
+                    "skipping the counting sort removes the scan stall"
+                );
+                assert_eq!(rf2.midstep_syncs, 1);
+            }
+            // Skip is bitwise-invisible.
+            assert_eq!(p1, q1, "{v:?}");
+            assert_eq!(p2, q2, "{v:?}");
+        }
+    }
+
+    /// Satellite pin: steady-state steps allocate no device memory —
+    /// buffers are created once and reused, for both entry points.
+    #[test]
+    fn steady_state_steps_do_not_grow_device_allocations() {
+        let n = 200;
+        let extent = 8.0;
+        let (xs, ys, zs, dm, ad) = scene(n, extent, 5);
+        let space = Aabb::new(Vec3::zero(), Vec3::splat(extent));
+        let params = MechParams::default_params();
+        let uids: Vec<u64> = (0..n as u64).collect();
+        let sr = SceneRef {
+            xs: &xs,
+            ys: &ys,
+            zs: &zs,
+            diameters: &dm,
+            adherences: &ad,
+            space,
+            box_len: 1.0,
+        };
+
+        let mut p = MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V4Csr, 1);
+        let (mut pos, _) = p.step_resident(&sr, &uids, &params);
+        let bytes = p.device_allocated_bytes();
+        assert!(bytes > 0);
+        for _ in 0..4 {
+            let (x2, y2, z2) = split(&pos);
+            let sr2 = SceneRef {
+                xs: &x2,
+                ys: &y2,
+                zs: &z2,
+                diameters: &dm,
+                adherences: &ad,
+                space,
+                box_len: 1.0,
+            };
+            let (np, r) = p.step_resident(&sr2, &uids, &params);
+            assert!(r.resident);
+            assert_eq!(
+                p.device_allocated_bytes(),
+                bytes,
+                "resident steady state must not allocate"
+            );
+            pos = np;
+        }
+
+        let mut q =
+            MechanicalPipeline::new(SYSTEM_A, ApiFrontend::Cuda, KernelVersion::V2Sorted, 1);
+        let _ = q.step(&sr, &params);
+        let b1 = q.device_allocated_bytes();
+        let _ = q.step(&sr, &params);
+        assert_eq!(
+            q.device_allocated_bytes(),
+            b1,
+            "rebuilt path must reuse its buffers across steps"
+        );
     }
 }

@@ -21,6 +21,16 @@
 //! bitwise identical to the serial build (the linked-list
 //! `build_parallel` cannot promise that: its per-voxel order depends on
 //! atomic interleaving).
+//!
+//! # Incremental maintenance
+//!
+//! The grid remembers the clamped voxel key of every agent from its
+//! last build (plus a geometry signature). A rebuild first recomputes
+//! the keys — the cheap pass — and, when they are identical, *skips*
+//! the counting sort and scatter entirely: the stored CSR arrays are a
+//! pure function of the keys, so skipping is bitwise-invisible (pinned
+//! by tests). This mirrors the GPU pipeline's resident grid skip and
+//! turns the common no-crossing timestep into a single read-only sweep.
 
 use crate::{GridGeometry, NeighborBoxes, QueryCounters};
 use bdm_math::{Aabb, Scalar, Vec3};
@@ -42,6 +52,33 @@ const MAX_CHUNKS: usize = 8;
 struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Identity of the geometry a key set was computed against. Keys are a
+/// pure function of (position, geometry); equal signature + equal keys
+/// ⇒ the stored CSR arrays are still exact. Scalar fields are compared
+/// by bit pattern, so an FP32 grid and an FP64 grid of the "same"
+/// space can never falsely alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BuildSig {
+    dims: [u32; 3],
+    min_bits: [u64; 3],
+    box_len_bits: u64,
+}
+
+impl BuildSig {
+    fn of<R: Scalar>(geom: &GridGeometry<R>) -> Self {
+        let mn = geom.space().min;
+        Self {
+            dims: geom.dims(),
+            min_bits: [
+                mn.x.to_f64().to_bits(),
+                mn.y.to_f64().to_bits(),
+                mn.z.to_f64().to_bits(),
+            ],
+            box_len_bits: geom.box_length().to_f64().to_bits(),
+        }
+    }
+}
 
 /// Reusable working memory for CSR builds: the per-agent voxel-id array
 /// and the per-chunk histograms. Hold one of these across timesteps and
@@ -83,6 +120,12 @@ pub struct CsrGrid<R> {
     cell_starts: Vec<u32>,
     /// All agent ids, grouped by voxel, ascending id within a voxel.
     cell_agents: Vec<AgentId>,
+    /// Per-agent voxel keys of the last full build (the incremental
+    /// check), together with the geometry they were computed against.
+    /// `None` after a member-subset build — those arrays are not a pure
+    /// function of full-column keys.
+    built_sig: Option<BuildSig>,
+    prev_keys: Vec<u32>,
 }
 
 impl<R: Scalar> CsrGrid<R> {
@@ -91,6 +134,8 @@ impl<R: Scalar> CsrGrid<R> {
             geom: GridGeometry::new(space, box_length),
             cell_starts: Vec::new(),
             cell_agents: Vec::new(),
+            built_sig: None,
+            prev_keys: Vec::new(),
         }
     }
 
@@ -134,6 +179,11 @@ impl<R: Scalar> CsrGrid<R> {
     /// [`Self::build_serial`], but reusing this grid's arrays and
     /// `scratch`: the per-timestep rebuild allocates nothing once the
     /// buffers have grown to steady-state size.
+    ///
+    /// Incremental: when no agent's clamped voxel key changed since the
+    /// last full build of this grid (same geometry, same keys), the
+    /// counting sort is skipped — the stored arrays are already exact —
+    /// and the call returns `true`. Returns `false` when it rebuilt.
     pub fn rebuild_serial(
         &mut self,
         xs: &[R],
@@ -142,22 +192,32 @@ impl<R: Scalar> CsrGrid<R> {
         space: Aabb<R>,
         box_length: R,
         scratch: &mut CsrBuildScratch,
-    ) {
+    ) -> bool {
         let geom = GridGeometry::new(space, box_length);
         let num_boxes = geom.num_boxes();
         let n = xs.len();
         assert!(n < u32::MAX as usize, "agent count overflows CSR offsets");
-        self.geom = geom;
 
-        // Pass 1: voxel of every agent; counts accumulate directly into
-        // the shifted cell_starts slots (`cell_starts[v + 1] = count(v)`).
+        // Pass 1: voxel of every agent.
         scratch.voxel_of.clear();
         scratch.voxel_of.resize(n, 0);
+        for i in 0..n {
+            scratch.voxel_of[i] = geom.box_index(Vec3::new(xs[i], ys[i], zs[i])) as u32;
+        }
+
+        // Incremental check: same geometry + same keys ⇒ the stored
+        // CSR arrays are a pure function of both ⇒ skip the sort.
+        let sig = BuildSig::of(&geom);
+        self.geom = geom;
+        if self.built_sig == Some(sig) && scratch.voxel_of == self.prev_keys {
+            return true;
+        }
+
+        // Counts accumulate into the shifted cell_starts slots
+        // (`cell_starts[v + 1] = count(v)`).
         self.cell_starts.clear();
         self.cell_starts.resize(num_boxes + 1, 0);
-        for i in 0..n {
-            let v = geom.box_index(Vec3::new(xs[i], ys[i], zs[i])) as u32;
-            scratch.voxel_of[i] = v;
+        for &v in &scratch.voxel_of {
             self.cell_starts[v as usize + 1] += 1;
         }
 
@@ -181,11 +241,17 @@ impl<R: Scalar> CsrGrid<R> {
             cursor[v as usize] += 1;
             self.cell_agents[pos as usize] = AgentId::from_index(i);
         }
+
+        self.prev_keys.clear();
+        self.prev_keys.extend_from_slice(&scratch.voxel_of);
+        self.built_sig = Some(sig);
+        false
     }
 
     /// [`Self::build_parallel`], but reusing this grid's arrays and
     /// `scratch` (see [`Self::rebuild_serial`]). Output is bitwise
-    /// identical to the serial rebuild.
+    /// identical to the serial rebuild — including the incremental
+    /// fast path: unchanged keys skip the sort and return `true`.
     pub fn rebuild_parallel(
         &mut self,
         xs: &[R],
@@ -194,37 +260,49 @@ impl<R: Scalar> CsrGrid<R> {
         space: Aabb<R>,
         box_length: R,
         scratch: &mut CsrBuildScratch,
-    ) {
+    ) -> bool {
         let geom = GridGeometry::new(space, box_length);
         let num_boxes = geom.num_boxes();
         let n = xs.len();
         assert!(n < u32::MAX as usize, "agent count overflows CSR offsets");
-        self.geom = geom;
 
         let num_chunks = n.div_ceil(BUILD_CHUNK).clamp(1, MAX_CHUNKS);
         let chunk_len = n.div_ceil(num_chunks).max(1);
 
-        // Pass 1 (parallel over chunks): voxel ids + per-chunk histograms.
+        // Pass 1 (parallel over chunks): voxel ids. Histograms wait
+        // until the incremental check has decided a rebuild is needed.
         scratch.voxel_of.clear();
         scratch.voxel_of.resize(n, 0);
-        scratch.hists.resize_with(num_chunks, Vec::new);
-        for hist in &mut scratch.hists {
-            hist.clear();
-            hist.resize(num_boxes, 0);
-        }
         let vout = SendPtr(scratch.voxel_of.as_mut_ptr());
+        (0..num_chunks).into_par_iter().for_each(|c| {
+            let vout = &vout;
+            let base = c * chunk_len;
+            let end = (base + chunk_len).min(n);
+            for i in base..end {
+                let v = geom.box_index(Vec3::new(xs[i], ys[i], zs[i])) as u32;
+                // SAFETY: chunk index ranges [base, end) are disjoint.
+                unsafe { *vout.0.add(i) = v };
+            }
+        });
+
+        let sig = BuildSig::of(&geom);
+        self.geom = geom;
+        if self.built_sig == Some(sig) && scratch.voxel_of == self.prev_keys {
+            return true;
+        }
+
+        // Per-chunk histograms over the precomputed keys.
+        scratch.hists.resize_with(num_chunks, Vec::new);
+        let voxel_of = &scratch.voxel_of;
         scratch
             .hists
             .par_iter_mut()
             .enumerate()
             .for_each(|(c, hist)| {
-                let vout = &vout;
+                hist.clear();
+                hist.resize(num_boxes, 0);
                 let base = c * chunk_len;
-                let end = (base + chunk_len).min(n);
-                for i in base..end {
-                    let v = geom.box_index(Vec3::new(xs[i], ys[i], zs[i])) as u32;
-                    // SAFETY: chunk index ranges [base, end) are disjoint.
-                    unsafe { *vout.0.add(i) = v };
+                for &v in &voxel_of[base..(base + chunk_len).min(n)] {
                     hist[v as usize] += 1;
                 }
             });
@@ -269,6 +347,11 @@ impl<R: Scalar> CsrGrid<R> {
                     unsafe { *out.0.add(pos as usize) = AgentId::from_index(base + k) };
                 }
             });
+
+        self.prev_keys.clear();
+        self.prev_keys.extend_from_slice(&scratch.voxel_of);
+        self.built_sig = Some(sig);
+        false
     }
 
     /// Rebuild the grid over an explicit **subset** of agents: only
@@ -302,6 +385,10 @@ impl<R: Scalar> CsrGrid<R> {
         let n = members.len();
         assert!(n < u32::MAX as usize, "agent count overflows CSR offsets");
         self.geom = geom;
+        // A subset build is not a pure function of full-column keys:
+        // drop the incremental signature so the next full rebuild can
+        // never falsely skip over shard-local contents.
+        self.built_sig = None;
 
         // Pass 1: voxel of every member; counts into shifted cell_starts.
         scratch.voxel_of.clear();
@@ -618,6 +705,129 @@ mod tests {
         );
         assert_eq!(sub.cell_starts, full.cell_starts);
         assert_eq!(sub.cell_agents, full.cell_agents);
+    }
+
+    /// Property test over random churn sequences: whatever mix of
+    /// within-voxel jiggle, cross-voxel moves, births, and deaths a
+    /// step applies, the incremental rebuild (serial and parallel, with
+    /// persistent scratch) is bitwise identical to a fresh full build —
+    /// and both the skip path and the rebuild path are exercised.
+    #[test]
+    fn incremental_rebuild_matches_fresh_build_across_random_churn() {
+        let extent = 12.0;
+        let edge = 2.0;
+        for seed in [70u64, 71, 72] {
+            let mut rng = SplitMix64::new(seed);
+            let (mut xs, mut ys, mut zs) = cloud(400, seed ^ 0xABCD, extent);
+            let mut gs = CsrGrid::build_serial(&[], &[], &[], space(extent), edge);
+            let mut gp = CsrGrid::build_serial(&[], &[], &[], space(extent), edge);
+            let mut ss = CsrBuildScratch::default();
+            let mut sp = CsrBuildScratch::default();
+            let mut skipped = 0u32;
+            let mut rebuilt = 0u32;
+            for round in 0..30 {
+                match round % 5 {
+                    0 => {} // untouched scene: the skip case
+                    1 => {
+                        // Jiggle well below the voxel edge (may still
+                        // cross a boundary for agents sitting on one —
+                        // the keys decide, not the magnitude).
+                        for x in xs.iter_mut() {
+                            *x += rng.uniform(-1e-9, 1e-9);
+                        }
+                    }
+                    2 => {
+                        // Teleport a few agents across voxels.
+                        for _ in 0..4 {
+                            let i = (rng.uniform(0.0, xs.len() as f64) as usize).min(xs.len() - 1);
+                            xs[i] = rng.uniform(0.0, extent);
+                            ys[i] = rng.uniform(0.0, extent);
+                        }
+                    }
+                    3 => {
+                        // Births.
+                        for _ in 0..7 {
+                            xs.push(rng.uniform(0.0, extent));
+                            ys.push(rng.uniform(0.0, extent));
+                            zs.push(rng.uniform(0.0, extent));
+                        }
+                    }
+                    _ => {
+                        // Deaths (swap-remove, like the resource manager).
+                        for _ in 0..5 {
+                            let i = (rng.uniform(0.0, xs.len() as f64) as usize).min(xs.len() - 1);
+                            xs.swap_remove(i);
+                            ys.swap_remove(i);
+                            zs.swap_remove(i);
+                        }
+                    }
+                }
+                let a = gs.rebuild_serial(&xs, &ys, &zs, space(extent), edge, &mut ss);
+                let b = gp.rebuild_parallel(&xs, &ys, &zs, space(extent), edge, &mut sp);
+                assert_eq!(a, b, "serial and parallel must agree on skipping");
+                if a {
+                    skipped += 1;
+                } else {
+                    rebuilt += 1;
+                }
+                let fresh = CsrGrid::build_serial(&xs, &ys, &zs, space(extent), edge);
+                assert_eq!(gs.cell_starts, fresh.cell_starts, "round {round}");
+                assert_eq!(gs.cell_agents, fresh.cell_agents, "round {round}");
+                assert_eq!(gp.cell_starts, fresh.cell_starts, "round {round}");
+                assert_eq!(gp.cell_agents, fresh.cell_agents, "round {round}");
+            }
+            assert!(skipped > 0, "no round exercised the skip path");
+            assert!(rebuilt > 0, "no round exercised the rebuild path");
+        }
+    }
+
+    /// The skip triggers exactly on key equality: within-voxel motion
+    /// skips, a single boundary crossing rebuilds, and a geometry
+    /// change (same positions, different edge) rebuilds.
+    #[test]
+    fn rebuild_skips_only_when_no_agent_crosses_a_voxel() {
+        let (mut xs, ys, zs) = cloud(200, 8, 10.0);
+        let mut g = CsrGrid::build_serial(&[], &[], &[], space(10.0), 2.0);
+        let mut scratch = CsrBuildScratch::default();
+        assert!(!g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.0, &mut scratch));
+        assert!(
+            g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.0, &mut scratch),
+            "unchanged scene must skip"
+        );
+        // Within-voxel motion changes positions but not keys: skipped.
+        let old = xs[0];
+        xs[0] = (old / 2.0).floor() * 2.0 + 1.0; // voxel center
+        assert!(g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.0, &mut scratch));
+        xs[0] += 0.5; // stays inside the 2.0-wide voxel
+        assert!(g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.0, &mut scratch));
+        // Boundary crossing: rebuild.
+        xs[0] += 2.0;
+        assert!(!g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.0, &mut scratch));
+        // Geometry change with identical positions: rebuild.
+        assert!(!g.rebuild_serial(&xs, &ys, &zs, space(10.0), 2.5, &mut scratch));
+        let fresh = CsrGrid::build_serial(&xs, &ys, &zs, space(10.0), 2.5);
+        assert_eq!(g.cell_agents, fresh.cell_agents);
+    }
+
+    /// A member-subset (shard) build rewrites the arrays outside the
+    /// full-column key space; the next full rebuild must not skip.
+    #[test]
+    fn member_rebuild_invalidates_the_incremental_signature() {
+        let (xs, ys, zs) = cloud(300, 11, 12.0);
+        let mut g = CsrGrid::build_serial(&[], &[], &[], space(12.0), 2.0);
+        let mut scratch = CsrBuildScratch::default();
+        assert!(!g.rebuild_serial(&xs, &ys, &zs, space(12.0), 2.0, &mut scratch));
+        assert!(g.rebuild_serial(&xs, &ys, &zs, space(12.0), 2.0, &mut scratch));
+        let members: Vec<AgentId> = (0..100).map(AgentId::from_index).collect();
+        g.rebuild_from_members(&xs, &ys, &zs, &members, space(12.0), 2.0, &mut scratch);
+        assert_eq!(g.num_agents(), 100);
+        assert!(
+            !g.rebuild_serial(&xs, &ys, &zs, space(12.0), 2.0, &mut scratch),
+            "a shard recut must clear the skip signature"
+        );
+        let fresh = CsrGrid::build_serial(&xs, &ys, &zs, space(12.0), 2.0);
+        assert_eq!(g.cell_starts, fresh.cell_starts);
+        assert_eq!(g.cell_agents, fresh.cell_agents);
     }
 
     #[test]

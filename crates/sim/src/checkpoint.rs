@@ -19,10 +19,13 @@
 //!    diffusion scratch buffer, the GPU pipeline (a pure function of the
 //!    environment configuration). None of it is serialized.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! Little-endian throughout; all `f64` values are raw IEEE-754 bit
 //! patterns (`to_bits`), so round-trips are bitwise by construction.
+//! Version 2 appends the `gpu_resident` flag (one byte) to PARAMS;
+//! version-1 streams still restore, with the flag defaulting to `false`
+//! (the knob did not exist when they were written).
 //!
 //! ```text
 //! header   magic "BDMCKPT\0" (8) · version u32 · section_count u32
@@ -42,8 +45,13 @@
 //! META/PARAMS/AGENTS/DIFFUSION/SCHEDULER are required; SHARDS is
 //! present iff `params.shards.count > 0` (and [`SimParams::validate_for_restore`]
 //! rejects any disagreement between the two). Unknown trailing sections
-//! are rejected as [`CheckpointError::Corrupt`] in version 1 — the
-//! golden-fixture test guards the format against silent drift.
+//! are rejected as [`CheckpointError::Corrupt`] — the golden-fixture
+//! test guards the format against silent drift.
+//!
+//! GPU device residency is *derived* state like every other cache:
+//! restore builds the pipeline fresh, so a restored simulation's first
+//! resident step always performs a full resync — the
+//! residency-invalidation-on-restore rule holds by construction.
 //!
 //! Restore never panics on malformed input: every failure maps to a
 //! structured [`CheckpointError`]. Custom user operations (trait
@@ -68,9 +76,13 @@ use std::io::{Read, Write};
 
 /// First 8 bytes of every checkpoint stream.
 pub const MAGIC: [u8; 8] = *b"BDMCKPT\0";
-/// Schema version this build writes and reads. Bumping it without
-/// updating the committed golden fixture fails the format tests.
-pub const FORMAT_VERSION: u32 = 1;
+/// Schema version this build writes. Bumping it without updating the
+/// committed golden fixture fails the format tests. Restore also
+/// accepts every earlier version down to [`MIN_FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest schema version restore still reads (version 1 lacked the
+/// `gpu_resident` byte in PARAMS; it decodes with the flag off).
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 const TAG_META: u32 = 1;
 const TAG_PARAMS: u32 = 2;
@@ -377,6 +389,7 @@ fn encode_params(p: &SimParams) -> Vec<u8> {
     e.u64(p.shards.count as u64);
     e.u64(p.shards.rebalance_every);
     e.f64(p.shards.imbalance_threshold);
+    e.u8(p.gpu_resident as u8);
     e.buf
 }
 
@@ -549,7 +562,7 @@ fn decode_meta(bytes: &[u8]) -> Result<Meta, CheckpointError> {
     })
 }
 
-fn decode_params(bytes: &[u8]) -> Result<SimParams, CheckpointError> {
+fn decode_params(bytes: &[u8], version: u32) -> Result<SimParams, CheckpointError> {
     let mut d = Dec::new(bytes);
     let mut p = SimParams::cube(1.0);
     p.space.min.x = d.f64()?;
@@ -584,6 +597,16 @@ fn decode_params(bytes: &[u8]) -> Result<SimParams, CheckpointError> {
         .map_err(|_| corrupt(format!("shard count {count} exceeds usize")))?;
     p.shards.rebalance_every = d.u64()?;
     p.shards.imbalance_threshold = d.f64()?;
+    // Version 1 predates the residency knob: leave the default (off).
+    p.gpu_resident = if version >= 2 {
+        match d.u8()? {
+            0 => false,
+            1 => true,
+            f => return Err(corrupt(format!("bad gpu_resident flag {f}"))),
+        }
+    } else {
+        false
+    };
     d.finish()?;
     Ok(p)
 }
@@ -829,7 +852,7 @@ impl Simulation {
             return Err(CheckpointError::BadMagic);
         }
         let version = head.u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -876,7 +899,7 @@ impl Simulation {
             return Err(corrupt(format!("unknown section tag {tag}")));
         }
 
-        let params = decode_params(find(TAG_PARAMS, "PARAMS")?)?;
+        let params = decode_params(find(TAG_PARAMS, "PARAMS")?, version)?;
         let shard_bytes = sections
             .iter()
             .find(|&&(t, _)| t == TAG_SHARDS)

@@ -105,6 +105,10 @@ pub mod work_model {
     /// cursor updates hit a `num_boxes`-sized array that is mostly
     /// cache-resident, so only a fraction goes to memory.
     pub const CSR_BUILD_RANDOM_PER_AGENT: f64 = 0.125;
+    /// Bytes per agent of a *skipped* incremental rebuild: pass 1 still
+    /// reads the position (24 B) and writes the voxel id (4 B), plus the
+    /// previous-key compare read (4 B); the counting sort never runs.
+    pub const CSR_BUILD_SKIP_BYTES_PER_AGENT: f64 = 32.0;
     /// FLOPs per tested candidate (the same distance test as the
     /// linked-list pass).
     pub const CSR_FLOPS_PER_CANDIDATE: f64 = 12.0;
@@ -177,6 +181,10 @@ pub struct MechWork {
     pub index_gap: Option<f64>,
     /// SIMD-path statistics; `None` for every scalar/GPU path.
     pub simd: Option<SimdWork>,
+    /// `1` when the CSR grid rebuild was skipped this step because no
+    /// agent changed voxel (incremental maintenance); `0` on every
+    /// rebuild and on the non-CSR paths.
+    pub csr_rebuilds_skipped: u64,
 }
 
 impl MechWork {
@@ -199,6 +207,11 @@ impl MechWork {
         reg.inc_counter("mech.candidates", &labels, self.candidates as f64);
         reg.inc_counter("mech.contacts", &labels, self.contacts as f64);
         reg.inc_counter("mech.neighbors", &labels, self.neighbors as f64);
+        reg.inc_counter(
+            "mech.csr_rebuilds_skipped",
+            &labels,
+            self.csr_rebuilds_skipped as f64,
+        );
         if let Some(gap) = self.index_gap {
             reg.set_gauge("mech.csr_index_gap", &labels, gap);
         }
@@ -296,7 +309,7 @@ pub fn mechanical_step(
     rm: &mut ResourceManager,
     params: &SimParams,
     env: &EnvironmentKind,
-    pipeline: Option<&MechanicalPipeline>,
+    pipeline: Option<&mut MechanicalPipeline>,
 ) -> MechWork {
     mechanical_step_with_scratch(rm, params, env, pipeline, &mut MechScratch::default())
 }
@@ -306,7 +319,7 @@ pub fn mechanical_step_with_scratch(
     rm: &mut ResourceManager,
     params: &SimParams,
     env: &EnvironmentKind,
-    pipeline: Option<&MechanicalPipeline>,
+    pipeline: Option<&mut MechanicalPipeline>,
     scratch: &mut MechScratch,
 ) -> MechWork {
     if rm.is_empty() {
@@ -319,6 +332,7 @@ pub fn mechanical_step_with_scratch(
             neighbors: 0,
             index_gap: None,
             simd: None,
+            csr_rebuilds_skipped: 0,
         };
     }
     match env {
@@ -470,6 +484,7 @@ fn cpu_kdtree_step(rm: &mut ResourceManager, params: &SimParams) -> MechWork {
         neighbors,
         index_gap: None,
         simd: None,
+        csr_rebuilds_skipped: 0,
     }
 }
 
@@ -574,6 +589,7 @@ fn cpu_grid_step(rm: &mut ResourceManager, params: &SimParams, parallel: bool) -
         neighbors,
         index_gap: None,
         simd: None,
+        csr_rebuilds_skipped: 0,
     }
 }
 
@@ -600,11 +616,11 @@ fn cpu_grid_csr_step(
     let grid = scratch
         .csr
         .get_or_insert_with(|| CsrGrid::build_serial(&[], &[], &[], space, radius));
-    if parallel {
-        grid.rebuild_parallel(xs, ys, zs, space, radius, &mut scratch.build);
+    let build_skipped = if parallel {
+        grid.rebuild_parallel(xs, ys, zs, space, radius, &mut scratch.build)
     } else {
-        grid.rebuild_serial(xs, ys, zs, space, radius, &mut scratch.build);
-    }
+        grid.rebuild_serial(xs, ys, zs, space, radius, &mut scratch.build)
+    };
     let wall_build = t0.elapsed().as_secs_f64();
 
     // Phase 2: fused neighbor scan + force computation, streaming the
@@ -684,8 +700,16 @@ fn cpu_grid_csr_step(
         Phase {
             name: "neighborhood build",
             flops: 0.0,
-            bytes: work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64,
-            random_accesses: work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64,
+            bytes: if build_skipped {
+                work_model::CSR_BUILD_SKIP_BYTES_PER_AGENT * n as f64
+            } else {
+                work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64
+            },
+            random_accesses: if build_skipped {
+                0.0
+            } else {
+                work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64
+            },
             parallel,
             fp64: true,
         },
@@ -709,6 +733,7 @@ fn cpu_grid_csr_step(
         index_gap: (counters.points_tested > 0)
             .then(|| gap_sum as f64 / counters.points_tested as f64),
         simd: None,
+        csr_rebuilds_skipped: build_skipped as u64,
     }
 }
 
@@ -757,11 +782,11 @@ fn cpu_grid_csr_step_simd(
     let grid = scratch
         .csr
         .get_or_insert_with(|| CsrGrid::build_serial(&[], &[], &[], space, radius));
-    if parallel {
-        grid.rebuild_parallel(xs64, ys64, zs64, space, radius, &mut scratch.build);
+    let build_skipped = if parallel {
+        grid.rebuild_parallel(xs64, ys64, zs64, space, radius, &mut scratch.build)
     } else {
-        grid.rebuild_serial(xs64, ys64, zs64, space, radius, &mut scratch.build);
-    }
+        grid.rebuild_serial(xs64, ys64, zs64, space, radius, &mut scratch.build)
+    };
     let wall_build = t0.elapsed().as_secs_f64();
 
     // Phase 2: bring the f32 mirrors up to date. Lazy on the dirty
@@ -1032,8 +1057,16 @@ fn cpu_grid_csr_step_simd(
         Phase {
             name: "neighborhood build",
             flops: 0.0,
-            bytes: work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64,
-            random_accesses: work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64,
+            bytes: if build_skipped {
+                work_model::CSR_BUILD_SKIP_BYTES_PER_AGENT * n as f64
+            } else {
+                work_model::CSR_BUILD_BYTES_PER_AGENT * n as f64
+            },
+            random_accesses: if build_skipped {
+                0.0
+            } else {
+                work_model::CSR_BUILD_RANDOM_PER_AGENT * n as f64
+            },
             parallel,
             fp64: true,
         },
@@ -1067,27 +1100,58 @@ fn cpu_grid_csr_step_simd(
         index_gap: (counters.points_tested > 0)
             .then(|| gap_sum as f64 / counters.points_tested as f64),
         simd: Some(simd),
+        csr_rebuilds_skipped: build_skipped as u64,
     }
 }
 
 fn gpu_step(
     rm: &mut ResourceManager,
     params: &SimParams,
-    pipeline: &MechanicalPipeline,
+    pipeline: &mut MechanicalPipeline,
 ) -> MechWork {
     let radius = interaction_radius(rm, params);
-    let (xs, ys, zs) = rm.position_columns();
-    let scene = SceneRef {
-        xs,
-        ys,
-        zs,
-        diameters: rm.diameter_column(),
-        adherences: rm.adherence_column(),
-        space: params.space,
-        box_len: radius,
+    let report = if params.gpu_resident {
+        // Resident path: the pipeline diffs the host columns against
+        // its device mirrors (uploading only births/deaths/edits),
+        // integrates on-device, and hands back the *new positions* —
+        // which are installed verbatim so host and device stay bitwise
+        // in lockstep for the next step's diff.
+        let (positions, report) = {
+            let (xs, ys, zs) = rm.position_columns();
+            let scene = SceneRef {
+                xs,
+                ys,
+                zs,
+                diameters: rm.diameter_column(),
+                adherences: rm.adherence_column(),
+                space: params.space,
+                box_len: radius,
+            };
+            pipeline.step_resident(&scene, rm.uid_column(), &params.mech)
+        };
+        for (i, &p) in positions.iter().enumerate() {
+            if p != rm.position(i) {
+                rm.set_position(i, p);
+            }
+        }
+        report
+    } else {
+        let (disp, report) = {
+            let (xs, ys, zs) = rm.position_columns();
+            let scene = SceneRef {
+                xs,
+                ys,
+                zs,
+                diameters: rm.diameter_column(),
+                adherences: rm.adherence_column(),
+                space: params.space,
+                box_len: radius,
+            };
+            pipeline.step(&scene, &params.mech)
+        };
+        apply_displacements(rm, &disp);
+        report
     };
-    let (disp, report) = pipeline.step(&scene, &params.mech);
-    apply_displacements(rm, &disp);
     MechWork {
         phases: Vec::new(),
         wall_s: Vec::new(),
@@ -1097,6 +1161,7 @@ fn gpu_step(
         neighbors: 0,
         index_gap: None,
         simd: None,
+        csr_rebuilds_skipped: 0,
     }
 }
 
@@ -1259,7 +1324,7 @@ mod tests {
             None,
         );
         let env = EnvironmentKind::gpu_default();
-        let pipeline = match env {
+        let mut pipeline = match env {
             EnvironmentKind::Gpu {
                 system,
                 frontend,
@@ -1268,7 +1333,7 @@ mod tests {
             } => MechanicalPipeline::new(system.spec(), frontend, version, trace_sample),
             _ => unreachable!(),
         };
-        let w = mechanical_step(&mut b, &params, &env, Some(&pipeline));
+        let w = mechanical_step(&mut b, &params, &env, Some(&mut pipeline));
         assert!(w.gpu.is_some());
         let pa = positions(&a);
         let pb = positions(&b);
@@ -1278,6 +1343,49 @@ mod tests {
         }
         // GPU best version is FP32: loose tolerance.
         assert!(max_err < 1e-3, "divergence {max_err}");
+    }
+
+    /// End-to-end resident plumbing through `mechanical_step`: with
+    /// `SimParams::gpu_resident` on, every step reports `resident`,
+    /// steady-state steps (no births/deaths) move zero host→device
+    /// bytes, and the trajectory is bitwise identical to a pipeline
+    /// forced to re-upload and rebuild every step.
+    #[test]
+    fn resident_gpu_steps_go_quiet_and_match_forced_rebuild_bitwise() {
+        let params = SimParams::cube(6.0).with_gpu_resident(true);
+        let env = EnvironmentKind::gpu_default();
+        let mk = || match env {
+            EnvironmentKind::Gpu {
+                system,
+                frontend,
+                version,
+                trace_sample,
+            } => MechanicalPipeline::new(system.spec(), frontend, version, trace_sample),
+            _ => unreachable!(),
+        };
+        let mut a = random_population(250, 5.5, 7);
+        let mut b = a.clone();
+        let mut pa = mk();
+        let mut pb = mk();
+        pb.force_full_rebuild = true;
+        for step in 0..4 {
+            let wa = mechanical_step(&mut a, &params, &env, Some(&mut pa));
+            mechanical_step(&mut b, &params, &env, Some(&mut pb));
+            let ra = wa.gpu.expect("gpu report");
+            assert!(ra.resident, "step {step} not resident");
+            if step > 0 {
+                assert_eq!(
+                    ra.bytes_h2d, 0,
+                    "steady-state step {step} moved host→device bytes"
+                );
+            }
+            assert_eq!(
+                positions(&a),
+                positions(&b),
+                "resident diverged from forced-rebuild at step {step}"
+            );
+        }
+        assert!(pa.is_resident());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub struct OpContext<'a> {
     pub substances: &'a mut [DiffusionGrid],
     /// `true` when the scheduler runs chunked agent loops under rayon.
     pub parallel: bool,
-    pub(crate) pipeline: Option<&'a MechanicalPipeline>,
+    pub(crate) pipeline: Option<&'a mut MechanicalPipeline>,
     pub(crate) mech_scratch: &'a mut MechScratch,
     pub(crate) last_mech: &'a mut Option<MechWork>,
     /// Sharded step driver; `Some` when `params.shards.count > 0`.
@@ -162,6 +162,13 @@ impl Operation for ReorderOp {
                 let perm = Permutation::sorting_by_key(&self.keys);
                 ctx.rm.apply_permutation(&perm, &mut self.scratch);
                 moved = n as u64;
+                // A permutation rewrites every column wholesale, so
+                // the next resident step's uid diff could only conclude
+                // "full resync" anyway — declare it up front instead of
+                // paying the element-wise comparison to discover it.
+                if let Some(p) = ctx.pipeline.as_deref_mut() {
+                    p.invalidate_residency();
+                }
             }
         }
         vec![OpRecord {
@@ -209,6 +216,13 @@ impl Operation for ShardRebalanceOp {
             return Vec::new();
         };
         let (_migrations, resplit) = shards.rebalance(rm, params);
+        if resplit {
+            // A recut re-sorts storage into the new span order on the
+            // next sharded pass — device mirrors go stale wholesale.
+            if let Some(p) = ctx.pipeline.as_deref_mut() {
+                p.invalidate_residency();
+            }
+        }
         vec![OpRecord {
             name: self.name().into(),
             wall_s: t.elapsed().as_secs_f64(),
@@ -404,7 +418,7 @@ impl Operation for MechanicalOp {
                 ctx.rm,
                 ctx.params,
                 ctx.env,
-                ctx.pipeline,
+                ctx.pipeline.as_deref_mut(),
                 ctx.mech_scratch,
             ),
         };

@@ -113,6 +113,14 @@ pub struct SimParams {
     pub precision: Precision,
     /// Hilbert-sharded domain decomposition (off by default).
     pub shards: ShardParams,
+    /// Keep agent state resident on the GPU across steps (off by
+    /// default). With the GPU environment, steady-state steps then move
+    /// no agent columns over the bus: the pipeline diffs the host
+    /// columns against its device mirrors and uploads only what changed
+    /// (births, deaths, behavior edits). Trajectories are bitwise
+    /// identical to the non-resident path; only the transfer/timing
+    /// accounting changes. Ignored by every CPU environment.
+    pub gpu_resident: bool,
 }
 
 impl SimParams {
@@ -126,6 +134,7 @@ impl SimParams {
             reorder: ReorderParams::default(),
             precision: Precision::default(),
             shards: ShardParams::default(),
+            gpu_resident: false,
         }
     }
 
@@ -203,6 +212,13 @@ impl SimParams {
     /// Builder-style precision override for the CPU force pass.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Builder-style GPU residency toggle: keep agent state on the
+    /// device across steps (GPU environments only; a no-op elsewhere).
+    pub fn with_gpu_resident(mut self, resident: bool) -> Self {
+        self.gpu_resident = resident;
         self
     }
 
@@ -423,6 +439,14 @@ mod tests {
         let mut p = SimParams::cube(10.0);
         p.mech.timestep = -1.0;
         assert!(p.validate_for_restore(false).is_err());
+    }
+
+    #[test]
+    fn gpu_residency_defaults_off() {
+        let p = SimParams::default();
+        assert!(!p.gpu_resident, "device residency is opt-in");
+        assert!(SimParams::cube(1.0).with_gpu_resident(true).gpu_resident);
+        assert!(p.validate().is_ok());
     }
 
     #[test]

@@ -250,6 +250,7 @@ impl ShardedEnvironment {
                 neighbors: 0,
                 index_gap: None,
                 simd: None,
+                csr_rebuilds_skipped: 0,
             };
         }
         let radius = mech::interaction_radius(rm, params);
@@ -509,6 +510,7 @@ impl ShardedEnvironment {
             index_gap: (counters.points_tested > 0)
                 .then(|| gap_sum as f64 / counters.points_tested as f64),
             simd: None,
+            csr_rebuilds_skipped: 0,
         }
     }
 

@@ -158,6 +158,20 @@ impl Simulation {
         &self.env
     }
 
+    /// Toggle cross-step device residency for the GPU environment
+    /// (ignored by CPU environments). Safe at any point: turning it on
+    /// mid-run starts with a full upload, and the pipeline's uid diff
+    /// self-heals after any host-side churn.
+    pub fn set_gpu_resident(&mut self, resident: bool) {
+        self.params.gpu_resident = resident;
+    }
+
+    /// The GPU offload pipeline, when the environment is a GPU one
+    /// (observability: residency state, device allocation totals).
+    pub fn gpu_pipeline(&self) -> Option<&MechanicalPipeline> {
+        self.pipeline.as_ref()
+    }
+
     /// Add one cell.
     pub fn add_cell(&mut self, cell: CellBuilder) -> usize {
         self.rm.add(cell)
@@ -264,7 +278,7 @@ impl Simulation {
             rm: &mut self.rm,
             substances: &mut self.diffusion,
             parallel: false,
-            pipeline: self.pipeline.as_ref(),
+            pipeline: self.pipeline.as_mut(),
             mech_scratch: &mut self.mech_scratch,
             last_mech: &mut self.last_mech,
             shards: self.shards.as_mut(),

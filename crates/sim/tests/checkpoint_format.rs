@@ -3,7 +3,7 @@
 //! Two jobs:
 //!
 //! 1. **Golden fixture.** A checkpoint of a fixed scene is committed at
-//!    `tests/fixtures/checkpoint_v1.bin` and compared byte-for-byte
+//!    `tests/fixtures/checkpoint_v2.bin` and compared byte-for-byte
 //!    against a freshly serialized copy. Any format drift — field order,
 //!    widths, a [`bdm_sim::checkpoint::FORMAT_VERSION`] bump — fails the
 //!    test until the fixture is deliberately regenerated with
@@ -21,13 +21,20 @@
 use bdm_math::Vec3;
 use bdm_sim::behavior::Behavior;
 use bdm_sim::cell::CellBuilder;
-use bdm_sim::checkpoint::{CheckpointError, FORMAT_VERSION, MAGIC};
+use bdm_sim::checkpoint::{CheckpointError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 use bdm_sim::diffusion::{BoundaryCondition, DiffusionParams};
 use bdm_sim::param::SimParams;
 use bdm_sim::simulation::Simulation;
 use proptest::prelude::*;
 
 const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/checkpoint_v2.bin"
+);
+
+/// Retained v1 stream: restores through the `MIN_FORMAT_VERSION` path
+/// (no `gpu_resident` byte in PARAMS), never regenerated.
+const FIXTURE_V1: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/checkpoint_v1.bin"
 );
@@ -164,13 +171,13 @@ fn golden_fixture_matches_byte_for_byte() {
         )
     });
     assert_eq!(
-        FORMAT_VERSION, 1,
+        FORMAT_VERSION, 2,
         "FORMAT_VERSION changed: bump the fixture file name to checkpoint_v{FORMAT_VERSION}.bin, \
          regenerate it, and update this test's expectations"
     );
     assert_eq!(
         bytes, golden,
-        "checkpoint wire format drifted from the committed v1 fixture; if the change is \
+        "checkpoint wire format drifted from the committed v2 fixture; if the change is \
          intentional, bump FORMAT_VERSION and regenerate with BDM_UPDATE_CHECKPOINT_FIXTURE=1"
     );
 }
@@ -202,6 +209,31 @@ fn golden_fixture_restores_with_expected_contents() {
     assert_eq!(sim.sharding().expect("sharded").map().shards(), 2);
     // And the restored state re-checkpoints to the identical stream.
     assert_eq!(ckpt(&sim), golden);
+}
+
+/// A committed v1 stream (no `gpu_resident` byte) still restores:
+/// `MIN_FORMAT_VERSION` is a promise, not decoration. The flag defaults
+/// off, and re-checkpointing emits a current-version stream that is the
+/// old payload plus exactly the appended PARAMS byte.
+#[test]
+fn v1_fixture_restores_with_residency_defaulted_off() {
+    let golden = std::fs::read(FIXTURE_V1).expect("retained v1 fixture present");
+    assert_eq!(
+        u32::from_le_bytes(golden[8..12].try_into().unwrap()),
+        MIN_FORMAT_VERSION
+    );
+    let sim = Simulation::restore(&mut &golden[..]).expect("v1 stream restores");
+    assert!(!sim.params().gpu_resident);
+    assert_eq!(sim.rm().len(), 3);
+    assert_eq!(sim.params().seed, 42);
+    assert_eq!(sim.params().shards.count, 2);
+    // Re-checkpointing upgrades the stream to the current version.
+    let rewritten = ckpt(&sim);
+    assert_eq!(
+        u32::from_le_bytes(rewritten[8..12].try_into().unwrap()),
+        FORMAT_VERSION
+    );
+    assert_eq!(rewritten.len(), golden.len() + 1);
 }
 
 #[test]

@@ -363,6 +363,48 @@ fn op_frequency_anchoring_survives_restore() {
     assert_eq!(runs(&resumed, "diffusion"), runs(&full, "diffusion"));
 }
 
+/// GPU-resident runs resume bitwise. Device residency is derived state
+/// — never serialized — so a restore builds the pipeline fresh and the
+/// first post-restore step performs a full resync; the trajectory must
+/// still match the uninterrupted resident run exactly, and the
+/// `gpu_resident` knob itself must survive the round trip.
+#[test]
+fn gpu_resident_run_resumes_bitwise_with_residency_invalidated() {
+    let build = || {
+        let mut sim = Simulation::new(SimParams::cube(10.0).with_seed(31).with_gpu_resident(true));
+        sim.set_environment(EnvironmentKind::gpu_default());
+        dense_scene(&mut sim, 31, true);
+        sim
+    };
+    assert_resume_equivalent(&build, 2, 5, "gpu resident");
+
+    // The knob round-trips, and the restored pipeline starts cold: no
+    // device-resident state until its first post-restore step.
+    let mut part = build();
+    part.simulate(2);
+    assert!(
+        part.gpu_pipeline()
+            .expect("gpu env has a pipeline")
+            .is_resident(),
+        "a mid-run resident simulation should hold device state"
+    );
+    let bytes = ckpt(&part);
+    let mut restored = Simulation::restore(&mut &bytes[..]).unwrap();
+    assert!(restored.params().gpu_resident, "knob lost in round trip");
+    assert!(
+        !restored
+            .gpu_pipeline()
+            .expect("pipeline rebuilt")
+            .is_resident(),
+        "restore must not resurrect device residency"
+    );
+    restored.simulate(1);
+    assert!(
+        restored.gpu_pipeline().unwrap().is_resident(),
+        "first post-restore step re-establishes residency"
+    );
+}
+
 /// A restored simulation is a fully functional `Simulation`: it can be
 /// checkpointed again mid-flight and the second-generation restore still
 /// resumes bitwise (checkpoint chains don't decay).

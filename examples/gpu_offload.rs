@@ -32,7 +32,7 @@ fn main() {
         "kernel (CUDA / System A)", "h2d", "kernel", "d2h", "DRAM MB", "L2 hit", "AI"
     );
     for version in KernelVersion::ALL {
-        let pipeline =
+        let mut pipeline =
             MechanicalPipeline::new(bdm_device::specs::SYSTEM_A, ApiFrontend::Cuda, version, 4);
         let (disp, report) = pipeline.step(&scene, &params);
         let moved = disp.iter().filter(|d| **d != Vec3::zero()).count();
@@ -53,7 +53,7 @@ fn main() {
     // The two frontends drive the identical engine (§IV-B).
     println!("\nfrontend check (version II):");
     for frontend in [ApiFrontend::Cuda, ApiFrontend::OpenCl] {
-        let pipeline = MechanicalPipeline::new(
+        let mut pipeline = MechanicalPipeline::new(
             bdm_device::specs::SYSTEM_A,
             frontend,
             KernelVersion::V2Sorted,

@@ -20,7 +20,12 @@
 # stream-shape metrics (checkpoint.bytes_total, checkpoint.bytes_per_agent
 # at +/-2 %; checkpoint.agents, checkpoint.sections exactly) while the
 # serialize/parse wall clocks (checkpoint.write_ms, checkpoint.read_ms)
-# are informational. To re-baseline after an intentional perf change:
+# are informational. The BENCH_gpu.json residency row (version
+# v4csr_resident) gates the transfer counters (gpu.bytes_h2d,
+# gpu.bytes_d2h), gpu.midstep_syncs, and gpu.resident_steps at +/-2 %,
+# alongside mech.csr_rebuilds_skipped from the CPU CSR runs — together
+# they pin the steady-state "device stays quiet" claim.
+# To re-baseline after an intentional perf change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_checkpoint -- --json=results
