@@ -45,6 +45,10 @@ fn is_exact(name: &str) -> bool {
             | "gpu.sort_gathers"
             | "checkpoint.agents"
             | "checkpoint.sections"
+            | "diffusion.voxel_updates"
+            | "diffusion.substeps"
+            | "diffusion.simd_rows"
+            | "diffusion.batch_substances"
     )
 }
 
@@ -67,12 +71,15 @@ pub fn default_policy(name: &str) -> GatePolicy {
         || name == "layouts.csr_index_gap"
         || name.starts_with("layouts.shard_")
         || name.starts_with("checkpoint.bytes")
+        || name.starts_with("diffusion.")
     {
-        // `layouts.shard_*` wall clocks never reach this tier — the
-        // `wall` branch above catches them — so what gates here is the
-        // deterministic shard-map telemetry (imbalance, halo fraction)
-        // and the System A modeled mech times / speedup, which are pure
-        // functions of the trajectory's phase counters.
+        // `layouts.shard_*` and `diffusion.*` wall clocks never reach
+        // this tier — the `wall` branch above catches them — so what
+        // gates here is the deterministic shard-map telemetry
+        // (imbalance, halo fraction), the System A modeled mech and
+        // diffusion times / speedups (pure functions of the
+        // trajectories' phase counters), and the diffusion interior
+        // fraction.
         GatePolicy::with_tol(0.02)
     } else {
         GatePolicy::gated()
@@ -214,6 +221,21 @@ mod tests {
         assert_eq!(default_policy("checkpoint.bytes_per_agent").tol, Some(0.02));
         assert_eq!(default_policy("checkpoint.agents").tol, Some(0.0));
         assert_eq!(default_policy("checkpoint.sections").tol, Some(0.0));
+        assert_eq!(default_policy("diffusion.voxel_updates").tol, Some(0.0));
+        assert_eq!(default_policy("diffusion.substeps").tol, Some(0.0));
+        assert_eq!(default_policy("diffusion.simd_rows").tol, Some(0.0));
+        assert_eq!(default_policy("diffusion.batch_substances").tol, Some(0.0));
+        assert_eq!(default_policy("diffusion.modeled_ms").tol, Some(0.02));
+        assert_eq!(
+            default_policy("diffusion.speedup_modeled_x").tol,
+            Some(0.02)
+        );
+        assert_eq!(
+            default_policy("diffusion.interior_fraction").tol,
+            Some(0.02)
+        );
+        assert!(!default_policy("diffusion.step_wall_ms").gate);
+        assert!(!default_policy("diffusion.batch_wall_ms").gate);
         let modeled = default_policy("profiler.modeled_total_s");
         assert!(modeled.gate && modeled.tol.is_none());
         assert!(default_policy("gpu.total_s").gate);

@@ -194,6 +194,12 @@ impl F32x8 {
         Self(out)
     }
 
+    /// Store the 8 lanes contiguously into `dst` (must hold at least 8).
+    #[inline(always)]
+    pub fn write_to_slice(self, dst: &mut [f32]) {
+        dst[..LANES].copy_from_slice(&self.0);
+    }
+
     /// Per-lane square root (`vsqrtps` — exactly rounded per IEEE 754).
     #[inline(always)]
     pub fn sqrt(self) -> Self {
@@ -522,6 +528,29 @@ impl F64x8 {
         Self([0.0; LANES])
     }
 
+    /// All lanes = `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Load 8 contiguous lanes from `src` (must hold at least 8). The
+    /// shifted-load idiom of the diffusion stencil: three of these at
+    /// offsets `i-1`, `i`, `i+1` give the full x-neighborhood of eight
+    /// voxels from overlapping unaligned vector loads, with no gather.
+    #[inline(always)]
+    pub fn from_slice(src: &[f64]) -> Self {
+        let mut out = [0.0f64; LANES];
+        out.copy_from_slice(&src[..LANES]);
+        Self(out)
+    }
+
+    /// Store the 8 lanes contiguously into `dst` (must hold at least 8).
+    #[inline(always)]
+    pub fn write_to_slice(self, dst: &mut [f64]) {
+        dst[..LANES].copy_from_slice(&self.0);
+    }
+
     /// Widen each `f32` lane to `f64` (exact) and add it to the running
     /// lane sum (`vcvtps2pd` + `vaddpd`).
     #[inline(always)]
@@ -540,6 +569,61 @@ impl F64x8 {
             acc += self.0[l];
         }
         acc
+    }
+}
+
+// The f64 lane arithmetic mirrors the f32 ops above: plain per-lane
+// IEEE `+ - * /`, which LLVM fuses into `vaddpd`/`vmulpd`/`vdivpd`
+// pairs (two AVX2 registers per F64x8). Exactly specified per IEEE 754,
+// so a lane computes bit-for-bit what the equivalent scalar expression
+// computes — the property the diffusion engine's bitwise-parity
+// contract rests on.
+
+impl Add for F64x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0f64; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] + rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Sub for F64x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = [0.0f64; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] - rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Mul for F64x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0f64; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] * rhs.0[l];
+        }
+        Self(out)
+    }
+}
+
+impl Div for F64x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        let mut out = [0.0f64; LANES];
+        for l in 0..LANES {
+            out[l] = self.0[l] / rhs.0[l];
+        }
+        Self(out)
     }
 }
 
@@ -698,6 +782,50 @@ mod tests {
         assert_eq!(y.0, [15.0, 10.0, 12.0, 12.0, 14.0, 11.0, 13.0, 15.0]);
         assert_eq!(z.0, [25.0, 20.0, 22.0, 22.0, 24.0, 21.0, 23.0, 25.0]);
         assert_eq!(w.0, [35.0, 30.0, 32.0, 32.0, 34.0, 31.0, 33.0, 35.0]);
+    }
+
+    #[test]
+    fn f64_lane_arithmetic_matches_scalar_bitwise() {
+        // The diffusion stencil's parity contract: every F64x8 op must
+        // produce, per lane, the exact bits of the scalar expression.
+        let a = F64x8([1.5, -2.25, 0.0, 1e-300, 3.75e7, -0.5, 6.0, 1e-8]);
+        let b = F64x8([0.5, 4.0, -1.0, 2e-300, 1.25e3, -0.25, 3.0, 7e-9]);
+        let (sum, dif, prd, quo) = (a + b, a - b, a * b, a / b);
+        for l in 0..LANES {
+            assert_eq!(sum.0[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!(dif.0[l].to_bits(), (a.0[l] - b.0[l]).to_bits());
+            assert_eq!(prd.0[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(quo.0[l].to_bits(), (a.0[l] / b.0[l]).to_bits());
+        }
+        // A composite expression in the stencil's shape keeps bitwise
+        // equality too (same tree, lane by lane).
+        let h2 = F64x8::splat(1.5625);
+        let lap = (a + b - F64x8::splat(2.0) * a) / h2;
+        for l in 0..LANES {
+            let s = (a.0[l] + b.0[l] - 2.0 * a.0[l]) / 1.5625;
+            assert_eq!(lap.0[l].to_bits(), s.to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn f64_shifted_loads_and_stores_roundtrip() {
+        let src: Vec<f64> = (0..12).map(|i| i as f64 * 0.25 + 0.125).collect();
+        let v0 = F64x8::from_slice(&src[0..]);
+        let v1 = F64x8::from_slice(&src[1..]);
+        let v2 = F64x8::from_slice(&src[2..]);
+        for l in 0..LANES {
+            assert_eq!(v0.0[l], src[l]);
+            assert_eq!(v1.0[l], src[l + 1]);
+            assert_eq!(v2.0[l], src[l + 2]);
+        }
+        let mut dst = [0.0f64; 10];
+        v1.write_to_slice(&mut dst[2..]);
+        assert_eq!(&dst[2..10], &src[1..9]);
+        assert_eq!(dst[0], 0.0);
+        let mut d32 = [0.0f32; 9];
+        F32x8::splat(0.5).write_to_slice(&mut d32[1..]);
+        assert_eq!(d32[0], 0.0);
+        assert!(d32[1..].iter().all(|&v| v == 0.5));
     }
 
     #[test]

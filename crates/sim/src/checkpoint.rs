@@ -699,14 +699,15 @@ fn decode_diffusion(
             b => return Err(corrupt(format!("unknown boundary condition {b}"))),
         };
         let voxels = d.count(8)?;
-        // Cross-check before building the grid: `DiffusionGrid::new`
-        // allocates `res³`, so a corrupt resolution must be caught while
-        // it is still just an integer (voxels is already bounded by the
-        // bytes actually present).
-        let res = resolution.max(2);
-        let cube = res
-            .checked_mul(res)
-            .and_then(|r2| r2.checked_mul(res))
+        // Cross-check before building the grid: `from_parts` allocates
+        // `res³`, so a corrupt resolution must be caught while it is
+        // still just an integer (voxels is already bounded by the bytes
+        // actually present). `from_parts` then re-runs the full
+        // `DiffusionParams::validate` — non-finite coefficients, decays,
+        // and sub-2 resolutions are rejected as corrupt, never clamped.
+        let cube = resolution
+            .checked_mul(resolution)
+            .and_then(|r2| r2.checked_mul(resolution))
             .ok_or_else(|| corrupt(format!("resolution {resolution} overflows")))?;
         if cube != voxels {
             return Err(corrupt(format!(

@@ -8,9 +8,48 @@
 //! an explicit-Euler finite-difference solver for
 //! `∂c/∂t = D ∇²c − μ c` on a regular grid over the simulation space,
 //! with closed (zero-flux) or absorbing (Dirichlet-zero) boundaries.
+//!
+//! # The tiled stencil engine
+//!
+//! The sweep peels the six boundary faces out of the inner loop so the
+//! interior is branch-free, cache-blocks the interior over (y, z) row
+//! tiles, and vectorizes the contiguous x-rows with 8-wide SIMD lanes
+//! (three shifted loads at offsets x−1, x, x+1 cover the whole
+//! x-neighborhood without a gather). The lane arithmetic evaluates the
+//! exact scalar expression tree per lane, so the default f64 path is
+//! **bitwise** identical to the retained branchy reference sweep
+//! ([`DiffusionGrid::step_reference`]) — proptested in
+//! `tests/diffusion_parity.rs`.
+//!
+//! # Stability sub-cycling
+//!
+//! Explicit Euler diverges when `D·dt·(1/h²x + 1/h²y + 1/h²z) > 1/2`.
+//! Instead of a debug-only assert, [`DiffusionGrid::step`] splits `dt`
+//! into the minimal number of sub-steps satisfying the stricter
+//! `D·dt_sub·Σ1/h² ≤ 1/6` bound, so stiff coefficients are integrated
+//! correctly in release builds. Stable configurations take exactly one
+//! sub-step, preserving pre-sub-cycling trajectories bit for bit.
+//! Sub-cycling is derived state: nothing about it is checkpointed.
+//!
+//! # Precision
+//!
+//! An opt-in f32 path (`SimParams::precision = F32Simd`) stages the
+//! field into persistent `f32` ping-pong buffers once per `step`, runs
+//! all sub-steps in f32 through the same macro-generated tiled kernel,
+//! and widens back once. The f32→f64→f32 round trip is exact, so the
+//! path is deterministic; its accuracy envelope is gated by
+//! `tests/diffusion_solver.rs` analytic-tolerance tests.
 
+use crate::param::Precision;
+use bdm_math::simd::{F32x8, F64x8, LANES};
 use bdm_math::{Aabb, Vec3};
 use rayon::prelude::*;
+
+/// z-slices per rayon work unit of the tiled sweep.
+const Z_TILE: usize = 4;
+/// Interior rows per (y, z) cache block: the block walks z through the
+/// chunk while its three y-neighbor row bands stay resident.
+const Y_TILE: usize = 16;
 
 /// Boundary handling of the diffusion grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +87,259 @@ impl DiffusionParams {
             boundary: BoundaryCondition::Closed,
         }
     }
+
+    /// Reject configurations the solver cannot integrate: non-finite or
+    /// negative `coefficient`/`decay`, and lattices below 2³ (a stencil
+    /// needs at least two voxels per axis). This replaces the old
+    /// silent `resolution.max(2)` clamp and debug-only stability assert
+    /// — stability itself is handled by sub-cycling, not rejection.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.coefficient.is_finite() || self.coefficient < 0.0 {
+            return Err(format!(
+                "substance '{}': diffusion coefficient must be finite and \
+                 non-negative (got {})",
+                self.name, self.coefficient
+            ));
+        }
+        if !self.decay.is_finite() || self.decay < 0.0 {
+            return Err(format!(
+                "substance '{}': decay constant must be finite and \
+                 non-negative (got {})",
+                self.name, self.decay
+            ));
+        }
+        if self.resolution < 2 {
+            return Err(format!(
+                "substance '{}': resolution must be at least 2 (got {})",
+                self.name, self.resolution
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative solver telemetry. Derived state: it is never
+/// checkpointed, and restore starts it from zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffusionStats {
+    /// Voxel updates performed (voxels × sub-steps).
+    pub voxel_updates: u64,
+    /// Stability sub-steps executed.
+    pub substeps: u64,
+    /// Voxel updates that went through the branch-free interior sweep
+    /// (the rest are peeled-face updates).
+    pub interior_updates: u64,
+    /// Interior x-rows processed with at least one full 8-lane vector.
+    pub simd_rows: u64,
+}
+
+impl DiffusionStats {
+    /// Fraction of voxel updates handled by the branch-free interior.
+    pub fn interior_fraction(&self) -> f64 {
+        if self.voxel_updates == 0 {
+            0.0
+        } else {
+            self.interior_updates as f64 / self.voxel_updates as f64
+        }
+    }
+
+    fn accumulate(&mut self, run: &DiffusionStats) {
+        self.voxel_updates += run.voxel_updates;
+        self.substeps += run.substeps;
+        self.interior_updates += run.interior_updates;
+        self.simd_rows += run.simd_rows;
+    }
+}
+
+/// The diffusion kernels, generated once for (f64, `F64x8`) and once
+/// for (f32, `F32x8`) from the same source so the two precision paths
+/// cannot drift apart structurally.
+///
+/// `$cell` is one voxel of the pre-tiling branchy kernel (mirror
+/// neighbors at closed walls, pin Dirichlet walls to zero) — it serves
+/// both the peeled faces of the tiled sweep and the full reference
+/// sweep. `$sub` is one tiled sub-step; it returns
+/// `(interior_updates, simd_rows)`.
+///
+/// Parity contract: the vector path evaluates, per lane, the exact
+/// expression tree of the scalar interior update —
+/// `lap = (xm+xp−2·here)/h²x + (ym+yp−2·here)/h²y + (zm+zp−2·here)/h²z`
+/// then `here + dt·(d·lap − decay·here)` — and the `F64x8`/`F32x8`
+/// operators are strict per-lane IEEE ops, so tiled output is bitwise
+/// equal to the reference at equal precision.
+macro_rules! diffusion_kernels {
+    ($cell:ident, $sub:ident, $t:ty, $vt:ty) => {
+        #[allow(clippy::too_many_arguments)]
+        #[inline(always)]
+        fn $cell(
+            c: &[$t],
+            res: usize,
+            x: usize,
+            y: usize,
+            z: usize,
+            h2: [$t; 3],
+            d: $t,
+            decay: $t,
+            dt: $t,
+            dirichlet: bool,
+        ) -> $t {
+            let on_wall =
+                x == 0 || y == 0 || z == 0 || x + 1 == res || y + 1 == res || z + 1 == res;
+            if dirichlet && on_wall {
+                return 0.0;
+            }
+            let at = |xx: usize, yy: usize, zz: usize| c[(zz * res + yy) * res + xx];
+            let here = at(x, y, z);
+            // Zero-flux: mirror the boundary neighbor.
+            let xm = if x == 0 { here } else { at(x - 1, y, z) };
+            let xp = if x + 1 == res { here } else { at(x + 1, y, z) };
+            let ym = if y == 0 { here } else { at(x, y - 1, z) };
+            let yp = if y + 1 == res { here } else { at(x, y + 1, z) };
+            let zm = if z == 0 { here } else { at(x, y, z - 1) };
+            let zp = if z + 1 == res { here } else { at(x, y, z + 1) };
+            let lap = (xm + xp - 2.0 * here) / h2[0]
+                + (ym + yp - 2.0 * here) / h2[1]
+                + (zm + zp - 2.0 * here) / h2[2];
+            here + dt * (d * lap - decay * here)
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn $sub(
+            c: &[$t],
+            next: &mut [$t],
+            res: usize,
+            h2: [$t; 3],
+            d: $t,
+            decay: $t,
+            dt: $t,
+            dirichlet: bool,
+        ) -> (u64, u64) {
+            let sy = res;
+            let sz = res * res;
+            next.par_chunks_mut(sz * Z_TILE)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let z0 = ci * Z_TILE;
+                    let slices = chunk.len() / sz;
+
+                    // Pass 1 — the six peeled faces: whole z-walls, then
+                    // the y-wall rows and x-wall columns of every
+                    // interior slice, all through the branchy cell.
+                    for dz in 0..slices {
+                        let z = z0 + dz;
+                        let s = &mut chunk[dz * sz..(dz + 1) * sz];
+                        if z == 0 || z + 1 == res {
+                            for y in 0..res {
+                                for x in 0..res {
+                                    s[y * res + x] =
+                                        $cell(c, res, x, y, z, h2, d, decay, dt, dirichlet);
+                                }
+                            }
+                            continue;
+                        }
+                        for x in 0..res {
+                            s[x] = $cell(c, res, x, 0, z, h2, d, decay, dt, dirichlet);
+                            s[(res - 1) * res + x] =
+                                $cell(c, res, x, res - 1, z, h2, d, decay, dt, dirichlet);
+                        }
+                        for y in 1..res - 1 {
+                            s[y * res] = $cell(c, res, 0, y, z, h2, d, decay, dt, dirichlet);
+                            s[y * res + res - 1] =
+                                $cell(c, res, res - 1, y, z, h2, d, decay, dt, dirichlet);
+                        }
+                    }
+
+                    // Pass 2 — branch-free interior, cache-blocked over
+                    // (y, z) row tiles: each block streams z through the
+                    // chunk while its three y-neighbor row bands stay
+                    // hot, and vectorizes the contiguous x-rows with
+                    // shifted 8-lane loads.
+                    let mut interior = 0u64;
+                    let mut simd_rows = 0u64;
+                    let vh2x = <$vt>::splat(h2[0]);
+                    let vh2y = <$vt>::splat(h2[1]);
+                    let vh2z = <$vt>::splat(h2[2]);
+                    let vtwo = <$vt>::splat(2.0);
+                    let vd = <$vt>::splat(d);
+                    let vdecay = <$vt>::splat(decay);
+                    let vdt = <$vt>::splat(dt);
+                    for yt in (1..res - 1).step_by(Y_TILE) {
+                        let yhi = (yt + Y_TILE).min(res - 1);
+                        for dz in 0..slices {
+                            let z = z0 + dz;
+                            if z == 0 || z + 1 == res {
+                                continue;
+                            }
+                            for y in yt..yhi {
+                                let base = (z * res + y) * res;
+                                let out = dz * sz + y * res;
+                                let mut x = 1usize;
+                                if res >= LANES + 2 {
+                                    simd_rows += 1;
+                                    while x + LANES < res {
+                                        let here = <$vt>::from_slice(&c[base + x..]);
+                                        let xm = <$vt>::from_slice(&c[base + x - 1..]);
+                                        let xp = <$vt>::from_slice(&c[base + x + 1..]);
+                                        let ym = <$vt>::from_slice(&c[base - sy + x..]);
+                                        let yp = <$vt>::from_slice(&c[base + sy + x..]);
+                                        let zm = <$vt>::from_slice(&c[base - sz + x..]);
+                                        let zp = <$vt>::from_slice(&c[base + sz + x..]);
+                                        let lap = (xm + xp - vtwo * here) / vh2x
+                                            + (ym + yp - vtwo * here) / vh2y
+                                            + (zm + zp - vtwo * here) / vh2z;
+                                        let nv = here + vdt * (vd * lap - vdecay * here);
+                                        nv.write_to_slice(&mut chunk[out + x..]);
+                                        x += LANES;
+                                    }
+                                }
+                                // Scalar tail: the identical expression
+                                // tree, one voxel at a time.
+                                while x < res - 1 {
+                                    let i = base + x;
+                                    let here = c[i];
+                                    let lap = (c[i - 1] + c[i + 1] - 2.0 * here) / h2[0]
+                                        + (c[i - sy] + c[i + sy] - 2.0 * here) / h2[1]
+                                        + (c[i - sz] + c[i + sz] - 2.0 * here) / h2[2];
+                                    chunk[out + x] = here + dt * (d * lap - decay * here);
+                                    x += 1;
+                                }
+                                interior += (res - 2) as u64;
+                            }
+                        }
+                    }
+                    (interior, simd_rows)
+                })
+                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        }
+    };
+}
+
+diffusion_kernels!(branchy_cell_f64, tiled_sub_step_f64, f64, F64x8);
+diffusion_kernels!(branchy_cell_f32, tiled_sub_step_f32, f32, F32x8);
+
+/// One sub-step of the pre-tiling engine: the branchy cell applied to
+/// every voxel, parallel over z-slices. Retained as the bitwise parity
+/// reference and the `bench_diffusion` baseline.
+#[allow(clippy::too_many_arguments)]
+fn reference_sub_step(
+    c: &[f64],
+    next: &mut [f64],
+    res: usize,
+    h2: [f64; 3],
+    d: f64,
+    decay: f64,
+    dt: f64,
+    dirichlet: bool,
+) {
+    next.par_chunks_mut(res * res)
+        .enumerate()
+        .for_each(|(z, s)| {
+            for y in 0..res {
+                for x in 0..res {
+                    s[y * res + x] = branchy_cell_f64(c, res, x, y, z, h2, d, decay, dt, dirichlet);
+                }
+            }
+        });
 }
 
 /// A regular-lattice substance concentration field.
@@ -61,12 +353,29 @@ pub struct DiffusionGrid {
     c: Vec<f64>,
     /// Scratch buffer for the update sweep.
     next: Vec<f64>,
+    /// f32 ping-pong buffers of the `Precision::F32Simd` path, lazily
+    /// sized on first use. Derived state: never checkpointed.
+    c32: Vec<f32>,
+    next32: Vec<f32>,
+    /// Cumulative solver telemetry (derived state).
+    stats: DiffusionStats,
 }
 
 impl DiffusionGrid {
     /// Create a zero-initialized field over `space`.
+    ///
+    /// # Panics
+    /// On parameters [`DiffusionParams::validate`] rejects — matching
+    /// the `Simulation::new` convention for invalid `SimParams`.
     pub fn new(params: DiffusionParams, space: Aabb<f64>) -> Self {
-        let res = params.resolution.max(2);
+        if let Err(msg) = params.validate() {
+            panic!("invalid DiffusionParams: {msg}");
+        }
+        Self::build(params, space)
+    }
+
+    fn build(params: DiffusionParams, space: Aabb<f64>) -> Self {
+        let res = params.resolution;
         let n = res * res * res;
         let e = space.extents();
         Self {
@@ -76,19 +385,23 @@ impl DiffusionGrid {
             voxel_len: Vec3::new(e.x / res as f64, e.y / res as f64, e.z / res as f64),
             c: vec![0.0; n],
             next: vec![0.0; n],
+            c32: Vec::new(),
+            next32: Vec::new(),
+            stats: DiffusionStats::default(),
         }
     }
 
     /// Rebuild a grid from exported state — the checkpoint import path.
-    /// The concentration column must have exactly `resolution.max(2)³`
-    /// entries (the same clamp [`DiffusionGrid::new`] applies); anything
-    /// else is rejected rather than silently reshaped.
+    /// The parameters must pass [`DiffusionParams::validate`] and the
+    /// concentration column must have exactly `resolution³` entries;
+    /// anything else is rejected rather than silently reshaped.
     pub fn from_parts(
         params: DiffusionParams,
         space: Aabb<f64>,
         c: Vec<f64>,
     ) -> Result<Self, String> {
-        let mut g = Self::new(params, space);
+        params.validate()?;
+        let mut g = Self::build(params, space);
         if c.len() != g.c.len() {
             return Err(format!(
                 "substance '{}': {} concentration values for a {}³ lattice \
@@ -109,7 +422,8 @@ impl DiffusionGrid {
     }
 
     /// The raw concentration column, x-major (checkpoint export; the
-    /// update-sweep scratch buffer is derived state and never exported).
+    /// update-sweep scratch buffers and stats are derived state and
+    /// never exported).
     pub fn concentrations(&self) -> &[f64] {
         &self.c
     }
@@ -122,6 +436,11 @@ impl DiffusionGrid {
     /// Number of voxels.
     pub fn num_voxels(&self) -> usize {
         self.c.len()
+    }
+
+    /// Cumulative solver telemetry since construction (or restore).
+    pub fn stats(&self) -> &DiffusionStats {
+        &self.stats
     }
 
     #[inline]
@@ -178,7 +497,15 @@ impl DiffusionGrid {
     }
 
     /// Central-difference concentration gradient at a position.
+    ///
+    /// Positions outside the simulation space have no field and read
+    /// `Vec3::ZERO`, matching [`DiffusionGrid::concentration_at`]'s
+    /// out-of-space contract (they used to clamp to boundary voxels and
+    /// report wall gradients).
     pub fn gradient_at(&self, p: Vec3<f64>) -> Vec3<f64> {
+        if !self.space.contains(p) {
+            return Vec3::zero();
+        }
         let [x, y, z] = self.voxel_of(p);
         let sample = |xx: isize, yy: isize, zz: isize| -> f64 {
             let cx = xx.clamp(0, self.res as isize - 1) as usize;
@@ -194,64 +521,134 @@ impl DiffusionGrid {
         )
     }
 
-    /// One explicit-Euler step of `∂c/∂t = D ∇²c − μ c` with `dt`.
-    /// Stability requires `D·dt/h² ≤ 1/6`; asserted in debug builds.
-    ///
-    /// Parallelized over z-slices with rayon (this is the operation
-    /// BioDynaMo keeps on the multi-core CPU while the GPU handles the
-    /// mechanical interactions). Returns the number of voxel updates
-    /// (work counter for the CPU timing model).
-    pub fn step(&mut self, dt: f64) -> u64 {
-        let res = self.res;
-        let h2 = Vec3::new(
+    fn h2(&self) -> [f64; 3] {
+        [
             self.voxel_len.x * self.voxel_len.x,
             self.voxel_len.y * self.voxel_len.y,
             self.voxel_len.z * self.voxel_len.z,
-        );
+        ]
+    }
+
+    /// Number of stability sub-steps [`DiffusionGrid::step`] will take
+    /// for `dt`: the minimal `n` with
+    /// `D·(dt/n)·(1/h²x + 1/h²y + 1/h²z) ≤ 1/6` (a 3× margin under the
+    /// explicit-Euler divergence threshold of 1/2). Stable
+    /// configurations return 1, preserving pre-sub-cycling trajectories
+    /// bit for bit.
+    pub fn substeps_for(&self, dt: f64) -> u32 {
+        let h2 = self.h2();
+        let sum = 1.0 / h2[0] + 1.0 / h2[1] + 1.0 / h2[2];
+        let n = (6.0 * self.params.coefficient * dt.max(0.0) * sum).ceil();
+        if n > 1.0 {
+            n as u32
+        } else {
+            1
+        }
+    }
+
+    /// Advance the field by `dt` with the tiled engine at the default
+    /// f64 precision, sub-cycling as required for stability. Returns the
+    /// number of voxel updates (voxels × sub-steps — the work counter
+    /// for the CPU timing model).
+    pub fn step(&mut self, dt: f64) -> u64 {
+        self.step_in(dt, Precision::F64).voxel_updates
+    }
+
+    /// Advance the field by `dt` at the given precision; returns this
+    /// run's telemetry (also accumulated into
+    /// [`DiffusionGrid::stats`]).
+    ///
+    /// `Precision::F32Simd` stages the field into f32 once per call,
+    /// sub-steps in f32, and widens back — cutting stencil memory
+    /// traffic in half at the cost of one staging pass and ~1e-7
+    /// relative truncation per sub-step.
+    pub fn step_in(&mut self, dt: f64, precision: Precision) -> DiffusionStats {
+        let n = self.substeps_for(dt);
+        let dt_sub = dt / n as f64;
+        let h2 = self.h2();
         let d = self.params.coefficient;
-        debug_assert!(
-            d * dt * (1.0 / h2.x + 1.0 / h2.y + 1.0 / h2.z) <= 0.5 + 1e-9,
-            "explicit diffusion step unstable: reduce dt or coefficient"
-        );
         let decay = self.params.decay;
         let dirichlet = self.params.boundary == BoundaryCondition::Dirichlet;
-        let c = &self.c;
-
-        self.next
-            .par_chunks_mut(res * res)
-            .enumerate()
-            .for_each(|(z, slice)| {
-                let at = |x: usize, y: usize, zz: usize| c[(zz * res + y) * res + x];
-                for y in 0..res {
-                    for x in 0..res {
-                        let here = at(x, y, z);
-                        if dirichlet
-                            && (x == 0
-                                || y == 0
-                                || z == 0
-                                || x == res - 1
-                                || y == res - 1
-                                || z == res - 1)
-                        {
-                            slice[y * res + x] = 0.0;
-                            continue;
-                        }
-                        // Zero-flux: mirror the boundary neighbor.
-                        let xm = if x == 0 { here } else { at(x - 1, y, z) };
-                        let xp = if x == res - 1 { here } else { at(x + 1, y, z) };
-                        let ym = if y == 0 { here } else { at(x, y - 1, z) };
-                        let yp = if y == res - 1 { here } else { at(x, y + 1, z) };
-                        let zm = if z == 0 { here } else { at(x, y, z - 1) };
-                        let zp = if z == res - 1 { here } else { at(x, y, z + 1) };
-                        let lap = (xm + xp - 2.0 * here) / h2.x
-                            + (ym + yp - 2.0 * here) / h2.y
-                            + (zm + zp - 2.0 * here) / h2.z;
-                        slice[y * res + x] = here + dt * (d * lap - decay * here);
-                    }
+        let mut interior = 0u64;
+        let mut simd_rows = 0u64;
+        match precision {
+            Precision::F64 => {
+                for _ in 0..n {
+                    let (i, s) = tiled_sub_step_f64(
+                        &self.c,
+                        &mut self.next,
+                        self.res,
+                        h2,
+                        d,
+                        decay,
+                        dt_sub,
+                        dirichlet,
+                    );
+                    std::mem::swap(&mut self.c, &mut self.next);
+                    interior += i;
+                    simd_rows += s;
                 }
-            });
-        std::mem::swap(&mut self.c, &mut self.next);
-        self.c.len() as u64
+            }
+            Precision::F32Simd => {
+                self.c32.clear();
+                self.c32.extend(self.c.iter().map(|&v| v as f32));
+                self.next32.resize(self.c.len(), 0.0);
+                let h2f = [h2[0] as f32, h2[1] as f32, h2[2] as f32];
+                for _ in 0..n {
+                    let (i, s) = tiled_sub_step_f32(
+                        &self.c32,
+                        &mut self.next32,
+                        self.res,
+                        h2f,
+                        d as f32,
+                        decay as f32,
+                        dt_sub as f32,
+                        dirichlet,
+                    );
+                    std::mem::swap(&mut self.c32, &mut self.next32);
+                    interior += i;
+                    simd_rows += s;
+                }
+                for (dst, src) in self.c.iter_mut().zip(self.c32.iter()) {
+                    *dst = *src as f64;
+                }
+            }
+        }
+        let run = DiffusionStats {
+            voxel_updates: n as u64 * self.c.len() as u64,
+            substeps: n as u64,
+            interior_updates: interior,
+            simd_rows,
+        };
+        self.stats.accumulate(&run);
+        run
+    }
+
+    /// Advance the field by `dt` with the pre-tiling branchy z-slice
+    /// sweep — the bitwise parity reference and `bench_diffusion`
+    /// baseline. Sub-cycles exactly like [`DiffusionGrid::step`]; does
+    /// not touch [`DiffusionGrid::stats`]. Returns voxel updates.
+    pub fn step_reference(&mut self, dt: f64) -> u64 {
+        let n = self.substeps_for(dt);
+        let dt_sub = dt / n as f64;
+        let h2 = self.h2();
+        let d = self.params.coefficient;
+        let decay = self.params.decay;
+        let dirichlet = self.params.boundary == BoundaryCondition::Dirichlet;
+        for _ in 0..n {
+            reference_sub_step(
+                &self.c,
+                &mut self.next,
+                self.res,
+                h2,
+                d,
+                decay,
+                dt_sub,
+                dirichlet,
+            );
+            std::mem::swap(&mut self.c, &mut self.next);
+        }
+        n as u64 * self.c.len() as u64
     }
 
     /// Total substance mass (× voxel volume omitted — lattice sum).
@@ -348,6 +745,22 @@ mod tests {
     }
 
     #[test]
+    fn gradient_zero_outside_space() {
+        // Regression: gradient_at used to clamp out-of-space positions
+        // into boundary voxels and report wall gradients, while
+        // concentration_at already read 0 out there.
+        let mut g = grid(BoundaryCondition::Closed);
+        g.secrete(Vec3::zero(), 100.0);
+        for _ in 0..10 {
+            g.step(0.5);
+        }
+        assert_eq!(g.gradient_at(Vec3::new(50.0, 0.0, 0.0)), Vec3::zero());
+        assert_eq!(g.gradient_at(Vec3::splat(-8.0001)), Vec3::zero());
+        // Just inside still reads a field gradient.
+        assert!(g.gradient_at(Vec3::new(3.0, 0.0, 0.0)).x < 0.0);
+    }
+
+    #[test]
     fn fill_sets_uniform_field() {
         let mut g = grid(BoundaryCondition::Closed);
         g.fill(0.75);
@@ -399,5 +812,182 @@ mod tests {
     fn step_reports_voxel_work() {
         let mut g = grid(BoundaryCondition::Closed);
         assert_eq!(g.step(0.5), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn tiled_matches_reference_bitwise() {
+        // The quick inline version of tests/diffusion_parity.rs: one
+        // smooth field, both boundary conditions, a few steps.
+        for boundary in [BoundaryCondition::Closed, BoundaryCondition::Dirichlet] {
+            let mut a = grid(boundary);
+            for i in 0..a.num_voxels() {
+                a.c[i] = ((i % 97) as f64) * 0.013 + ((i % 11) as f64) * 0.21;
+            }
+            let mut b = a.clone();
+            for _ in 0..4 {
+                a.step(0.5);
+                b.step_reference(0.5);
+            }
+            for (va, vb) in a.c.iter().zip(b.c.iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{boundary:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_config_sub_cycles_and_stays_stable() {
+        // h = 1, Σ1/h² = 3, D·dt·Σ = 1.5 → n = ceil(9) = 9 sub-steps.
+        let mut g = DiffusionGrid::new(
+            DiffusionParams {
+                name: "stiff",
+                coefficient: 1.0,
+                decay: 0.0,
+                resolution: 16,
+                boundary: BoundaryCondition::Closed,
+            },
+            Aabb::cube(8.0),
+        );
+        assert_eq!(g.substeps_for(0.5), 9);
+        g.secrete(Vec3::zero(), 100.0);
+        assert_eq!(g.step(0.5), 9 * 16 * 16 * 16);
+        for _ in 0..20 {
+            g.step(0.5);
+        }
+        // The old engine diverged here (λ = 1.5 > 1/2); sub-cycling
+        // keeps the field finite, non-negative-ish and mass-conserving.
+        assert!((g.total_mass() - 100.0).abs() < 1e-9 * 100.0);
+        assert!(g.max_concentration().is_finite());
+        assert!(g.max_concentration() < 100.0);
+    }
+
+    #[test]
+    fn stable_config_takes_one_substep() {
+        let g = grid(BoundaryCondition::Closed);
+        // D·dt·Σ1/h² = 0.1·0.5·3 = 0.15 ≤ 1/6.
+        assert_eq!(g.substeps_for(0.5), 1);
+        assert_eq!(g.substeps_for(0.0), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_per_step() {
+        let mut g = grid(BoundaryCondition::Closed);
+        let run = g.step_in(0.5, Precision::F64);
+        assert_eq!(run.voxel_updates, 16 * 16 * 16);
+        assert_eq!(run.substeps, 1);
+        assert_eq!(run.interior_updates, 14 * 14 * 14);
+        // Every interior row (14² of them) fits at least one 8-lane
+        // vector at res 16.
+        assert_eq!(run.simd_rows, 14 * 14);
+        g.step(0.5);
+        assert_eq!(g.stats().voxel_updates, 2 * 16 * 16 * 16);
+        assert_eq!(g.stats().substeps, 2);
+        let frac = g.stats().interior_fraction();
+        assert!((frac - (14.0f64 / 16.0).powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_path_tracks_f64_within_envelope() {
+        let mut a = grid(BoundaryCondition::Closed);
+        a.secrete(Vec3::zero(), 100.0);
+        let mut b = a.clone();
+        for _ in 0..20 {
+            a.step_in(0.5, Precision::F64);
+            b.step_in(0.5, Precision::F32Simd);
+        }
+        let m = a.total_mass();
+        assert!((b.total_mass() - m).abs() < 1e-4 * m);
+        for (va, vb) in a.c.iter().zip(b.c.iter()) {
+            assert!((va - vb).abs() < 1e-4 * a.max_concentration());
+        }
+    }
+
+    #[test]
+    fn minimum_resolution_grid_steps() {
+        // res = 2: every voxel is a face; the interior sweep is empty.
+        let mut g = DiffusionGrid::new(
+            DiffusionParams {
+                name: "tiny",
+                coefficient: 0.01,
+                decay: 0.0,
+                resolution: 2,
+                boundary: BoundaryCondition::Closed,
+            },
+            Aabb::cube(4.0),
+        );
+        g.fill(1.0);
+        let run = g.step_in(0.5, Precision::F64);
+        assert_eq!(run.voxel_updates, 8);
+        assert_eq!(run.interior_updates, 0);
+        assert_eq!(run.simd_rows, 0);
+        assert!((g.total_mass() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let ok = DiffusionParams::oxygen();
+        assert!(ok.validate().is_ok());
+        for (p, what) in [
+            (
+                DiffusionParams {
+                    coefficient: -0.1,
+                    ..ok
+                },
+                "negative coefficient",
+            ),
+            (
+                DiffusionParams {
+                    coefficient: f64::NAN,
+                    ..ok
+                },
+                "NaN coefficient",
+            ),
+            (
+                DiffusionParams {
+                    coefficient: f64::INFINITY,
+                    ..ok
+                },
+                "infinite coefficient",
+            ),
+            (DiffusionParams { decay: -1.0, ..ok }, "negative decay"),
+            (
+                DiffusionParams {
+                    decay: f64::NAN,
+                    ..ok
+                },
+                "NaN decay",
+            ),
+            (
+                DiffusionParams {
+                    resolution: 0,
+                    ..ok
+                },
+                "resolution 0",
+            ),
+            (
+                DiffusionParams {
+                    resolution: 1,
+                    ..ok
+                },
+                "resolution 1",
+            ),
+        ] {
+            assert!(p.validate().is_err(), "{what} should be rejected");
+            assert!(
+                DiffusionGrid::from_parts(p, Aabb::cube(4.0), vec![]).is_err(),
+                "from_parts must reject {what}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DiffusionParams")]
+    fn new_panics_on_invalid_params() {
+        DiffusionGrid::new(
+            DiffusionParams {
+                coefficient: -1.0,
+                ..DiffusionParams::oxygen()
+            },
+            Aabb::cube(4.0),
+        );
     }
 }

@@ -50,7 +50,7 @@ pub mod workload;
 pub use behavior::Behavior;
 pub use cell::CellBuilder;
 pub use checkpoint::CheckpointError;
-pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
+pub use diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams, DiffusionStats};
 pub use environment::{EnvironmentKind, GridLayout};
 pub use exec::ExecutionContext;
 pub use io::Snapshot;

@@ -19,7 +19,7 @@
 
 use crate::behavior::{diameter_of, volume_of, Behavior};
 use crate::cell::CellBuilder;
-use crate::diffusion::DiffusionGrid;
+use crate::diffusion::{DiffusionGrid, DiffusionStats};
 use crate::environment::{EnvironmentKind, GridLayout};
 use crate::exec::ExecutionContext;
 use crate::mech::{self, MechScratch, MechWork};
@@ -506,10 +506,17 @@ impl Operation for BoundSpaceOp {
 // Diffusion
 // ---------------------------------------------------------------------
 
-/// Steps every substance grid (explicit Euler, rayon over z-slices —
-/// the operation BioDynaMo keeps on the multi-core CPU while the GPU
+/// Steps every substance grid through the tiled stencil engine (the
+/// operation BioDynaMo keeps on the multi-core CPU while the GPU
 /// handles the mechanical interactions). Returns no record when the
 /// simulation has no substances, matching the pre-scheduler profile.
+///
+/// All substances advance through **one** rayon scope per run — the
+/// batch is a `par_iter_mut` over grids whose tiled sweeps themselves
+/// fork nested z-chunk tasks, so a scene with many small fields keeps
+/// every worker busy instead of draining N serial parallel-sweeps.
+/// Each grid's update is a pure function of its own field, so the batch
+/// is bitwise deterministic under any work-stealing schedule.
 #[derive(Debug, Default)]
 pub struct DiffusionOp;
 
@@ -524,19 +531,42 @@ impl Operation for DiffusionOp {
         }
         let t = Instant::now();
         let dt = ctx.params.mech.timestep;
-        let mut voxels = 0u64;
-        for g in ctx.substances.iter_mut() {
-            voxels += g.step(dt);
-        }
+        let precision = ctx.params.precision;
+        let runs: Vec<DiffusionStats> = if ctx.parallel {
+            ctx.substances
+                .par_iter_mut()
+                .map(|g| g.step_in(dt, precision))
+                .collect()
+        } else {
+            ctx.substances
+                .iter_mut()
+                .map(|g| g.step_in(dt, precision))
+                .collect()
+        };
+        let updates: u64 = runs.iter().map(|r| r.voxel_updates).sum();
+        let interior: u64 = runs.iter().map(|r| r.interior_updates).sum();
+        let faces = updates - interior;
+        // Work model: 19 FLOPs per stencil update. Interior updates
+        // stream 2 words/voxel (read the center row once, write once —
+        // the six neighbor rows ride the (y, z) tile in cache); peeled
+        // faces get no reuse credit and touch all 8 words. The f32 path
+        // halves the word size.
+        let word = if precision == Precision::F64 {
+            8.0
+        } else {
+            4.0
+        };
         vec![OpRecord {
             name: self.name().into(),
             wall_s: t.elapsed().as_secs_f64(),
-            phases: vec![Phase::parallel_fp64(
-                "diffusion",
-                10.0 * voxels as f64,
-                16.0 * voxels as f64,
-                0.0,
-            )],
+            phases: vec![Phase {
+                name: "diffusion",
+                flops: 19.0 * updates as f64,
+                bytes: word * (2.0 * interior as f64 + 8.0 * faces as f64),
+                random_accesses: 0.0,
+                parallel: true,
+                fp64: precision == Precision::F64,
+            }],
             gpu: None,
         }]
     }

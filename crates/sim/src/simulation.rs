@@ -184,6 +184,11 @@ impl Simulation {
     }
 
     /// Add a substance; returns its index (referenced by behaviors).
+    ///
+    /// # Panics
+    /// On parameters [`DiffusionParams::validate`] rejects (non-finite
+    /// or negative coefficient/decay, resolution below 2) — invalid
+    /// substances fail at construction, not mid-run.
     pub fn add_diffusion_grid(&mut self, params: DiffusionParams) -> usize {
         self.diffusion
             .push(DiffusionGrid::new(params, self.params.space));
@@ -234,6 +239,23 @@ impl Simulation {
         reg.set_gauge("sim.steps_executed", &[], self.steps_executed as f64);
         reg.set_gauge("sim.agents", &[], self.rm.len() as f64);
         reg.set_gauge("sim.substances", &[], self.diffusion.len() as f64);
+        if !self.diffusion.is_empty() {
+            // Aggregate solver telemetry across substances (cumulative
+            // since construction/restore — derived state, so a restored
+            // run restarts these at zero).
+            let mut agg = crate::diffusion::DiffusionStats::default();
+            for g in &self.diffusion {
+                let s = g.stats();
+                agg.voxel_updates += s.voxel_updates;
+                agg.substeps += s.substeps;
+                agg.interior_updates += s.interior_updates;
+                agg.simd_rows += s.simd_rows;
+            }
+            reg.set_gauge("diffusion.voxel_updates", &[], agg.voxel_updates as f64);
+            reg.set_gauge("diffusion.substeps", &[], agg.substeps as f64);
+            reg.set_gauge("diffusion.interior_fraction", &[], agg.interior_fraction());
+            reg.set_gauge("diffusion.simd_rows", &[], agg.simd_rows as f64);
+        }
         self.scheduler.publish_metrics(&mut reg);
         self.profiler.publish_metrics(&mut reg);
         if let Some(mech) = &self.last_mech {

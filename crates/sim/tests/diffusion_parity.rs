@@ -1,0 +1,184 @@
+//! Bitwise parity of the tiled branch-free SIMD diffusion engine
+//! against the retained scalar reference sweep.
+//!
+//! The contract (DESIGN §5.12): `DiffusionGrid::step` — peeled faces,
+//! (y, z)-tiled interior, 8-lane shifted-load x-rows — produces the
+//! exact bits of `DiffusionGrid::step_reference`, the pre-tiling
+//! branchy z-slice sweep, for every field, boundary condition,
+//! resolution, and sub-cycling depth. The SIMD lanes evaluate the same
+//! per-voxel expression tree with strict IEEE ops, so this is equality,
+//! not tolerance. Run in release mode by the `diffusion-parity` CI job.
+
+use bdm_math::{Aabb, Vec3};
+use bdm_sim::diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
+use bdm_sim::param::SimParams;
+use bdm_sim::scheduler::ExecMode;
+use bdm_sim::simulation::Simulation;
+use proptest::prelude::*;
+
+fn assert_bitwise_eq(a: &DiffusionGrid, b: &DiffusionGrid, what: &str) {
+    for (i, (va, vb)) in a
+        .concentrations()
+        .iter()
+        .zip(b.concentrations())
+        .enumerate()
+    {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: voxel {i} diverged ({va:e} vs {vb:e})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// The core parity sweep: arbitrary source patterns, both boundary
+    /// conditions, resolutions below/straddling/above the 8-lane vector
+    /// width (res 8 has no full vector; 21 exercises the scalar tail;
+    /// 16/24 are lane-aligned), and coefficients deep into sub-cycling
+    /// territory.
+    #[test]
+    fn tiled_step_matches_reference_bitwise(
+        sources in proptest::collection::vec(
+            ((-7.0f64..7.0, -7.0f64..7.0, -7.0f64..7.0), 0.1f64..50.0),
+            1..12
+        ),
+        res_i in 0usize..5,
+        coeff in 0.0f64..0.8,
+        decay in 0.0f64..0.3,
+        dirichlet in any::<bool>(),
+        steps in 1u32..5,
+    ) {
+        // Resolutions below/straddling/above the 8-lane width.
+        let res = [8usize, 12, 16, 21, 24][res_i];
+        let boundary = if dirichlet {
+            BoundaryCondition::Dirichlet
+        } else {
+            BoundaryCondition::Closed
+        };
+        let mut tiled = DiffusionGrid::new(
+            DiffusionParams { name: "p", coefficient: coeff, decay, resolution: res, boundary },
+            Aabb::cube(8.0),
+        );
+        for ((x, y, z), amount) in &sources {
+            tiled.secrete(Vec3::new(*x, *y, *z), *amount);
+        }
+        let mut reference = tiled.clone();
+        for s in 0..steps {
+            let w_tiled = tiled.step(0.5);
+            let w_ref = reference.step_reference(0.5);
+            prop_assert_eq!(w_tiled, w_ref, "work counters diverged");
+            // Compare after every step, not just at the end, so a
+            // failure points at the first diverging sweep.
+            for (i, (va, vb)) in tiled
+                .concentrations()
+                .iter()
+                .zip(reference.concentrations())
+                .enumerate()
+            {
+                prop_assert_eq!(
+                    va.to_bits(), vb.to_bits(),
+                    "step {}: voxel {} diverged ({:e} vs {:e}) at res {} {:?}",
+                    s, i, va, vb, res, boundary
+                );
+            }
+        }
+    }
+
+    /// Sub-cycling kicks in identically on both engines: a stiff
+    /// coefficient forces n > 1 and the trajectories still match bit
+    /// for bit (and stay finite, where the old engine diverged).
+    #[test]
+    fn sub_cycled_step_matches_reference_bitwise(
+        coeff in 0.5f64..2.0,
+        dirichlet in any::<bool>(),
+    ) {
+        let boundary = if dirichlet {
+            BoundaryCondition::Dirichlet
+        } else {
+            BoundaryCondition::Closed
+        };
+        let mut tiled = DiffusionGrid::new(
+            DiffusionParams {
+                name: "stiff", coefficient: coeff, decay: 0.01, resolution: 16, boundary,
+            },
+            Aabb::cube(8.0),
+        );
+        prop_assert!(tiled.substeps_for(0.5) > 1);
+        tiled.secrete(Vec3::zero(), 100.0);
+        tiled.secrete(Vec3::new(3.0, -2.0, 5.0), 40.0);
+        let mut reference = tiled.clone();
+        for _ in 0..3 {
+            tiled.step(0.5);
+            reference.step_reference(0.5);
+        }
+        prop_assert!(tiled.max_concentration().is_finite());
+        for (va, vb) in tiled.concentrations().iter().zip(reference.concentrations()) {
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+}
+
+/// Multi-substance scenes run through the batched `DiffusionOp` (one
+/// rayon scope over all grids, nested tiled parallelism inside each)
+/// and match per-substance reference integration bitwise — in both
+/// scheduler execution modes.
+#[test]
+fn batched_multi_substance_scene_matches_reference_bitwise() {
+    for mode in [ExecMode::Serial, ExecMode::Parallel] {
+        let params = SimParams::cube(8.0);
+        let dt = params.mech.timestep;
+        let mut sim = Simulation::new(params);
+        sim.set_exec_mode(mode);
+        let specs = [
+            DiffusionParams {
+                name: "oxygen",
+                coefficient: 0.1,
+                decay: 0.0,
+                resolution: 16,
+                boundary: BoundaryCondition::Closed,
+            },
+            DiffusionParams {
+                name: "toxin",
+                coefficient: 0.05,
+                decay: 0.2,
+                resolution: 12,
+                boundary: BoundaryCondition::Dirichlet,
+            },
+            // Stiff enough to sub-cycle at the scheduler's dt.
+            DiffusionParams {
+                name: "morphogen",
+                coefficient: 30.0,
+                decay: 0.0,
+                resolution: 21,
+                boundary: BoundaryCondition::Closed,
+            },
+        ];
+        let mut references = Vec::new();
+        for (i, p) in specs.iter().enumerate() {
+            let s = sim.add_diffusion_grid(*p);
+            assert_eq!(s, i);
+            let g = sim.diffusion_grid_mut(s);
+            g.secrete(Vec3::new(1.0 + i as f64, -2.0, 0.5), 80.0);
+            g.secrete(Vec3::new(-3.0, 2.0, -1.0), 25.0);
+            references.push(g.clone());
+        }
+        assert!(
+            references[2].substeps_for(dt) > 1,
+            "morphogen must sub-cycle"
+        );
+        sim.simulate(4);
+        for (i, reference) in references.iter_mut().enumerate() {
+            for _ in 0..4 {
+                reference.step_reference(dt);
+            }
+            assert_bitwise_eq(
+                sim.diffusion_grid(i),
+                reference,
+                &format!("substance {i} under {mode:?}"),
+            );
+        }
+    }
+}

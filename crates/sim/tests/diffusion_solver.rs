@@ -1,0 +1,267 @@
+//! Solver correctness against closed-form solutions.
+//!
+//! Four analytic anchors for the explicit-Euler engine (DESIGN §5.12):
+//! exponential decay with D = 0, point-source spread vs. the Gaussian
+//! heat kernel, Dirichlet wall absorption, and 64³ mass conservation
+//! with stability sub-cycling active. The same anchors gate the opt-in
+//! f32 path's accuracy envelope, mirroring `tests/precision_claims.rs`.
+
+use bdm_math::{Aabb, Vec3};
+use bdm_sim::diffusion::{BoundaryCondition, DiffusionGrid, DiffusionParams};
+use bdm_sim::param::Precision;
+
+fn grid(params: DiffusionParams, half: f64) -> DiffusionGrid {
+    DiffusionGrid::new(params, Aabb::cube(half))
+}
+
+/// With D = 0 the PDE reduces to `c' = −μc`, so `c(t) = c₀·e^{−μt}`.
+/// Explicit Euler converges to that at O(dt): 1000 steps of dt = 0.01
+/// with μ = 0.1 must land within 0.1 % of e^{−1}.
+#[test]
+fn decay_matches_analytic_exponential() {
+    let mut g = grid(
+        DiffusionParams {
+            name: "d",
+            coefficient: 0.0,
+            decay: 0.1,
+            resolution: 8,
+            boundary: BoundaryCondition::Closed,
+        },
+        4.0,
+    );
+    g.secrete(Vec3::zero(), 100.0);
+    for _ in 0..1000 {
+        g.step(0.01);
+    }
+    let expect = 100.0 * (-1.0f64).exp();
+    let rel = (g.total_mass() - expect).abs() / expect;
+    assert!(
+        rel < 1e-3,
+        "mass {} vs analytic {expect} (rel {rel:e})",
+        g.total_mass()
+    );
+}
+
+/// A point source under free diffusion spreads as the heat kernel
+/// `c(r, t) = M·(4πDt)^{−3/2}·exp(−r²/4Dt)`. Two checks on a 32³
+/// lattice (h = 1) far from the walls:
+///
+/// * the per-axis second moment grows as `2Dt` **exactly** — the
+///   discrete Laplacian of x² is the constant 2, so summation by parts
+///   gives `ΔM₂ = 2·D·dt·M₀` per sub-step regardless of sub-cycling;
+/// * voxel values near the center match the continuum kernel to ~5 %
+///   once `t ≫ h²/D` smooths the lattice delta.
+#[test]
+fn point_source_matches_gaussian_kernel() {
+    let d = 1.0;
+    let mut g = grid(
+        DiffusionParams {
+            name: "g",
+            coefficient: d,
+            decay: 0.0,
+            resolution: 32,
+            boundary: BoundaryCondition::Closed,
+        },
+        16.0,
+    );
+    // λ = D·dt·Σ1/h² = 3 per unit step → the solver must sub-cycle.
+    assert_eq!(g.substeps_for(1.0), 18);
+    let mass = 1000.0;
+    // Source at the voxel whose index is (16, 16, 16).
+    g.secrete(Vec3::splat(0.25), mass);
+    let mut t = 0.0;
+    for _ in 0..4 {
+        g.step(1.0);
+        t += 1.0;
+    }
+
+    // Second moment: Σ c·dx² / Σ c per axis, in lattice units (h = 1).
+    let c = g.concentrations();
+    let res = 32usize;
+    let (mut m0, mut m2x) = (0.0, 0.0);
+    for z in 0..res {
+        for y in 0..res {
+            for x in 0..res {
+                let v = c[(z * res + y) * res + x];
+                m0 += v;
+                let dx = x as f64 - 16.0;
+                m2x += v * dx * dx;
+            }
+        }
+    }
+    let var = m2x / m0;
+    let expect_var = 2.0 * d * t;
+    assert!(
+        (var - expect_var).abs() < 1e-4 * expect_var,
+        "per-axis variance {var} vs analytic {expect_var}"
+    );
+
+    // Pointwise kernel values near the center (r ≤ 3 voxels ≈ 1.06 σ).
+    let norm = mass * (4.0 * std::f64::consts::PI * d * t).powf(-1.5);
+    for (dx, dy, dz) in [
+        (0i64, 0i64, 0i64),
+        (1, 0, 0),
+        (2, 0, 0),
+        (3, 0, 0),
+        (1, 1, 1),
+        (2, 2, 0),
+    ] {
+        let (x, y, z) = ((16 + dx) as usize, (16 + dy) as usize, (16 + dz) as usize);
+        let got = c[(z * res + y) * res + x];
+        let r2 = (dx * dx + dy * dy + dz * dz) as f64;
+        let expect = norm * (-r2 / (4.0 * d * t)).exp();
+        let rel = (got - expect).abs() / expect;
+        assert!(
+            rel < 0.05,
+            "voxel offset ({dx},{dy},{dz}): {got:e} vs kernel {expect:e} (rel {rel:.4})"
+        );
+    }
+}
+
+/// Dirichlet walls absorb mass. From a uniform field the first step's
+/// loss is exactly the wall shell — interior voxels see uniform
+/// neighbors and are fixed points until the zeroed walls reach them —
+/// and every following step drains strictly more until (near) nothing
+/// is left.
+#[test]
+fn dirichlet_walls_absorb_mass() {
+    let res = 16usize;
+    let mut g = grid(
+        DiffusionParams {
+            name: "sink",
+            coefficient: 0.2,
+            decay: 0.0,
+            resolution: res,
+            boundary: BoundaryCondition::Dirichlet,
+        },
+        8.0,
+    );
+    g.fill(1.0);
+    let m0 = g.total_mass();
+    assert_eq!(m0, (res * res * res) as f64);
+
+    // The exact-shell identity needs a single sub-step: with n > 1 the
+    // second sub-step already drains the wall-adjacent interior.
+    assert_eq!(g.substeps_for(0.25), 1);
+    g.step(0.25);
+    let shell = (res * res * res - (res - 2) * (res - 2) * (res - 2)) as f64;
+    assert!(
+        (g.total_mass() - (m0 - shell)).abs() < 1e-9,
+        "first step must absorb exactly the wall shell: {} vs {}",
+        g.total_mass(),
+        m0 - shell
+    );
+    // Walls are pinned to zero from now on.
+    assert_eq!(g.concentrations()[0], 0.0);
+    assert_eq!(g.concentration_at(Vec3::new(-7.9, -7.9, -7.9)), 0.0);
+
+    let mut prev = g.total_mass();
+    for _ in 0..1200 {
+        g.step(0.25);
+        let m = g.total_mass();
+        assert!(m < prev, "absorption must be monotone ({m} !< {prev})");
+        prev = m;
+    }
+    assert!(
+        prev < 0.01 * m0,
+        "field should be nearly drained, kept {prev}"
+    );
+}
+
+/// Mass conservation at benchmark scale with sub-cycling active: a
+/// 64³ closed box and a coefficient 3× past the old engine's stability
+/// wall. The old debug assert would have fired (and release builds
+/// silently diverged); sub-cycling integrates it exactly.
+#[test]
+fn mass_conserved_at_64_cubed_with_sub_cycling() {
+    let mut g = grid(
+        DiffusionParams {
+            name: "big",
+            coefficient: 0.5,
+            decay: 0.0,
+            resolution: 64,
+            boundary: BoundaryCondition::Closed,
+        },
+        32.0,
+    );
+    // h = 1 → λ = 0.5·1.0·3 = 1.5 > 1/2 (divergent un-split) → n = 9.
+    assert_eq!(g.substeps_for(1.0), 9);
+    for (p, amt) in [
+        (Vec3::zero(), 500.0),
+        (Vec3::new(10.0, -14.0, 3.0), 120.0),
+        (Vec3::new(-25.0, 25.0, -25.0), 60.0),
+    ] {
+        g.secrete(p, amt);
+    }
+    let m0 = g.total_mass();
+    for _ in 0..5 {
+        g.step(1.0);
+    }
+    assert!((g.total_mass() - m0).abs() < 1e-9 * m0);
+    assert!(g.max_concentration().is_finite());
+    assert_eq!(g.stats().substeps, 45);
+    assert_eq!(g.stats().voxel_updates, 45 * 64 * 64 * 64);
+    // 62³ of every sub-step's 64³ updates ran branch-free.
+    let frac = g.stats().interior_fraction();
+    assert!((frac - (62.0f64 / 64.0).powi(3)).abs() < 1e-12);
+}
+
+/// The f32 path's accuracy envelope on the same anchors: staged f32
+/// sub-steps track the f64 trajectory to ≲1e-4 relative after dozens
+/// of steps, and decay stays within f32 truncation of analytic.
+#[test]
+fn f32_path_stays_inside_accuracy_envelope() {
+    // Point source, closed box, 30 steps.
+    let mk = || {
+        let mut g = grid(
+            DiffusionParams {
+                name: "o2",
+                coefficient: 0.1,
+                decay: 0.01,
+                resolution: 16,
+                boundary: BoundaryCondition::Closed,
+            },
+            8.0,
+        );
+        g.secrete(Vec3::zero(), 100.0);
+        g.secrete(Vec3::new(4.0, 4.0, -4.0), 50.0);
+        g
+    };
+    let mut f64g = mk();
+    let mut f32g = mk();
+    for _ in 0..30 {
+        f64g.step_in(0.5, Precision::F64);
+        f32g.step_in(0.5, Precision::F32Simd);
+    }
+    let peak = f64g.max_concentration();
+    let mut max_abs = 0.0f64;
+    for (a, b) in f64g.concentrations().iter().zip(f32g.concentrations()) {
+        max_abs = max_abs.max((a - b).abs());
+    }
+    assert!(max_abs > 0.0, "the knob must actually switch arithmetic");
+    assert!(
+        max_abs < 1e-4 * peak,
+        "f32 drift {max_abs:e} exceeds envelope ({peak:e} peak)"
+    );
+    let (ma, mb) = (f64g.total_mass(), f32g.total_mass());
+    assert!((ma - mb).abs() < 1e-4 * ma, "mass drift {} vs {}", ma, mb);
+
+    // Decay anchor in f32.
+    let mut g = grid(
+        DiffusionParams {
+            name: "d32",
+            coefficient: 0.0,
+            decay: 0.1,
+            resolution: 8,
+            boundary: BoundaryCondition::Closed,
+        },
+        4.0,
+    );
+    g.secrete(Vec3::zero(), 100.0);
+    for _ in 0..100 {
+        g.step_in(0.1, Precision::F32Simd);
+    }
+    let expect = 100.0 * (-1.0f64).exp();
+    let rel = (g.total_mass() - expect).abs() / expect;
+    assert!(rel < 1e-2, "f32 decay rel error {rel:e}");
+}

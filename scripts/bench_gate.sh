@@ -25,10 +25,19 @@
 # gpu.bytes_d2h), gpu.midstep_syncs, and gpu.resident_steps at +/-2 %,
 # alongside mech.csr_rebuilds_skipped from the CPU CSR runs — together
 # they pin the steady-state "device stays quiet" claim.
+# BENCH_diffusion.json gates the tiled-stencil work counters
+# (diffusion.voxel_updates, diffusion.substeps, diffusion.simd_rows,
+# diffusion.batch_substances exactly; diffusion.interior_fraction at
+# +/-2 %) and the System A modeled engine times
+# (diffusion.modeled_ms, diffusion.speedup_modeled_x at +/-2 %), while
+# diffusion.step_wall_ms / diffusion.batch_wall_ms are informational;
+# the bench binary itself asserts scalar-vs-SIMD bitwise parity and the
+# >=1.5x modeled 64^3 speedup before emitting anything.
 # To re-baseline after an intentional perf change:
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_json -- --out=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_layouts -- --json=results
 #   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_checkpoint -- --json=results
+#   BDM_BENCH_SCALE=smoke cargo run --release -p bdm-bench --bin bench_diffusion -- --json=results
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,4 +47,5 @@ trap 'rm -rf "$FRESH"' EXIT
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_json -- --out="$FRESH"
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_layouts -- --json="$FRESH"
 BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_checkpoint -- --json="$FRESH"
+BDM_BENCH_SCALE=smoke cargo run --release --offline -p bdm-bench --bin bench_diffusion -- --json="$FRESH"
 cargo run --release --offline -p bdm-bench --bin bench_gate -- --baseline=results --fresh="$FRESH" "$@"
